@@ -1,0 +1,389 @@
+(* ftc — the FractalTensor compiler driver.
+
+     ftc list                     available workloads
+     ftc verify [WORKLOAD]        interpreter vs imperative reference
+     ftc show WORKLOAD [--pass P] dump the ETDG after a pipeline stage
+     ftc compile WORKLOAD         run the full pipeline, print the plan
+     ftc simulate WORKLOAD        execute every system's plan on the
+                                  simulated A100                         *)
+
+type workload = {
+  w_name : string;
+  w_describe : string;
+  w_program : unit -> Expr.program;
+  w_verify : unit -> bool;
+  w_suite : unit -> Plan.t list;
+}
+
+let rng () = Rng.create 2024
+
+let workloads =
+  [
+    {
+      w_name = "stacked_rnn";
+      w_describe = "stacked vanilla RNN (paper Listing 1, Figs 1-6)";
+      w_program = (fun () -> Stacked_rnn.program Stacked_rnn.default);
+      w_verify =
+        (fun () ->
+          let cfg = Stacked_rnn.default in
+          let inp = Stacked_rnn.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Stacked_rnn.program cfg)
+              (Stacked_rnn.bindings inp)
+          in
+          Fractal.equal_approx out (Stacked_rnn.reference cfg inp)
+          && Fractal.equal_approx
+               (Stacked_rnn.wavefront cfg inp)
+               (Stacked_rnn.reference cfg inp));
+      w_suite = (fun () -> Suites.stacked_rnn Stacked_rnn.paper);
+    };
+    {
+      w_name = "stacked_lstm";
+      w_describe = "stacked LSTM (paper Listing 2, Table 6)";
+      w_program = (fun () -> Stacked_lstm.program Stacked_lstm.default);
+      w_verify =
+        (fun () ->
+          let cfg = Stacked_lstm.default in
+          let inp = Stacked_lstm.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Stacked_lstm.program cfg)
+              (Stacked_lstm.bindings inp)
+          in
+          let csss, hsss = Stacked_lstm.reference cfg inp in
+          let proj i =
+            Soac.map (fun pn -> Soac.map (fun pr -> Fractal.get pr i) pn) out
+          in
+          let last m =
+            Soac.map (fun pn -> Fractal.get pn (cfg.depth - 1)) m
+          in
+          Fractal.equal_approx (proj 0) (last csss)
+          && Fractal.equal_approx (proj 1) (last hsss));
+      w_suite = (fun () -> Suites.stacked_lstm Stacked_lstm.paper);
+    };
+    {
+      w_name = "dilated_rnn";
+      w_describe = "stacked dilated RNN (dilations 1,2,4,...)";
+      w_program = (fun () -> Dilated_rnn.program Dilated_rnn.default);
+      w_verify =
+        (fun () ->
+          let cfg = Dilated_rnn.default in
+          let inp = Dilated_rnn.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Dilated_rnn.program cfg)
+              (Dilated_rnn.bindings inp)
+          in
+          Fractal.equal_approx
+            (Dilated_rnn.flatten_output cfg out)
+            (Dilated_rnn.reference cfg inp));
+      w_suite = (fun () -> Suites.dilated_rnn Dilated_rnn.paper);
+    };
+    {
+      w_name = "grid_rnn";
+      w_describe = "stacked 2-D grid RNN (three nested recurrences)";
+      w_program = (fun () -> Grid_rnn.program Grid_rnn.default);
+      w_verify =
+        (fun () ->
+          let cfg = Grid_rnn.default in
+          let inp = Grid_rnn.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Grid_rnn.program cfg) (Grid_rnn.bindings inp)
+          in
+          Fractal.equal_approx out (Grid_rnn.reference cfg inp)
+          && Fractal.equal_approx
+               (Grid_rnn.wavefront cfg inp)
+               (Grid_rnn.reference cfg inp));
+      w_suite = (fun () -> Suites.grid_rnn Grid_rnn.paper);
+    };
+    {
+      w_name = "b2b_gemm";
+      w_describe = "back-to-back GEMMs with a narrow intermediate";
+      w_program = (fun () -> B2b_gemm.program B2b_gemm.default);
+      w_verify =
+        (fun () ->
+          let cfg = B2b_gemm.default in
+          let inp = B2b_gemm.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (B2b_gemm.program cfg) (B2b_gemm.bindings inp)
+          in
+          Fractal.equal_approx out (B2b_gemm.reference cfg inp));
+      w_suite = (fun () -> Suites.b2b_gemm B2b_gemm.paper);
+    };
+    {
+      w_name = "flash_attention";
+      w_describe = "FlashAttention (paper Listing 3): online softmax reduce";
+      w_program = (fun () -> Flash_attention.program Flash_attention.default);
+      w_verify =
+        (fun () ->
+          let cfg = Flash_attention.default in
+          let inp = Flash_attention.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program
+              (Flash_attention.program cfg)
+              (Flash_attention.bindings inp)
+          in
+          Fractal.equal_approx out (Flash_attention.reference cfg inp));
+      w_suite = (fun () -> Suites.flash_attention Flash_attention.paper);
+    };
+    {
+      w_name = "conv1d";
+      w_describe = "temporal convolution via window access (§7 expressibility)";
+      w_program = (fun () -> Conv1d.program Conv1d.default);
+      w_verify =
+        (fun () ->
+          let cfg = Conv1d.default in
+          let inp = Conv1d.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Conv1d.program cfg) (Conv1d.bindings inp)
+          in
+          Fractal.equal_approx out (Conv1d.reference cfg inp));
+      w_suite =
+        (fun () ->
+          [ Emit.fractaltensor_plan (Build.build (Conv1d.program Conv1d.large)) ]);
+    };
+    {
+      w_name = "selective_scan";
+      w_describe = "Mamba-style gated linear recurrence (§7 extension)";
+      w_program = (fun () -> Selective_scan.program Selective_scan.default);
+      w_verify =
+        (fun () ->
+          let cfg = Selective_scan.default in
+          let inp = Selective_scan.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Selective_scan.program cfg)
+              (Selective_scan.bindings inp)
+          in
+          let r = Selective_scan.reference cfg inp in
+          Fractal.equal_approx out r
+          && Fractal.equal_approx ~eps:1e-4
+               (Selective_scan.parallel_form cfg inp)
+               r);
+      w_suite =
+        (fun () ->
+          [ Emit.fractaltensor_plan
+              (Build.build (Selective_scan.program Selective_scan.large)) ]);
+    };
+    {
+      w_name = "retention";
+      w_describe = "chunkwise retention / RetNet (the paper's §7 extension)";
+      w_program = (fun () -> Retention.program Retention.default);
+      w_verify =
+        (fun () ->
+          let cfg = Retention.default in
+          let inp = Retention.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Retention.program cfg) (Retention.bindings inp)
+          in
+          Fractal.equal_approx
+            (Retention.output_of_interp out)
+            (Retention.reference cfg inp));
+      w_suite = (fun () -> Suites.retention Retention.large);
+    };
+    {
+      w_name = "bigbird";
+      w_describe = "BigBird blocked sparse attention (paper Listing 4)";
+      w_program = (fun () -> Bigbird.program Bigbird.default);
+      w_verify =
+        (fun () ->
+          let cfg = Bigbird.default in
+          let inp = Bigbird.gen_inputs (rng ()) cfg in
+          let out =
+            Interp.run_program (Bigbird.program cfg) (Bigbird.bindings inp)
+          in
+          Fractal.equal_approx out (Bigbird.reference cfg inp));
+      w_suite = (fun () -> Suites.bigbird Bigbird.paper);
+    };
+  ]
+
+let find_workload name =
+  match List.find_opt (fun w -> w.w_name = name) workloads with
+  | Some w -> w
+  | None ->
+      Format.eprintf "unknown workload %s; try `ftc list'@." name;
+      exit 1
+
+(* Random inputs for a parsed program, from its declared types. *)
+let rec random_value rng (ty : Expr.ty) : Fractal.t =
+  match ty with
+  | Expr.Tensor_ty s -> Fractal.Leaf (Tensor.scale 0.3 (Tensor.rand rng s))
+  | Expr.List_ty (n, inner) ->
+      Fractal.tabulate n (fun _ -> random_value rng inner)
+  | Expr.Tuple_ty ts ->
+      Fractal.Node (Array.of_list (List.map (random_value rng) ts))
+
+(* ------------------------------- commands ------------------------- *)
+
+open Cmdliner
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w -> Format.printf "%-18s %s@." w.w_name w.w_describe)
+      workloads
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available workloads")
+    Term.(const run $ const ())
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let verify_cmd =
+  let run name =
+    let targets =
+      match name with
+      | Some n -> [ find_workload n ]
+      | None -> workloads
+    in
+    let ok = ref true in
+    List.iter
+      (fun w ->
+        let pass = w.w_verify () in
+        if not pass then ok := false;
+        Format.printf "%-18s %s@." w.w_name (if pass then "ok" else "FAILED"))
+      targets;
+    if not !ok then exit 1
+  in
+  let arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check the interpreter against the imperative reference")
+    Term.(const run $ arg)
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("dot", `Dot) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or dot")
+
+let pass_arg =
+  Arg.(
+    value
+    & opt (enum [ ("parsed", `Parsed); ("lowered", `Lowered);
+                  ("grouped", `Grouped); ("merged", `Merged) ])
+        `Parsed
+    & info [ "pass" ] ~docv:"PASS"
+        ~doc:"Pipeline stage to dump: parsed, lowered, grouped or merged")
+
+let show_cmd =
+  let run name pass format =
+    let w = find_workload name in
+    let g = Build.build (w.w_program ()) in
+    let g =
+      match pass with
+      | `Parsed -> g
+      | `Lowered -> Coarsen.lower g
+      | `Grouped -> Coarsen.group_regions g
+      | `Merged -> Coarsen.merge_only (Coarsen.group_regions g)
+    in
+    match format with
+    | `Text -> Format.printf "%a@." Ir.pp g
+    | `Dot -> print_string (Dot.graph g)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Dump the ETDG after a pipeline stage")
+    Term.(const run $ workload_arg $ pass_arg $ format_arg)
+
+let compile_cmd =
+  let run name =
+    let w = find_workload name in
+    let g = Build.build (w.w_program ()) in
+    Format.printf "parsed: %d blocks, depth %d, dimension %d@."
+      (List.length g.Ir.g_blocks) (Ir.depth g) (Ir.dimension g);
+    (match Ir.validate g with
+    | Ok () -> Format.printf "invariants: ok@."
+    | Error es -> List.iter (Format.printf "invariant violated: %s@.") es);
+    let merged = Coarsen.merge_only (Coarsen.group_regions g) in
+    Format.printf "after grouping and width-wise merging: %d blocks@."
+      (List.length merged.Ir.g_blocks);
+    List.iter
+      (fun b ->
+        let r = Reorder.apply b in
+        Format.printf "  %-40s p=[%s]%s@." b.Ir.blk_name
+          (String.concat ","
+             (Array.to_list (Array.map Expr.soac_kind_name b.Ir.blk_ops)))
+          (if r.Reorder.wavefront then
+             Printf.sprintf " wavefront, %d steps" (Reorder.sequential_steps r)
+           else " fully parallel"))
+      merged.Ir.g_blocks;
+    let plan = Emit.fractaltensor_plan g in
+    Format.printf "emitted plan: %d kernels@." (Plan.total_kernels plan);
+    Format.printf "simulated: %a@." Engine.pp_metrics (Exec.run plan)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Run the full compilation pipeline")
+    Term.(const run $ workload_arg)
+
+let device_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("a100", Device.a100); ("h100", Device.h100);
+                ("v100", Device.v100) ])
+        Device.a100
+    & info [ "device" ] ~docv:"DEVICE" ~doc:"Device model: a100, h100 or v100")
+
+let simulate_cmd =
+  let run name device =
+    let w = find_workload name in
+    Format.printf "device: %s@." device.Device.name;
+    Format.printf "%-18s %10s %8s %10s %10s %10s@." "system" "time(ms)"
+      "kernels" "DRAM(GB)" "L1(GB)" "L2(GB)";
+    List.iter
+      (fun (p : Plan.t) ->
+        let m = Exec.run ~device p in
+        Format.printf "%-18s %10.3f %8d %10.2f %10.2f %10.2f@."
+          p.Plan.plan_name m.Engine.time_ms m.Engine.kernels m.Engine.dram_gb
+          m.Engine.l1_gb m.Engine.l2_gb)
+      (w.w_suite ())
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute every system's schedule on a simulated device")
+    Term.(const run $ workload_arg $ device_arg)
+
+let run_cmd =
+  let run path =
+    match Parse.program_file path with
+    | exception Parse.Syntax_error { line; col; message } ->
+        Format.eprintf "%s:%d:%d: %s@." path line col message;
+        exit 1
+    | p -> (
+        match Typecheck.check_program p with
+        | exception Typecheck.Type_error msg ->
+            Format.eprintf "%s: type error: %s@." path msg;
+            exit 1
+        | ty ->
+            Format.printf "program %s : %s@." p.Expr.name
+              (Expr.ty_to_string ty);
+            let r = Rng.create 7 in
+            let env =
+              List.map (fun (x, t) -> (x, random_value r t)) p.Expr.inputs
+            in
+            let out = Interp.run_program p env in
+            Format.printf "interpreted over random inputs: %d scalars out@."
+              (Fractal.numel out);
+            let g = Build.build p in
+            (match Ir.validate g with
+            | Ok () ->
+                Format.printf "ETDG: %d blocks, invariants ok@."
+                  (List.length g.Ir.g_blocks)
+            | Error es ->
+                List.iter (Format.eprintf "invariant violated: %s@.") es);
+            let plan = Emit.fractaltensor_plan g in
+            Format.printf "compiled: %a@." Engine.pp_metrics (Exec.run plan))
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ft")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Parse, type-check, interpret and compile a .ft program file")
+    Term.(const run $ file)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ftc" ~version:"1.0"
+      ~doc:"FractalTensor compiler driver (SOSP 2024 reproduction)"
+  in
+  exit
+    (Cmd.eval (Cmd.group ~default info
+                 [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
+                   run_cmd ]))

@@ -1,0 +1,1 @@
+examples/attention.ml: Engine Exec Flash_attention Format Fractal Interp List Plan Rng Suites

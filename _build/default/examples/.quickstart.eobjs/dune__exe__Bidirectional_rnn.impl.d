@@ -1,0 +1,1 @@
+examples/bidirectional_rnn.ml: Array Build Coarsen Expr Format Fractal Interp Ir List Rng Shape Soac Tensor Vm

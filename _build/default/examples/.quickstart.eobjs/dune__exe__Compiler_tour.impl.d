@@ -1,0 +1,1 @@
+examples/compiler_tour.ml: Access_map Array Build Coarsen Dependence Emit Engine Exec Expr Format Fractal Ir Linalg List Plan Reorder Rng Stacked_rnn String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Build Device Emit Engine Exec Expr Format Fractal Interp Ir List Rng Shape Soac Stacked_rnn String Tensor Typecheck

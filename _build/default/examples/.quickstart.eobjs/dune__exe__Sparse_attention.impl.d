@@ -1,0 +1,1 @@
+examples/sparse_attention.ml: Access_map Bigbird Build Engine Exec Format Fractal Interp Ir List Plan Rng Suites

@@ -1,0 +1,1 @@
+lib/baselines/attention_baselines.ml: Build Emit Flash_attention Plan

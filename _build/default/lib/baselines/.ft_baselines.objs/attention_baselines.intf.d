@@ -1,0 +1,1 @@
+lib/baselines/attention_baselines.mli: Flash_attention Plan

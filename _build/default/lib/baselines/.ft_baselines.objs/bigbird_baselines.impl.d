@@ -1,0 +1,1 @@
+lib/baselines/bigbird_baselines.ml: Bigbird Build Emit Plan Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/bigbird_baselines.mli: Bigbird Plan

@@ -1,0 +1,1 @@
+lib/baselines/gemm_baselines.ml: B2b_gemm Build Emit Plan Stdlib Tile

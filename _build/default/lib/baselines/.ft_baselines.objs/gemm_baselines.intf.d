@@ -1,0 +1,1 @@
+lib/baselines/gemm_baselines.mli: B2b_gemm Plan

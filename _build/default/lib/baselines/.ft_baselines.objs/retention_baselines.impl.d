@@ -1,0 +1,1 @@
+lib/baselines/retention_baselines.ml: Build Emit List Plan Printf Retention

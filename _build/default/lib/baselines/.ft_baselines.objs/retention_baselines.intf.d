@@ -1,0 +1,1 @@
+lib/baselines/retention_baselines.mli: Plan Retention

@@ -1,0 +1,1 @@
+lib/baselines/rnn_baselines.ml: Framework List Plan Printf Stdlib Tile

@@ -1,0 +1,1 @@
+lib/baselines/rnn_baselines.mli: Framework Plan

@@ -1,0 +1,1 @@
+lib/baselines/suites.mli: B2b_gemm Bigbird Dilated_rnn Flash_attention Grid_rnn Plan Retention Stacked_lstm Stacked_rnn

@@ -1,0 +1,82 @@
+let sizes (cfg : Flash_attention.config) =
+  let bh = cfg.Flash_attention.batch * cfg.Flash_attention.heads in
+  let lq = cfg.Flash_attention.q_blocks * cfg.Flash_attention.block in
+  let lkv = cfg.Flash_attention.kv_blocks * cfg.Flash_attention.block in
+  let d = cfg.Flash_attention.head_dim in
+  let q_bytes = float_of_int (4 * bh * lq * d) in
+  let kv_bytes = float_of_int (4 * bh * lkv * d) in
+  let o_bytes = q_bytes in
+  let score_bytes = float_of_int (4 * bh * lq * lkv) in
+  let flops = float_of_int (Flash_attention.flops cfg) in
+  (bh, lq, lkv, d, q_bytes, kv_bytes, o_bytes, score_bytes, flops)
+
+(* One fused attention kernel: compulsory HBM traffic for Q, K, V, O;
+   [kv_l1_passes] controls how often K/V stream through shared memory
+   (per query block for the FA-2 loop structure), [score_l1_passes]
+   how often score tiles do (0 = scores stay in registers). *)
+let fused_plan ~name ~host_us ~kv_l1_passes ~score_l1_passes ~extra_l1
+    (cfg : Flash_attention.config) =
+  let bh, _, _, _, q_bytes, kv_bytes, o_bytes, score_bytes, flops = sizes cfg in
+  (* the hand-written kernels rescale the full output tile on every
+     key/value step; the compiler-scheduled version hoists the rescale
+     out of the inner loop (§6.4) *)
+  let flops = flops *. 1.12 in
+  let l1 =
+    (kv_l1_passes *. 2.0 *. kv_bytes)
+    +. (score_l1_passes *. score_bytes)
+    +. (2.0 *. q_bytes) +. o_bytes +. extra_l1
+  in
+  let tasks = bh * cfg.Flash_attention.q_blocks in
+  {
+    Plan.plan_name = name;
+    kernels =
+      [
+        Plan.kernel ~tensor_core:true ~host_us ~l1_bytes:l1 ~name ~flops ~tasks
+          [
+            Plan.read ~hint:Plan.Dram "q" q_bytes;
+            Plan.read ~hint:Plan.Dram "k" kv_bytes;
+            Plan.read ~hint:Plan.Dram "v" kv_bytes;
+            (* cross-query-block K/V re-reads are served by L2 *)
+            Plan.read ~hint:Plan.L2_only "kv.reuse"
+              (2.0 *. kv_bytes
+              *. float_of_int (cfg.Flash_attention.q_blocks - 1)
+              /. 16.0);
+            Plan.write ~hint:Plan.Dram "o" o_bytes;
+            (* softmax statistics saved for the backward pass *)
+            Plan.write ~hint:Plan.Dram "lse" (q_bytes /. 32.0);
+          ];
+      ];
+  }
+
+(* FA-2 streams K and V through shared memory once per query block. *)
+let flash_attention2_plan cfg =
+  let passes =
+    float_of_int cfg.Flash_attention.q_blocks /. 6.0
+    (* shared-memory K/V tiles are reused across the ~6 query blocks
+       co-resident on an SM *)
+  in
+  fused_plan ~name:"FlashAttention-2" ~host_us:2.0 ~kv_l1_passes:passes
+    ~score_l1_passes:0.0 ~extra_l1:0.0 cfg
+
+(* Triton's hand-written block program: same loop structure, slightly
+   more staging because partial results round-trip shared memory. *)
+let triton_plan cfg =
+  let passes = float_of_int cfg.Flash_attention.q_blocks /. 6.15 in
+  fused_plan ~name:"Triton" ~host_us:5.0 ~kv_l1_passes:passes
+    ~score_l1_passes:0.0 ~extra_l1:0.0 cfg
+
+(* CUTLASS fused MHA: score tiles materialise in shared memory for the
+   softmax and the PV GEMM — the full score matrix streams through L1
+   at least twice. *)
+let cutlass_plan cfg =
+  (* the score matrix streams through shared memory for the row-max,
+     exponentiation and both GEMM stages *)
+  fused_plan ~name:"CUTLASS" ~host_us:2.0 ~kv_l1_passes:1.0
+    ~score_l1_passes:6.0 ~extra_l1:0.0 cfg
+
+let all cfg =
+  let ft =
+    let g = Build.build (Flash_attention.program cfg) in
+    Emit.fractaltensor_plan g
+  in
+  [ ft; triton_plan cfg; flash_attention2_plan cfg; cutlass_plan cfg ]

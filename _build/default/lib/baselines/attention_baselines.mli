@@ -1,0 +1,23 @@
+(** Baseline plans for FlashAttention (paper §6.4, Table 7 ①).
+
+    All four contenders avoid materialising the [L_q × L_kv] score
+    matrix in HBM — their DRAM traffic is near-compulsory — and differ
+    in how scores move through on-chip memory:
+
+    - {b FlashAttention-2}: one kernel per device; every query block's
+      thread block streams the whole K/V through shared memory, so L1
+      traffic is K/V replicated per query block;
+    - {b Triton}: the same algorithm from the block-level DSL, with
+      marginally more staging than the compiler-scheduled version;
+    - {b CUTLASS} fused multi-head attention: keeps DRAM compulsory but
+      materialises score tiles in shared memory for both GEMMs — its
+      L1 traffic carries the full score matrix several times (the
+      73 GB row of Table 7);
+    - FractalTensor's plan comes from {!Emit.fractaltensor_plan}. *)
+
+val flash_attention2_plan : Flash_attention.config -> Plan.t
+val triton_plan : Flash_attention.config -> Plan.t
+val cutlass_plan : Flash_attention.config -> Plan.t
+
+val all : Flash_attention.config -> Plan.t list
+(** FractalTensor first, then the three baselines. *)

@@ -1,0 +1,128 @@
+let sizes (cfg : Bigbird.config) =
+  let open Bigbird in
+  let interior = Bigbird.interior cfg in
+  let tile = float_of_int (4 * cfg.block * cfg.dim) in
+  let seq = float_of_int (cfg.batch * cfg.blocks) *. tile in
+  let gathered = float_of_int (cfg.batch * interior * cfg.window) *. tile in
+  let scores =
+    float_of_int (4 * cfg.batch * interior * cfg.block * ((cfg.window + 2) * cfg.block))
+  in
+  let out = float_of_int (cfg.batch * interior) *. tile in
+  let flops = float_of_int (Bigbird.flops cfg) in
+  (interior, tile, seq, gathered, scores, out, flops)
+
+let pytorch_plan (cfg : Bigbird.config) =
+  let interior, _tile, seq, gathered, scores, out, flops = sizes cfg in
+  let host = 12.0 in
+  let b = cfg.Bigbird.batch * interior in
+  let comps = float_of_int (cfg.Bigbird.window + 2) in
+  let gemm_tasks = Stdlib.max 1 (b / 4) in
+  let mk = Plan.kernel ~tensor_core:true ~host_us:host in
+  let move name input output bytes_in bytes_out =
+    (* a pure data-movement operator: reads, writes, zero flops *)
+    Plan.kernel ~host_us:host ~name ~flops:0.0
+      ~tasks:(Stdlib.max 1 (int_of_float (bytes_out /. 65536.)))
+      [ Plan.read input bytes_in; Plan.write output bytes_out ]
+  in
+  {
+    Plan.plan_name = "PyTorch";
+    kernels =
+      [
+        (* gather the window neighbourhoods into dense tensors *)
+        move "gather-wk" "k" "wks" gathered gathered;
+        move "gather-wv" "v" "wvs" gathered gathered;
+        (* windowed + global attention scores *)
+        mk ~name:"bmm-wqk" ~flops:(flops *. 0.3) ~tasks:gemm_tasks
+          [ Plan.read "q" seq; Plan.read "wks" gathered;
+            Plan.write "wqk" (scores *. (float_of_int cfg.Bigbird.window /. comps)) ];
+        mk ~name:"bmm-gqk1" ~flops:(flops *. 0.05) ~tasks:gemm_tasks
+          [ Plan.read "q" seq; Plan.read "k" seq;
+            Plan.write "gqk1" (scores /. comps) ];
+        mk ~name:"bmm-gqk2" ~flops:(flops *. 0.05) ~tasks:gemm_tasks
+          [ Plan.read "q" seq; Plan.read "k" seq;
+            Plan.write "gqk2" (scores /. comps) ];
+        (* concat, softmax, split: materialised score movements *)
+        move "concat" "wqk" "scores" scores scores;
+        mk ~name:"softmax" ~flops:(scores /. 4.0 *. 4.0) ~tasks:b
+          [ Plan.read "scores" scores; Plan.write "scores.sm" scores ];
+        (* weighted values *)
+        mk ~name:"bmm-wo" ~flops:(flops *. 0.3) ~tasks:gemm_tasks
+          [ Plan.read "scores.sm" scores; Plan.read "wvs" gathered;
+            Plan.write "wo" out ];
+        mk ~name:"bmm-go1" ~flops:(flops *. 0.05) ~tasks:gemm_tasks
+          [ Plan.read "scores.sm" scores; Plan.read "v" seq;
+            Plan.write "go1" out ];
+        mk ~name:"bmm-go2" ~flops:(flops *. 0.05) ~tasks:gemm_tasks
+          [ Plan.read "scores.sm" scores; Plan.read "v" seq;
+            Plan.write "go2" out ];
+        mk ~name:"add" ~flops:(out /. 2.0) ~tasks:b
+          [ Plan.read "wo" out; Plan.read "go1" out; Plan.read "go2" out;
+            Plan.write "oss" out ];
+      ];
+  }
+
+(* TVM cannot express the block-sparse pattern: dense attention over
+   the full sequence, unfused. *)
+let tvm_plan (cfg : Bigbird.config) =
+  let open Bigbird in
+  let l = cfg.blocks * cfg.block in
+  let bsz = cfg.batch in
+  let seq = float_of_int (4 * bsz * l * cfg.dim) in
+  let dense_scores = float_of_int (4 * bsz * l * l) in
+  let qk_flops = float_of_int (2 * bsz * l * l * cfg.dim) in
+  let host = 3.0 in
+  let tasks = Stdlib.max 1 (bsz * l / 128) in
+  {
+    Plan.plan_name = "TVM";
+    kernels =
+      [
+        Plan.kernel ~tensor_core:true ~host_us:host ~name:"dense-qk"
+          ~flops:qk_flops ~tasks
+          [ Plan.read "q" seq; Plan.read "k" seq;
+            Plan.write "s" dense_scores ];
+        (* the dense fallback also materialises the block-sparsity
+           mask application and the exponentials as separate tensors *)
+        Plan.kernel ~host_us:host ~name:"dense-mask" ~flops:(dense_scores /. 4.0)
+          ~tasks
+          [ Plan.read "s" dense_scores; Plan.read "mask" dense_scores;
+            Plan.write "s.masked" dense_scores ];
+        Plan.kernel ~host_us:host ~name:"dense-softmax"
+          ~flops:(dense_scores) ~tasks
+          [ Plan.read "s.masked" dense_scores; Plan.write "s.sm" dense_scores ];
+        Plan.kernel ~tensor_core:true ~host_us:host ~name:"dense-sv"
+          ~flops:qk_flops ~tasks
+          [ Plan.read "s.sm" dense_scores; Plan.read "v" seq;
+            Plan.write "oss" seq ];
+      ];
+  }
+
+(* Triton: a fused hand-written kernel — no gather copies, but each
+   key/value block is fetched once per window containing it and the
+   score tiles round-trip shared memory between the two GEMMs. *)
+let triton_plan (cfg : Bigbird.config) =
+  let interior, _tile, seq, gathered, scores, out, flops = sizes cfg in
+  let tasks = cfg.Bigbird.batch * interior in
+  {
+    Plan.plan_name = "Triton";
+    kernels =
+      [
+        Plan.kernel ~tensor_core:true ~host_us:5.0
+          ~l1_bytes:((2.0 *. gathered) +. (2.0 *. scores) +. out)
+          ~name:"bigbird-fused" ~flops ~tasks
+          [
+            Plan.read ~hint:Plan.Dram "q" (seq *. float_of_int interior
+                                           /. float_of_int cfg.Bigbird.blocks);
+            (* window blocks re-fetched per containing window *)
+            Plan.read ~hint:Plan.Dram "k" gathered;
+            Plan.read ~hint:Plan.Dram "v" gathered;
+            Plan.write ~hint:Plan.Dram "oss" out;
+          ];
+      ];
+  }
+
+let all cfg =
+  let ft =
+    let g = Build.build (Bigbird.program cfg) in
+    Emit.fractaltensor_plan g
+  in
+  [ ft; triton_plan cfg; pytorch_plan cfg; tvm_plan cfg ]

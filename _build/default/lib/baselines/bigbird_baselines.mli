@@ -1,0 +1,26 @@
+(** Baseline plans for BigBird blocked sparse attention
+    (paper §6.4, Table 7 ②).
+
+    The differentiator is how the windowed gather materialises:
+
+    - {b PyTorch}: the DAG needs explicit gather/copy operators to lay
+      the window and global blocks out as dense tensors before the
+      batched GEMMs — pure data-movement kernels that the paper
+      profiles at 20–40% of runtime, with every intermediate
+      round-tripping HBM;
+    - {b TVM}: cannot express the block-sparse pattern and falls back
+      to dense attention over the full sequence — quadratic traffic;
+    - {b Triton}: a hand-fused kernel with no gather copies, but each
+      key/value block is still fetched once per window that contains
+      it (3×) and the score tiles round-trip between the two GEMMs;
+    - FractalTensor defers the window access map to the GEMM's tile
+      loader, fetching each block once (paper: DRAM reduced to 43.8%
+      of the best baseline). *)
+
+val pytorch_plan : Bigbird.config -> Plan.t
+val tvm_plan : Bigbird.config -> Plan.t
+val triton_plan : Bigbird.config -> Plan.t
+
+val all : Bigbird.config -> Plan.t list
+(** FractalTensor first, then Triton, PyTorch, TVM (the Table 7
+    ordering). *)

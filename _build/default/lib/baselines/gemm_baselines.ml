@@ -1,0 +1,60 @@
+let sizes (cfg : B2b_gemm.config) =
+  let open B2b_gemm in
+  let m = cfg.m_blocks * cfg.block_m in
+  let a = float_of_int (4 * m * cfg.k) in
+  let b = float_of_int (4 * cfg.k * cfg.n) in
+  let c = float_of_int (4 * cfg.n * cfg.p) in
+  let d = float_of_int (4 * m * cfg.n) in
+  let e = float_of_int (4 * m * cfg.p) in
+  let f1 = float_of_int (2 * m * cfg.n * cfg.k) in
+  let f2 = float_of_int (2 * m * cfg.p * cfg.n) in
+  (m, a, b, c, d, e, f1, f2)
+
+let two_kernel_plan ~name ~host_us (cfg : B2b_gemm.config) =
+  let m, a, b, c, d, e, f1, f2 = sizes cfg in
+  let tasks1 = Tile.gemm_tasks ~m ~n:cfg.B2b_gemm.n ()
+  and tasks2 = Tile.gemm_tasks ~m ~n:cfg.B2b_gemm.p () in
+  {
+    Plan.plan_name = name;
+    kernels =
+      [
+        Plan.kernel ~tensor_core:true ~host_us ~name:"gemm1" ~flops:f1
+          ~tasks:tasks1
+          ~l1_bytes:(Tile.gemm_l1_bytes ~m ~n:cfg.B2b_gemm.n ~k:cfg.B2b_gemm.k ())
+          [ Plan.read "a" a; Plan.read "b" b; Plan.write "d" d ];
+        Plan.kernel ~tensor_core:true ~host_us ~name:"gemm2" ~flops:f2
+          ~tasks:tasks2
+          ~l1_bytes:(Tile.gemm_l1_bytes ~m ~n:cfg.B2b_gemm.p ~k:cfg.B2b_gemm.n ())
+          [ Plan.read "d" d; Plan.read "c" c; Plan.write "e" e ];
+      ];
+  }
+
+let cublas_plan cfg = two_kernel_plan ~name:"cuBLAS" ~host_us:2.0 cfg
+let pytorch_plan cfg = two_kernel_plan ~name:"PyTorch" ~host_us:12.0 cfg
+
+let cutlass_plan (cfg : B2b_gemm.config) =
+  let m, a, b, c, _d, e, f1, f2 = sizes cfg in
+  let d_tiles = float_of_int (4 * m * cfg.B2b_gemm.n) in
+  {
+    Plan.plan_name = "CUTLASS";
+    kernels =
+      [
+        (* fusing both stages into one threadblock halves residency
+           (register pressure), the example's documented trade-off *)
+        Plan.kernel ~tensor_core:true ~host_us:2.0 ~name:"b2b-fused"
+          ~flops:(f1 +. f2)
+          ~tasks:(Stdlib.max 1 (Tile.gemm_tasks ~m ~n:cfg.B2b_gemm.p () / 2))
+          ~l1_bytes:
+            (Tile.gemm_l1_bytes ~m ~n:cfg.B2b_gemm.n ~k:cfg.B2b_gemm.k ()
+            +. (2.0 *. d_tiles))
+          [ Plan.read "a" a; Plan.read "b" b; Plan.read "c" c;
+            Plan.write "e" e ];
+      ];
+  }
+
+let all cfg =
+  let ft =
+    let g = Build.build (B2b_gemm.program cfg) in
+    Emit.fractaltensor_plan g
+  in
+  [ ft; cublas_plan cfg; cutlass_plan cfg; pytorch_plan cfg ]

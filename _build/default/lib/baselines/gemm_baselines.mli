@@ -1,0 +1,16 @@
+(** Baseline plans for back-to-back GEMMs (paper Table 6: K = P = 64).
+
+    - {b cuBLAS}: two library calls; the intermediate [D = A@B]
+      materialises in HBM between them and is read back;
+    - {b CUTLASS} (b2b fused example): one kernel, [D] tiles stay in
+      shared memory, at the cost of extra staging traffic;
+    - {b PyTorch}: cuBLAS plus framework dispatch;
+    - FractalTensor fuses the two operation nodes in one block
+      (vertical ETDG coarsening) and emits a single kernel. *)
+
+val cublas_plan : B2b_gemm.config -> Plan.t
+val cutlass_plan : B2b_gemm.config -> Plan.t
+val pytorch_plan : B2b_gemm.config -> Plan.t
+
+val all : B2b_gemm.config -> Plan.t list
+(** FractalTensor first. *)

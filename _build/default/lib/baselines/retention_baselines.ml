@@ -1,0 +1,76 @@
+let sizes (cfg : Retention.config) =
+  let open Retention in
+  let bh = cfg.batch * cfg.heads in
+  let tile = float_of_int (4 * cfg.chunk * cfg.head_dim) in
+  let state = float_of_int (4 * cfg.head_dim * cfg.head_dim) in
+  let per_chunk_flops =
+    float_of_int (Retention.flops cfg) /. float_of_int cfg.chunks
+  in
+  (bh, tile, state, per_chunk_flops)
+
+(* The DAG framework runs the chunk recurrence step by step: per chunk
+   five operator kernels (two GEMMs for the intra part, the mask
+   multiply, the cross GEMM, the state update), every intermediate and
+   the running state round-tripping memory. *)
+let pytorch_plan (cfg : Retention.config) =
+  let bh, tile, state, per_chunk_flops = sizes cfg in
+  let host = 12.0 in
+  let b = float_of_int bh in
+  let chunk_kernels c =
+    let scores = float_of_int (4 * cfg.Retention.chunk * cfg.Retention.chunk) *. b in
+    [
+      Plan.kernel ~tensor_core:true ~host_us:host ~name:"bmm-qk"
+        ~flops:(per_chunk_flops *. 0.25) ~tasks:bh
+        [ Plan.read "q" (tile *. b); Plan.read "k" (tile *. b);
+          Plan.write "qk" scores ];
+      Plan.kernel ~host_us:host ~name:"mask"
+        ~flops:(scores /. 4.0) ~tasks:bh
+        [ Plan.read "qk" scores; Plan.read "mask" scores;
+          Plan.write "qk.m" scores ];
+      Plan.kernel ~tensor_core:true ~host_us:host ~name:"bmm-intra"
+        ~flops:(per_chunk_flops *. 0.25) ~tasks:bh
+        [ Plan.read "qk.m" scores; Plan.read "v" (tile *. b);
+          Plan.write "intra" (tile *. b) ];
+      Plan.kernel ~tensor_core:true ~host_us:host ~name:"bmm-cross"
+        ~flops:(per_chunk_flops *. 0.25) ~tasks:bh
+        [ Plan.read "q" (tile *. b); Plan.read "s" (state *. b);
+          Plan.read "intra" (tile *. b);
+          Plan.write (Printf.sprintf "o.%d" c) (tile *. b) ];
+      Plan.kernel ~tensor_core:true ~host_us:host ~name:"state-update"
+        ~flops:(per_chunk_flops *. 0.25) ~tasks:bh
+        [ Plan.read "k" (tile *. b); Plan.read "v" (tile *. b);
+          Plan.read "s" (state *. b); Plan.write "s" (state *. b) ];
+    ]
+  in
+  {
+    Plan.plan_name = "PyTorch";
+    kernels = List.concat (List.init cfg.Retention.chunks chunk_kernels);
+  }
+
+(* Hand-fused Triton program: one kernel per (batch, head), the chunk
+   loop on-chip, state in registers — but single-(b,h) occupancy. *)
+let triton_plan (cfg : Retention.config) =
+  let bh, tile, _state, per_chunk_flops = sizes cfg in
+  let b = float_of_int bh in
+  let total = tile *. b *. float_of_int cfg.Retention.chunks in
+  {
+    Plan.plan_name = "Triton";
+    kernels =
+      [
+        Plan.kernel ~tensor_core:true ~host_us:5.0 ~name:"retention-fused"
+          ~flops:(per_chunk_flops *. float_of_int cfg.Retention.chunks)
+          ~tasks:bh
+          [
+            Plan.read ~hint:Plan.Dram "q" total;
+            Plan.read ~hint:Plan.Dram "k" total;
+            Plan.read ~hint:Plan.Dram "v" total;
+            Plan.write ~hint:Plan.Dram "o" total;
+          ];
+      ];
+  }
+
+let all cfg =
+  let ft =
+    Emit.fractaltensor_plan (Build.build (Retention.program cfg))
+  in
+  [ ft; triton_plan cfg; pytorch_plan cfg ]

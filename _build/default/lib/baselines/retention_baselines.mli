@@ -1,0 +1,10 @@
+(** Baseline plans for chunkwise retention (RetNet) — the §7 extension
+    workload.  No vendor library implements retention; the contenders
+    are the DAG framework executing the chunk recurrence step by step
+    and a hand-fused Triton kernel with the chunk loop on-chip. *)
+
+val pytorch_plan : Retention.config -> Plan.t
+val triton_plan : Retention.config -> Plan.t
+
+val all : Retention.config -> Plan.t list
+(** FractalTensor first. *)

@@ -1,0 +1,226 @@
+type cell = Rnn | Lstm | Grid_cell | Dilated_cell
+
+let cell_matmuls cell ~batch ~hidden =
+  match cell with
+  | Rnn -> [ (batch, hidden, hidden); (batch, hidden, hidden) ]
+  | Lstm -> [ (batch, 4 * hidden, hidden); (batch, 4 * hidden, hidden) ]
+  | Grid_cell ->
+      [ (batch, hidden, hidden); (batch, hidden, hidden); (batch, hidden, hidden) ]
+  | Dilated_cell -> [ (batch, hidden, hidden); (batch, hidden, hidden) ]
+
+let cell_eltwise = function
+  | Rnn -> 2
+  | Lstm -> 8
+  | Grid_cell -> 3
+  | Dilated_cell -> 2
+
+let bytes n = float_of_int (4 * n)
+
+(* One cell step for a DAG framework: a GEMM kernel per matmul (or one
+   per fused cell), then the elementwise tail.  [weights] names the
+   per-layer weight buffers so the executor's L2 model captures their
+   cross-step reuse. *)
+let cell_step (fw : Framework.t) ~cell ~batch ~hidden ~weights:(wname, wsz)
+    ~act_in ~act_out =
+  let mms = cell_matmuls cell ~batch ~hidden in
+  let act = bytes (batch * hidden) in
+  let gemm_flops (m, n, k) = float_of_int (2 * m * n * k) in
+  if fw.Framework.fuse_cell then
+    (* one kernel: all GEMMs + gates fused *)
+    let flops =
+      List.fold_left (fun acc mm -> acc +. gemm_flops mm) 0.0 mms
+      +. float_of_int (cell_eltwise cell * batch * hidden)
+    in
+    let m, n, _ = List.hd mms in
+    [
+      Plan.kernel ~tensor_core:fw.Framework.tensor_core
+        ~host_us:fw.Framework.host_us ~name:"cell"
+        ~flops
+        ~tasks:(Tile.gemm_tasks ~m ~n ())
+        [ Plan.read wname wsz; Plan.read act_in act; Plan.write act_out act ];
+    ]
+  else begin
+    let per_mm = wsz /. float_of_int (List.length mms) in
+    let gemms =
+      List.map
+        (fun ((m, n, _) as mm) ->
+          Plan.kernel ~tensor_core:fw.Framework.tensor_core
+            ~host_us:fw.Framework.host_us ~name:"gemm"
+            ~flops:(gemm_flops mm)
+            ~tasks:(Tile.gemm_tasks ~m ~n ())
+            [
+              Plan.read wname per_mm;
+              Plan.read act_in act;
+              Plan.write (act_out ^ ".pre") (bytes (m * n));
+            ])
+        mms
+    in
+    let n_elt = if fw.Framework.fuse_elementwise then 1 else cell_eltwise cell in
+    let eltwise =
+      List.init n_elt (fun i ->
+          Plan.kernel ~host_us:fw.Framework.host_us
+            ~name:(Printf.sprintf "eltwise%d" i)
+            ~flops:(float_of_int (batch * hidden))
+            ~tasks:(Stdlib.max 1 (batch * hidden / 16384))
+            [
+              Plan.read (act_out ^ ".pre") act;
+              Plan.write (if i = n_elt - 1 then act_out else act_out ^ ".pre") act;
+            ])
+    in
+    gemms @ eltwise
+  end
+
+let dag_stacked_plan fw ~cell ~batch ~depth ~len ~hidden =
+  let wsz =
+    match cell with
+    | Lstm -> bytes (2 * 4 * hidden * hidden)
+    | Rnn | Dilated_cell -> bytes (2 * hidden * hidden)
+    | Grid_cell -> bytes (3 * hidden * hidden)
+  in
+  let kernels =
+    List.concat
+      (List.concat
+         (List.init depth (fun d ->
+              List.init len (fun l ->
+                  cell_step fw ~cell ~batch ~hidden
+                    ~weights:(Printf.sprintf "w.%d" d, wsz)
+                    ~act_in:(Printf.sprintf "h.%d.%d" d (l - 1))
+                    ~act_out:(Printf.sprintf "h.%d.%d" d l)))))
+  in
+  { Plan.plan_name = fw.Framework.fw_name; kernels }
+
+let dag_grid_plan fw ~batch ~depth ~rows ~cols ~hidden =
+  let wsz = bytes (3 * hidden * hidden) in
+  let kernels =
+    List.concat
+      (List.concat
+         (List.concat
+            (List.init depth (fun d ->
+                 List.init rows (fun i ->
+                     List.init cols (fun j ->
+                         cell_step fw ~cell:Grid_cell ~batch ~hidden
+                           ~weights:(Printf.sprintf "w.%d" d, wsz)
+                           ~act_in:(Printf.sprintf "h.%d.%d.%d" d i (j - 1))
+                           ~act_out:(Printf.sprintf "h.%d.%d.%d" d i j)))))))
+  in
+  { Plan.plan_name = fw.Framework.fw_name; kernels }
+
+(* Real dilated-RNN implementations fold the [s] independent phases of
+   layer [k] into the batch dimension: [len / s] sequential steps at
+   batch [batch * s] each. *)
+let dag_dilated_plan fw ~batch ~layers ~len ~hidden =
+  let wsz = bytes (2 * hidden * hidden) in
+  let kernels =
+    List.concat
+      (List.concat
+         (List.init layers (fun k ->
+              let s = 1 lsl k in
+              let steps = Stdlib.max 1 (len / s) in
+              List.init steps (fun t ->
+                  cell_step fw ~cell:Dilated_cell ~batch:(batch * s) ~hidden
+                    ~weights:(Printf.sprintf "w.%d" k, wsz)
+                    ~act_in:(Printf.sprintf "h.%d.%d" k (t - 1))
+                    ~act_out:(Printf.sprintf "h.%d.%d" k t)))))
+  in
+  { Plan.plan_name = fw.Framework.fw_name; kernels }
+
+(* A Triton programmer writes the recurrence loop inside the kernel:
+   one launch per layer, the time loop running on-chip.  Total
+   arithmetic is unchanged and still executes at single-cell
+   occupancy, but the per-step dispatch disappears. *)
+let triton_loop_plan ~cell ~batch ~hidden ~segments =
+  let mms = cell_matmuls cell ~batch ~hidden in
+  let m, n, _ = List.hd mms in
+  let cell_flops =
+    List.fold_left
+      (fun acc (m, n, k) -> acc +. float_of_int (2 * m * n * k))
+      0.0 mms
+    +. float_of_int (cell_eltwise cell * batch * hidden)
+  in
+  let act = bytes (batch * hidden) in
+  let wsz =
+    match cell with
+    | Lstm -> bytes (2 * 4 * hidden * hidden)
+    | Rnn | Dilated_cell -> bytes (2 * hidden * hidden)
+    | Grid_cell -> bytes (3 * hidden * hidden)
+  in
+  let kernels =
+    List.concat_map
+      (fun (label, steps) ->
+        [
+          Plan.kernel ~tensor_core:true ~host_us:5.0
+            ~name:(Printf.sprintf "layer-%s" label)
+            ~flops:(cell_flops *. float_of_int steps)
+            ~tasks:(Tile.gemm_tasks ~m ~n ())
+            [
+              Plan.read ("w." ^ label) wsz;
+              Plan.read ("h." ^ label) (act *. float_of_int steps);
+              Plan.write ("h." ^ label) (act *. float_of_int steps);
+            ];
+        ])
+      segments
+  in
+  { Plan.plan_name = "Triton"; kernels }
+
+let triton_stacked_plan ~cell ~batch ~depth ~len ~hidden =
+  triton_loop_plan ~cell ~batch ~hidden
+    ~segments:(List.init depth (fun d -> (string_of_int d, len)))
+
+let triton_grid_plan ~batch ~depth ~rows ~cols ~hidden =
+  (* one kernel per (layer, row), the column recurrence inside *)
+  triton_loop_plan ~cell:Grid_cell ~batch ~hidden
+    ~segments:
+      (List.concat
+         (List.init depth (fun d ->
+              List.init rows (fun i ->
+                  (Printf.sprintf "%d.%d" d i, cols)))))
+
+let triton_dilated_plan ~batch ~layers ~len ~hidden =
+  triton_loop_plan ~cell:Dilated_cell ~batch ~hidden
+    ~segments:
+      (List.init layers (fun k ->
+           let s = 1 lsl k in
+           (string_of_int k, Stdlib.max 1 (len / s))))
+  |> fun p ->
+  (* phases fold into batch: scale per-kernel work accordingly *)
+  p
+
+let cudnn_stacked_plan ~cell ~batch ~depth ~len ~hidden =
+  let mms = cell_matmuls cell ~batch ~hidden in
+  let cell_flops =
+    List.fold_left
+      (fun acc (m, n, k) -> acc +. float_of_int (2 * m * n * k))
+      0.0 mms
+    +. float_of_int (cell_eltwise cell * batch * hidden)
+  in
+  let steps = depth + len - 1 in
+  let wtotal =
+    float_of_int depth
+    *.
+    match cell with
+    | Lstm -> bytes (2 * 4 * hidden * hidden)
+    | Rnn | Dilated_cell -> bytes (2 * hidden * hidden)
+    | Grid_cell -> bytes (3 * hidden * hidden)
+  in
+  let act = bytes (batch * hidden) in
+  let kernels =
+    List.init steps (fun k ->
+        let cells =
+          Stdlib.min (k + 1) (Stdlib.min depth len)
+          |> Stdlib.min (depth + len - 1 - k)
+        in
+        Plan.kernel ~host_us:2.0 ~launch_free:(k > 0) ~tensor_core:true
+          ~name:(Printf.sprintf "wave%d" k)
+          ~flops:(cell_flops *. float_of_int cells)
+          (* fine-grained 64x64 blocks, halved residency from the
+             register pressure of keeping weights on-chip *)
+          ~tasks:(cells * Stdlib.max 1 (batch * hidden / (64 * 64)) / 2)
+          [
+            (* weights register-resident: the whole set streams from
+               HBM once, amortised across the waves *)
+            Plan.read "weights" (wtotal /. float_of_int steps);
+            Plan.read "h" (act *. float_of_int (2 * cells));
+            Plan.write "h" (act *. float_of_int cells);
+          ])
+  in
+  { Plan.plan_name = "cuDNN"; kernels }

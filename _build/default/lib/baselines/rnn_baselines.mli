@@ -1,0 +1,42 @@
+(** Baseline execution plans for the RNN-family workloads.
+
+    DAG frameworks cannot see across the loop nest: every cell step is
+    a separate launch group ordered by the recurrence, so their plans
+    scale linearly in [depth × length] — the effect of Figure 2.
+    cuDNN's handcrafted persistent kernel is the one library baseline
+    that schedules the whole network as a wavefront. *)
+
+type cell = Rnn | Lstm | Grid_cell | Dilated_cell
+
+val cell_matmuls : cell -> batch:int -> hidden:int -> (int * int * int) list
+(** The GEMMs of one cell step, as [(m, n, k)] triples. *)
+
+val cell_eltwise : cell -> int
+(** Elementwise operator count of one cell (separate kernels when the
+    framework does not fuse). *)
+
+val dag_stacked_plan :
+  Framework.t -> cell:cell -> batch:int -> depth:int -> len:int -> hidden:int -> Plan.t
+(** One cell-step group per [(d, l)], in recurrence order. *)
+
+val dag_grid_plan :
+  Framework.t -> batch:int -> depth:int -> rows:int -> cols:int -> hidden:int -> Plan.t
+
+val dag_dilated_plan :
+  Framework.t -> batch:int -> layers:int -> len:int -> hidden:int -> Plan.t
+
+val triton_stacked_plan :
+  cell:cell -> batch:int -> depth:int -> len:int -> hidden:int -> Plan.t
+(** Hand-written Triton: one kernel per layer with the time loop
+    on-chip — no per-step dispatch, but still single-cell occupancy. *)
+
+val triton_grid_plan :
+  batch:int -> depth:int -> rows:int -> cols:int -> hidden:int -> Plan.t
+
+val triton_dilated_plan :
+  batch:int -> layers:int -> len:int -> hidden:int -> Plan.t
+
+val cudnn_stacked_plan :
+  cell:cell -> batch:int -> depth:int -> len:int -> hidden:int -> Plan.t
+(** Persistent wavefront kernel (Appleyard et al.): one launch, one
+    grid-sync per anti-diagonal, weights register-resident, plain FP32. *)

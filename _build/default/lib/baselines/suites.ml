@@ -1,0 +1,79 @@
+let ft_plan program =
+  let g = Build.build program in
+  Emit.fractaltensor_plan g
+
+let stacked_rnn (cfg : Stacked_rnn.config) =
+  let open Stacked_rnn in
+  let dag fw =
+    Rnn_baselines.dag_stacked_plan fw ~cell:Rnn_baselines.Rnn ~batch:cfg.batch
+      ~depth:cfg.depth ~len:cfg.seq_len ~hidden:cfg.hidden
+  in
+  [
+    ft_plan (program cfg);
+    Rnn_baselines.cudnn_stacked_plan ~cell:Rnn_baselines.Rnn ~batch:cfg.batch
+      ~depth:cfg.depth ~len:cfg.seq_len ~hidden:cfg.hidden;
+    Rnn_baselines.triton_stacked_plan ~cell:Rnn_baselines.Rnn ~batch:cfg.batch
+      ~depth:cfg.depth ~len:cfg.seq_len ~hidden:cfg.hidden;
+    dag Framework.pytorch_jit;
+    dag Framework.pytorch;
+    dag Framework.tvm;
+    dag Framework.tensorflow;
+  ]
+
+let stacked_lstm (cfg : Stacked_lstm.config) =
+  let open Stacked_lstm in
+  let dag fw =
+    Rnn_baselines.dag_stacked_plan fw ~cell:Rnn_baselines.Lstm ~batch:cfg.batch
+      ~depth:cfg.depth ~len:cfg.seq_len ~hidden:cfg.hidden
+  in
+  [
+    ft_plan (program cfg);
+    Rnn_baselines.cudnn_stacked_plan ~cell:Rnn_baselines.Lstm ~batch:cfg.batch
+      ~depth:cfg.depth ~len:cfg.seq_len ~hidden:cfg.hidden;
+    Rnn_baselines.triton_stacked_plan ~cell:Rnn_baselines.Lstm ~batch:cfg.batch
+      ~depth:cfg.depth ~len:cfg.seq_len ~hidden:cfg.hidden;
+    dag Framework.pytorch_jit;
+    dag Framework.pytorch;
+    dag Framework.tvm;
+    dag Framework.tensorflow;
+  ]
+
+let dilated_rnn (cfg : Dilated_rnn.config) =
+  let open Dilated_rnn in
+  let dag fw =
+    Rnn_baselines.dag_dilated_plan fw ~batch:cfg.batch ~layers:cfg.layers
+      ~len:cfg.seq_len ~hidden:cfg.hidden
+  in
+  [
+    ft_plan (program cfg);
+    Rnn_baselines.triton_dilated_plan ~batch:cfg.batch ~layers:cfg.layers
+      ~len:cfg.seq_len ~hidden:cfg.hidden;
+    dag Framework.pytorch_jit;
+    dag Framework.pytorch;
+    dag Framework.tvm;
+    dag Framework.tensorflow;
+  ]
+
+let grid_rnn (cfg : Grid_rnn.config) =
+  let open Grid_rnn in
+  let dag fw =
+    Rnn_baselines.dag_grid_plan fw ~batch:cfg.batch ~depth:cfg.depth
+      ~rows:cfg.rows ~cols:cfg.cols ~hidden:cfg.hidden
+  in
+  [
+    ft_plan (program cfg);
+    Rnn_baselines.triton_grid_plan ~batch:cfg.batch ~depth:cfg.depth
+      ~rows:cfg.rows ~cols:cfg.cols ~hidden:cfg.hidden;
+    dag Framework.pytorch_jit;
+    dag Framework.pytorch;
+    dag Framework.tvm;
+    dag Framework.tensorflow;
+  ]
+
+let b2b_gemm cfg = Gemm_baselines.all cfg
+let retention cfg = Retention_baselines.all cfg
+let flash_attention cfg = Attention_baselines.all cfg
+let bigbird cfg = Bigbird_baselines.all cfg
+
+let find plans name =
+  List.find (fun (p : Plan.t) -> p.Plan.plan_name = name) plans

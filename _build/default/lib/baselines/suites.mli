@@ -1,0 +1,24 @@
+(** Per-workload baseline suites: the set of systems each figure of
+    the paper compares (NST combinations — "not supported" in Fig. 7 —
+    are simply absent, as in the paper). *)
+
+val stacked_rnn : Stacked_rnn.config -> Plan.t list
+(** FT, cuDNN, Triton, PyTorch JIT, PyTorch, TVM, TensorFlow. *)
+
+val stacked_lstm : Stacked_lstm.config -> Plan.t list
+
+val dilated_rnn : Dilated_rnn.config -> Plan.t list
+(** No cuDNN: the library does not implement dilated recurrences. *)
+
+val grid_rnn : Grid_rnn.config -> Plan.t list
+
+val b2b_gemm : B2b_gemm.config -> Plan.t list
+
+val retention : Retention.config -> Plan.t list
+(** The §7 extension workload: FT, Triton (hand-fused), PyTorch. *)
+
+val flash_attention : Flash_attention.config -> Plan.t list
+val bigbird : Bigbird.config -> Plan.t list
+
+val find : Plan.t list -> string -> Plan.t
+(** Look a plan up by name. @raise Not_found *)

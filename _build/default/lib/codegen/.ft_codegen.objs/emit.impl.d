@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Access_map Array Coarsen Domain Expr Float Fun Ir List Option Plan Printf Reorder Shape Stdlib Tile

@@ -1,0 +1,1 @@
+lib/codegen/exec.ml: Device Engine Float Kernel List Plan

@@ -1,0 +1,1 @@
+lib/codegen/exec.mli: Device Engine Plan

@@ -1,0 +1,1 @@
+lib/codegen/vm.ml: Access_map Array Dependence Domain Format Fractal Hashtbl Interp Ir List Reorder Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/codegen/vm.mli: Fractal Ir

@@ -1,0 +1,35 @@
+(** Code emission for the FractalTensor compiler (paper §5.3 / Fig 3 ⑦).
+
+    Traverses the compiled ETDG and emits macro-kernels:
+
+    - a fully parallel block becomes one kernel over its whole domain;
+    - a dependence-carrying block is reordered ({!Reorder}) and becomes
+      a persistent fused kernel executing one wavefront step per grid
+      synchronisation — only the first step pays a launch;
+    - access maps are materialised into per-kernel buffer traffic, with
+      data reuse (null-space directions of the access matrix) collapsing
+      repeated accesses into one transfer, i.e. materialisation is
+      deferred to the highest memory level that can hold the data.
+
+    The resulting {!Plan.t} is what the simulator executes; every
+    baseline framework model in [ft_baselines] produces plans for the
+    same computation under its own scheduling discipline. *)
+
+val op_flops : Ir.op_node -> float
+(** Arithmetic cost of one operation-node application. *)
+
+val block_point_flops : Ir.block -> float
+(** FLOPs of one iteration point of a block (its operation nodes plus
+    nested children). *)
+
+val domain_size : Domain.t -> int
+
+val fractaltensor_plan : ?collapse_reuse:bool -> Ir.graph -> Plan.t
+(** Compile-and-emit: reorders every block of the (parsed) graph and
+    emits the FractalTensor execution plan.  [collapse_reuse:false]
+    disables the null-space reuse analysis (every access materialises
+    per iteration) — the ablation knob for §5.2's deferred
+    materialization. *)
+
+val block_plan : Ir.graph -> Ir.block -> Plan.kernel_spec list
+(** Kernels for a single block (exposed for tests and ablations). *)

@@ -1,0 +1,15 @@
+(** Plan execution: resolve buffer accesses against an L2 residency
+    model and run the resulting kernels on the simulated device.
+
+    GPUs keep recently-touched buffers in the shared L2 across kernel
+    launches; whether a framework's intermediate tensors fit decides
+    whether its DAG execution streams from cache or thrashes HBM — the
+    effect behind the paper's Table 7.  The model is a byte-capacity
+    LRU over logical buffers: a read of a resident buffer costs L2
+    traffic only; misses and writes pass through L2 to DRAM.  Buffers
+    larger than the cache never become resident. *)
+
+val run : ?device:Device.t -> Plan.t -> Engine.metrics
+(** Execute a plan (default device: {!Device.a100}). *)
+
+val run_many : ?device:Device.t -> Plan.t list -> (string * Engine.metrics) list

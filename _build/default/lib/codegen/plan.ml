@@ -1,0 +1,54 @@
+type dir = R | W
+
+type hint = Auto | Dram | L2_only | L1_only
+
+type access = {
+  a_buffer : string;
+  a_bytes : float;
+  a_dir : dir;
+  a_hint : hint;
+}
+
+type kernel_spec = {
+  ks_name : string;
+  ks_flops : float;
+  ks_accesses : access list;
+  ks_l1_bytes : float;
+  ks_tasks : int;
+  ks_tensor_core : bool;
+  ks_host_us : float;
+  ks_launch_free : bool;
+}
+
+type t = {
+  plan_name : string;
+  kernels : kernel_spec list;
+}
+
+let kernel ?(l1_bytes = 0.0) ?(tensor_core = false) ?(host_us = 0.0)
+    ?(launch_free = false) ~name ~flops ~tasks accesses =
+  {
+    ks_name = name;
+    ks_flops = flops;
+    ks_accesses = accesses;
+    ks_l1_bytes = l1_bytes;
+    ks_tasks = tasks;
+    ks_tensor_core = tensor_core;
+    ks_host_us = host_us;
+    ks_launch_free = launch_free;
+  }
+
+let read ?(hint = Auto) b bytes =
+  { a_buffer = b; a_bytes = bytes; a_dir = R; a_hint = hint }
+
+let write ?(hint = Auto) b bytes =
+  { a_buffer = b; a_bytes = bytes; a_dir = W; a_hint = hint }
+
+let concat name plans =
+  { plan_name = name; kernels = List.concat_map (fun p -> p.kernels) plans }
+
+let repeat n p =
+  if n < 0 then invalid_arg "Plan.repeat: negative count";
+  { p with kernels = List.concat (List.init n (fun _ -> p.kernels)) }
+
+let total_kernels p = List.length p.kernels

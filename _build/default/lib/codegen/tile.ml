@@ -1,0 +1,21 @@
+let base_tile = 16
+let default_tile = 128
+
+let ceil_div a b = (a + b - 1) / b
+
+let gemm_l1_bytes ?(tile_m = default_tile) ?(tile_n = default_tile) ~m ~n ~k () =
+  (* Each of the (m/tm)*(n/tn) output tiles streams a tm×k strip of A
+     and a k×tn strip of B through shared memory, plus writes its
+     tm×tn result. *)
+  let blocks_m = ceil_div m tile_m and blocks_n = ceil_div n tile_n in
+  let a_bytes = float_of_int (blocks_n * m * k * 4) in
+  let b_bytes = float_of_int (blocks_m * k * n * 4) in
+  let out_bytes = float_of_int (m * n * 4) in
+  a_bytes +. b_bytes +. out_bytes
+
+let gemm_tasks ?(tile_m = default_tile) ?(tile_n = default_tile) ~m ~n () =
+  ceil_div m tile_m * ceil_div n tile_n
+
+let elementwise_l1_bytes touched = 2.0 *. touched
+
+let bytes_of_elems n = float_of_int (4 * n)

@@ -1,0 +1,32 @@
+(** The tile library's traffic model (paper §5.3).
+
+    Code emission elevates SIMT programming to tile processing: buffers
+    decompose into base tiles aligned with the tensor-core instruction
+    shape, composed into larger tiles sized for each cache level.  This
+    module computes the memory traffic such a tiled kernel generates —
+    the quantity the emitter attaches to kernel specs.
+
+    For a GEMM of [m×k @ k×n] with square cache tiles of side [tile]:
+    every output tile loads [tile×k] of A and [k×tile] of B through
+    shared memory, so L1 staging traffic is
+    [4·m·n·k·(1/tile_m + 1/tile_n)] bytes; compulsory traffic is one
+    pass over A, B and the output. *)
+
+val base_tile : int
+(** Side of the tensor-core-aligned base tile (16). *)
+
+val default_tile : int
+(** Default cache-tile side used by the emitter (128). *)
+
+val gemm_l1_bytes : ?tile_m:int -> ?tile_n:int -> m:int -> n:int -> k:int -> unit -> float
+(** Shared-memory staging traffic of a tiled GEMM, in bytes. *)
+
+val gemm_tasks : ?tile_m:int -> ?tile_n:int -> m:int -> n:int -> unit -> int
+(** Number of output tiles = independent thread blocks. *)
+
+val elementwise_l1_bytes : float -> float
+(** Streaming elementwise kernels move each byte through L1 once
+    in and once out: [2x] the touched bytes. *)
+
+val bytes_of_elems : int -> float
+(** fp32: 4 bytes per element. *)

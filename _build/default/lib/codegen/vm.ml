@@ -1,0 +1,181 @@
+type order = Sequential | Wavefront | Reverse
+
+exception Execution_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Execution_error s)) fmt
+
+type storage = {
+  st_dims : int array;
+  st_cells : Tensor.t option array;
+}
+
+let strides dims =
+  let n = Array.length dims in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * dims.(i + 1)
+  done;
+  st
+
+let ravel dims idx =
+  let st = strides dims in
+  let off = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= dims.(i) then
+        err "buffer index %d out of extent %d (axis %d)" v dims.(i) i;
+      off := !off + (v * st.(i)))
+    idx;
+  !off
+
+let alloc dims =
+  {
+    st_dims = dims;
+    st_cells = Array.make (Stdlib.max 1 (Array.fold_left ( * ) 1 dims)) None;
+  }
+
+(* Flatten a nested FractalTensor into row-major cells. *)
+let load st value =
+  let pos = ref 0 in
+  let rec go depth v =
+    match v with
+    | Fractal.Leaf t ->
+        if depth <> Array.length st.st_dims then
+          err "input nesting depth does not match the buffer rank";
+        st.st_cells.(!pos) <- Some t;
+        incr pos
+    | Fractal.Node elems ->
+        if depth >= Array.length st.st_dims then
+          err "input nesting exceeds the buffer rank";
+        if Array.length elems <> st.st_dims.(depth) then
+          err "input extent %d differs from buffer extent %d"
+            (Array.length elems) st.st_dims.(depth);
+        Array.iter (go (depth + 1)) elems
+  in
+  go 0 value
+
+let unload name st =
+  let pos = ref 0 in
+  let rec go depth =
+    if depth = Array.length st.st_dims then begin
+      match st.st_cells.(!pos) with
+      | Some t ->
+          incr pos;
+          Fractal.Leaf t
+      | None -> err "output buffer %s has an unwritten cell" name
+    end
+    else Fractal.Node (Array.init st.st_dims.(depth) (fun _ -> go (depth + 1)))
+  in
+  go 0
+
+(* Wavefront grouping: sort points by the hyperplane value over the
+   dependence dims, and reverse within each front — an adversarial
+   intra-front order that only a legal schedule survives. *)
+let schedule order (b : Ir.block) points =
+  match order with
+  | Sequential -> points
+  | Reverse -> List.rev points
+  | Wavefront ->
+      let dvs = Dependence.block_distance_vectors b in
+      if dvs = [] then List.rev points
+      else begin
+        (* the hyperplane the reordering pass selects: its first row
+           dotted with the point gives the front index *)
+        let tm = Reorder.transform_matrix b in
+        let key p =
+          let acc = ref 0 in
+          Array.iteri (fun i c -> acc := !acc + (c * p.(i))) tm.(0);
+          !acc
+        in
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun p ->
+            let k = key p in
+            Hashtbl.replace tbl k (p :: (try Hashtbl.find tbl k with Not_found -> [])))
+          points;
+        Hashtbl.fold (fun k ps acc -> (k, ps) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.concat_map snd
+      end
+
+let run ?(order = Wavefront) (g : Ir.graph) inputs =
+  let store = Hashtbl.create 16 in
+  List.iter
+    (fun (bf : Ir.buffer) ->
+      let st = alloc bf.Ir.buf_dims in
+      (match bf.Ir.buf_role with
+      | Ir.Input -> (
+          match List.assoc_opt bf.Ir.buf_name inputs with
+          | Some v -> load st v
+          | None -> err "missing input %s" bf.Ir.buf_name)
+      | Ir.Intermediate | Ir.Output -> ());
+      Hashtbl.replace store bf.Ir.buf_id st)
+    g.Ir.g_buffers;
+  let exec_block (b : Ir.block) =
+    let reads = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Ir.edge) ->
+        if e.Ir.e_dir = Ir.Read then Hashtbl.replace reads e.Ir.e_label e)
+      b.Ir.blk_edges;
+    let writes = Ir.writes b in
+    if List.length writes <> List.length b.Ir.blk_results then
+      err "block %s: %d write edges for %d results" b.Ir.blk_name
+        (List.length writes)
+        (List.length b.Ir.blk_results);
+    let read_cell point (e : Ir.edge) =
+      let st = Hashtbl.find store e.Ir.e_buffer in
+      if Access_map.out_dim e.Ir.e_access <> Array.length st.st_dims then
+        err "block %s: partial read of buffer %d is not executable"
+          b.Ir.blk_name e.Ir.e_buffer;
+      let idx = Access_map.apply e.Ir.e_access point in
+      match st.st_cells.(ravel st.st_dims idx) with
+      | Some t -> t
+      | None ->
+          err "block %s reads an unwritten cell of buffer %d — illegal order"
+            b.Ir.blk_name e.Ir.e_buffer
+    in
+    let points = schedule order b (Domain.enumerate b.Ir.blk_domain) in
+    List.iter
+      (fun point ->
+        let results = Array.make (List.length b.Ir.blk_body) (Tensor.scalar 0.) in
+        let operand point = function
+          | Ir.O_const t -> t
+          | Ir.O_op k -> results.(k)
+          | Ir.O_var tag -> (
+              match List.assoc_opt tag b.Ir.blk_consts with
+              | Some t -> t
+              | None -> (
+                  match Hashtbl.find_opt reads tag with
+                  | Some e -> read_cell point e
+                  | None ->
+                      err "block %s: operand %s has no edge or literal"
+                        b.Ir.blk_name tag))
+        in
+        List.iteri
+          (fun i (o : Ir.op_node) ->
+            results.(i) <-
+              Interp.eval_prim o.Ir.op (List.map (operand point) o.Ir.operands))
+          b.Ir.blk_body;
+        List.iter2
+          (fun (w : Ir.edge) result ->
+            let st = Hashtbl.find store w.Ir.e_buffer in
+            let idx = Access_map.apply w.Ir.e_access point in
+            let off = ravel st.st_dims idx in
+            (match st.st_cells.(off) with
+            | Some _ ->
+                err "block %s writes a cell twice — single assignment violated"
+                  b.Ir.blk_name
+            | None -> ());
+            st.st_cells.(off) <- Some (operand point result))
+          writes b.Ir.blk_results)
+      points
+  in
+  List.iter exec_block (Ir.dataflow_order g);
+  List.filter_map
+    (fun (bf : Ir.buffer) ->
+      if bf.Ir.buf_role = Ir.Output then
+        Some (bf.Ir.buf_name, unload bf.Ir.buf_name (Hashtbl.find store bf.Ir.buf_id))
+      else None)
+    g.Ir.g_buffers
+
+let output outs name = List.assoc name outs

@@ -1,0 +1,43 @@
+(** Functional execution of a compiled ETDG.
+
+    The simulator ({!Exec}) models cost; this module models {e values}:
+    it allocates real buffers, walks each block node's iteration domain
+    point by point, evaluates the operation nodes through
+    {!Interp.eval_prim}, and materialises every read and write through
+    the block's access maps.  Running it in wavefront order — the
+    schedule the reordering pass derives — and comparing against the
+    interpreter machine-checks, for every workload, that the compiled
+    schedule computes the same values as the program's semantics.
+
+    Two orders are supported:
+    - [Sequential]: lexicographic over each block's original domain
+      (the naive order, always legal);
+    - [Wavefront]: points grouped by the hyperplane value
+      [Σ_{i ∈ dep} t_i] and {e shuffled within each front} — any
+      intra-front order must give the same result if the transform is
+      legal, so the shuffle is an adversarial legality check. *)
+
+type order =
+  | Sequential
+  | Wavefront
+  | Reverse
+      (** reverse lexicographic — illegal for any dependence-carrying
+          block; used by tests to show the executor detects bad
+          schedules (reads of unwritten cells) instead of silently
+          producing garbage *)
+
+exception Execution_error of string
+
+val run :
+  ?order:order ->
+  Ir.graph ->
+  (string * Fractal.t) list ->
+  (string * Fractal.t) list
+(** [run g inputs] executes the graph over the named input
+    FractalTensors and returns the contents of every [Output] buffer as
+    a nested FractalTensor (in buffer order).  Default order:
+    [Wavefront].
+    @raise Execution_error on missing inputs or un-executable blocks. *)
+
+val output : (string * Fractal.t) list -> string -> Fractal.t
+(** Select one output by buffer name. @raise Not_found *)

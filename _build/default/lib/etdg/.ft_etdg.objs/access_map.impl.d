@@ -1,0 +1,1 @@
+lib/etdg/access_map.ml: Array Format Linalg List Stdlib String

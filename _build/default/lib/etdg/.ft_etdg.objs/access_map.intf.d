@@ -1,0 +1,1 @@
+lib/etdg/access_map.mli: Format

@@ -1,0 +1,1 @@
+lib/etdg/build.ml: Access_map Array Domain Expr Format Fun Hashtbl Ir List Printf Tensor Typecheck

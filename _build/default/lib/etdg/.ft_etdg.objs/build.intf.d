@@ -1,0 +1,1 @@
+lib/etdg/build.mli: Expr Ir

@@ -1,0 +1,1 @@
+lib/etdg/coarsen.ml: Access_map Array Domain Expr Hashtbl Ir List Option Shape Stdlib String

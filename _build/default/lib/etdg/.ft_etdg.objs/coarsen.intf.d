@@ -1,0 +1,1 @@
+lib/etdg/coarsen.mli: Expr Ir

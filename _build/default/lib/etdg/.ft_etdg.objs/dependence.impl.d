@@ -1,0 +1,1 @@
+lib/etdg/dependence.ml: Access_map Array Expr Ir Linalg List Stdlib

@@ -1,0 +1,1 @@
+lib/etdg/dependence.mli: Expr Ir

@@ -1,0 +1,1 @@
+lib/etdg/domain.ml: Array Format Linalg List Printf Stdlib

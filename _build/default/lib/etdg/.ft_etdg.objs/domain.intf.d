@@ -1,0 +1,1 @@
+lib/etdg/domain.mli: Format

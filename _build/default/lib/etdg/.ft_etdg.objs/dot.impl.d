@@ -1,0 +1,1 @@
+lib/etdg/dot.ml: Access_map Array Buffer Expr Ir List Printf Shape String

@@ -1,0 +1,1 @@
+lib/etdg/dot.mli: Ir

@@ -1,0 +1,1 @@
+lib/etdg/ir.ml: Access_map Array Domain Expr Format Hashtbl List Shape Stdlib String Tensor

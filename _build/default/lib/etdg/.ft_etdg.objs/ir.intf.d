@@ -1,0 +1,1 @@
+lib/etdg/ir.mli: Access_map Domain Expr Format Shape Tensor

@@ -1,0 +1,1 @@
+lib/etdg/linalg.ml: Array Format Fun List Printf Stdlib

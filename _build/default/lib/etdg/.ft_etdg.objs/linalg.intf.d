@@ -1,0 +1,1 @@
+lib/etdg/linalg.mli: Format

@@ -1,0 +1,1 @@
+lib/etdg/reorder.ml: Access_map Array Dependence Domain Fun Ir Linalg List Printf

@@ -1,0 +1,1 @@
+lib/etdg/reorder.mli: Ir

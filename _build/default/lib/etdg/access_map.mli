@@ -1,0 +1,54 @@
+(** Quasi-affine access maps (paper §4.4).
+
+    An access map [A : P_d → D_m] annotates the dataflow edge between a
+    [d]-dimensional block node and an [m]-dimensional buffer node:
+    given iteration vector [t], the accessed buffer position is
+    [i = M t + o]. *)
+
+type t = {
+  matrix : int array array;  (** [m × d] access matrix *)
+  offset : int array;        (** [m]-vector *)
+  dims_in : int;             (** [d]; kept explicitly so that row-less
+                                 maps (reads of rank-0 buffers) stay
+                                 well-formed *)
+}
+
+val make : ?in_dim:int -> int array array -> int array -> t
+(** @raise Invalid_argument when the offset length differs from the
+    matrix row count, or when the matrix has no rows and [in_dim] is
+    not supplied. *)
+
+val identity : int -> t
+(** The map [t ↦ t]. *)
+
+val select : m:int -> pairs:(int * int) list -> ?offset:int array -> unit -> t
+(** [select ~m ~pairs ()] builds an [m × d] matrix (with [d] inferred
+    as [1 + max] block dim in [pairs]) where each pair
+    [(buffer_dim, block_dim)] sets [M.(buffer_dim).(block_dim) = 1].
+    Optional [offset] defaults to zero. *)
+
+val in_dim : t -> int
+(** [d], the block-node dimension. *)
+
+val out_dim : t -> int
+(** [m], the buffer rank. *)
+
+val apply : t -> int array -> int array
+(** [apply a t = M t + o]. *)
+
+val compose : t -> t -> t
+(** [compose outer inner] is the map [t ↦ outer (inner t)] — access-map
+    fusion of directly connected buffer nodes (paper §5.1). *)
+
+val after_transform : t -> int array array -> t
+(** [after_transform a tm] is the access map under reordered iterations
+    [j = T t]: the matrix becomes [M T⁻¹] (paper §5.2).
+    @raise Invalid_argument if [tm] is not unimodular. *)
+
+val reuse_directions : t -> int array array
+(** Basis of the null space of [M]: iteration directions along which
+    the accessed data does not change — the data-reuse carriers of
+    paper §5.2. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

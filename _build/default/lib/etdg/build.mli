@@ -1,0 +1,31 @@
+(** ETDG extraction from frontend programs (paper §4.4, Fig. 3 step ④).
+
+    The parser walks the program's array-operator nest and produces a
+    graph of block nodes over buffer nodes:
+
+    - every perfect compute-operator nest with [a] aggregate operators
+      is split into [2^a] {e regions} — distinct block nodes writing
+      non-overlapping instances of the result buffer, one per
+      combination of "first iteration" / "remaining iterations" of each
+      aggregate (the paper's region₀…₃ for the running example, 4 block
+      nodes for stacked LSTM and 8 for stacked grid RNN, §6.3);
+    - [let]-bound operator nests inside a lambda become their own block
+      nodes writing intermediate buffers (BigBird's windowed and global
+      attention components);
+    - access operators become quasi-affine access-map annotations;
+      aggregate state reads become self-edges on the result buffer with
+      offset −1 along the aggregate dimension.
+
+    Every aggregate level contributes a dimension to the nest's result
+    buffer (for fold/reduce this is the accumulator instance sequence;
+    the semantic result is its last slice), so access maps are uniform
+    across operator kinds.
+
+    Unsupported constructs (reverse/indirect access in the compiled
+    path) raise {!Unsupported}; the interpreter still executes them. *)
+
+exception Unsupported of string
+
+val build : Expr.program -> Ir.graph
+(** @raise Unsupported on constructs outside the compiled fragment.
+    @raise Typecheck.Type_error on ill-typed programs. *)

@@ -1,0 +1,67 @@
+(** Iteration domains as systems of affine inequalities, with
+    Fourier–Motzkin elimination.
+
+    A block node's iteration domain [P_d] (paper §4.4) is the set of
+    integer vectors satisfying every constraint.  Original domains are
+    rectangular; after the reordering transformation they become general
+    polyhedra (paper Table 5), whose per-dimension loop bounds are
+    recovered here by eliminating inner variables (paper §5.2:
+    "range constraints … derived using Fourier-Motzkin elimination"). *)
+
+type ineq = { coeffs : int array; const : int }
+(** The constraint [coeffs · t + const >= 0]. *)
+
+type t = { dim : int; cs : ineq list }
+
+val rect : lo:int array -> hi:int array -> t
+(** The box [lo <= t < hi] (componentwise).
+    @raise Invalid_argument on length mismatch. *)
+
+val of_extents : int array -> t
+(** [of_extents e] is [rect ~lo:0⃗ ~hi:e]. *)
+
+val add_constraint : t -> ineq -> t
+
+val mem : t -> int array -> bool
+
+val is_empty : t -> bool
+(** True when no integer point satisfies the system (decided by
+    enumeration over the bounding box implied by single-variable
+    constraints; domains here are always bounded). *)
+
+val eliminate : t -> int -> t
+(** [eliminate d k] projects out variable [k] (Fourier–Motzkin): the
+    result's constraints do not mention [k] and every point of [d]
+    satisfies them.  The variable keeps its position (its column
+    becomes unconstrained). *)
+
+val bounds : t -> int -> outer:int array -> (int * int) option
+(** [bounds d k ~outer] gives the integer range [[lo, hi]] (inclusive)
+    of variable [k] once variables [0..k-1] are fixed to [outer] and
+    variables [k+1..] are eliminated.  [None] when the range is empty.
+    This is exactly the nested-loop bound the code emitter needs. *)
+
+val enumerate : t -> int array list
+(** All integer points, lexicographic.  Intended for tests and small
+    domains. *)
+
+val card : t -> int
+
+val extend : t -> int array -> t
+(** [extend d extents] appends new innermost dimensions, each ranging
+    over [[0, extent)]. *)
+
+val rect_extents : t -> (int * int) array option
+(** When the domain is a box described purely by single-variable
+    constraints, its per-dimension [(lo, hi_exclusive)] ranges;
+    [None] for general polyhedra. *)
+
+val transform : int array array -> t -> t
+(** [transform tm d] is the image [{T t | t ∈ d}] for unimodular [tm]:
+    constraints are rewritten through [T⁻¹].
+    @raise Invalid_argument if [tm] is not unimodular. *)
+
+val translate : t -> int array -> t
+(** [translate d o] is [{t + o | t ∈ d}]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let access_label (a : Access_map.t) =
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i row ->
+           Printf.sprintf "[%s]%+d"
+             (String.concat " "
+                (Array.to_list (Array.map string_of_int row)))
+             a.Access_map.offset.(i))
+         a.Access_map.matrix)
+  in
+  String.concat "\\n" rows
+
+let graph (g : Ir.graph) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %s {\n" (escape g.Ir.g_name);
+  out "  rankdir=LR;\n  node [fontsize=10];\n";
+  List.iter
+    (fun b ->
+      let peripheries =
+        match b.Ir.buf_role with
+        | Ir.Input | Ir.Output -> 2
+        | Ir.Intermediate -> 1
+      in
+      out
+        "  buf%d [shape=box, peripheries=%d, label=\"%s\\n[%s] %s\"];\n"
+        b.Ir.buf_id peripheries (escape b.Ir.buf_name)
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int b.Ir.buf_dims)))
+        (escape (Shape.to_string b.Ir.buf_elem)))
+    g.Ir.g_buffers;
+  let rec blocks parent bs =
+    List.iter
+      (fun (b : Ir.block) ->
+        out
+          "  blk%d [shape=box, style=rounded, label=\"%s\\np = [%s]\"];\n"
+          b.Ir.blk_id (escape b.Ir.blk_name)
+          (String.concat ","
+             (Array.to_list (Array.map Expr.soac_kind_name b.Ir.blk_ops)));
+        (match parent with
+        | Some pid ->
+            out "  blk%d -> blk%d [style=dotted, label=\"nested\"];\n" pid
+              b.Ir.blk_id
+        | None -> ());
+        List.iter
+          (fun (e : Ir.edge) ->
+            match e.Ir.e_dir with
+            | Ir.Read ->
+                out "  buf%d -> blk%d [label=\"%s\\n%s\", fontsize=8];\n"
+                  e.Ir.e_buffer b.Ir.blk_id (escape e.Ir.e_label)
+                  (access_label e.Ir.e_access)
+            | Ir.Write ->
+                out "  blk%d -> buf%d [label=\"%s\\n%s\", fontsize=8];\n"
+                  b.Ir.blk_id e.Ir.e_buffer (escape e.Ir.e_label)
+                  (access_label e.Ir.e_access))
+          b.Ir.blk_edges;
+        blocks (Some b.Ir.blk_id) b.Ir.blk_children)
+      bs
+  in
+  blocks None g.Ir.g_blocks;
+  out "}\n";
+  Buffer.contents buf
+
+let write path g =
+  let oc = open_out path in
+  output_string oc (graph g);
+  close_out oc

@@ -1,0 +1,12 @@
+(** Graphviz export of Extended Task Dependence Graphs.
+
+    Renders the same picture as the paper's Fig. 4: box nodes for
+    buffers (double border for inputs/outputs), rounded nodes for
+    blocks labelled with their operator vector, and dataflow edges
+    annotated with the access map's matrix and offset. *)
+
+val graph : Ir.graph -> string
+(** A complete [digraph] document, ready for [dot -Tsvg]. *)
+
+val write : string -> Ir.graph -> unit
+(** [write path g] saves {!graph} to a file. *)

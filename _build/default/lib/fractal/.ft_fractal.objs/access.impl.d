@@ -1,0 +1,1 @@
+lib/fractal/access.ml: Array Fractal Printf Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/expr.ml: Array Format Hashtbl List Option Printf Shape String Tensor

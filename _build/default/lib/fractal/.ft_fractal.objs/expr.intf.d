@@ -1,0 +1,1 @@
+lib/fractal/expr.mli: Format Shape Tensor

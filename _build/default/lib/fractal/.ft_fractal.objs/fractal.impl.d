@@ -1,0 +1,1 @@
+lib/fractal/fractal.ml: Array Format List Printf Shape Stdlib Tensor

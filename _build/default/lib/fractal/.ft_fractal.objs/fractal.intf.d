@@ -1,0 +1,1 @@
+lib/fractal/fractal.mli: Format Rng Shape Tensor

@@ -1,0 +1,1 @@
+lib/fractal/interp.ml: Access Array Expr Format Fractal List Option Shape Soac Tensor

@@ -1,0 +1,1 @@
+lib/fractal/interp.mli: Expr Fractal Tensor

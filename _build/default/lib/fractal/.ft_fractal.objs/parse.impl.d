@@ -1,0 +1,1 @@
+lib/fractal/parse.ml: Array Expr List Option Printf Shape String Tensor

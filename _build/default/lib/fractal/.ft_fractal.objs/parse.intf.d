@@ -1,0 +1,1 @@
+lib/fractal/parse.mli: Expr

@@ -1,0 +1,1 @@
+lib/fractal/soac.ml: Array Fractal

@@ -1,0 +1,1 @@
+lib/fractal/soac.mli: Fractal

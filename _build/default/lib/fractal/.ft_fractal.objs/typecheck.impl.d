@@ -1,0 +1,1 @@
+lib/fractal/typecheck.ml: Array Expr Format List Shape Tensor

@@ -1,0 +1,1 @@
+lib/fractal/typecheck.mli: Expr Shape

@@ -1,0 +1,1 @@
+lib/fractal/unparse.ml: Array Buffer Expr Float List Printf Shape String Tensor

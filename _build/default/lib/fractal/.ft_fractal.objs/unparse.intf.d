@@ -1,0 +1,1 @@
+lib/fractal/unparse.mli: Expr

@@ -1,0 +1,113 @@
+let elems name t =
+  match t with
+  | Fractal.Leaf _ -> invalid_arg (name ^ ": expected a node, got a leaf")
+  | Fractal.Node xs -> xs
+
+let node name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty selection");
+  Fractal.Node xs
+
+let linear ?(shift = 0) ?(reverse = false) t =
+  let xs = elems "Access.linear" t in
+  let n = Array.length xs in
+  if shift < 0 || shift >= n then
+    invalid_arg (Printf.sprintf "Access.linear: shift %d out of range" shift);
+  let sel = Array.sub xs shift (n - shift) in
+  let sel =
+    if reverse then Array.init (Array.length sel) (fun i ->
+        sel.(Array.length sel - 1 - i))
+    else sel
+  in
+  node "Access.linear" sel
+
+let normalize_index n i = if i < 0 then n + i else i
+
+let slice t ~lo ~hi =
+  let xs = elems "Access.slice" t in
+  let n = Array.length xs in
+  let lo = normalize_index n lo and hi = normalize_index n hi in
+  if lo < 0 || hi > n || lo >= hi then
+    invalid_arg (Printf.sprintf "Access.slice: empty or invalid range [%d,%d)" lo hi);
+  node "Access.slice" (Array.sub xs lo (hi - lo))
+
+let reverse t =
+  let xs = elems "Access.reverse" t in
+  let n = Array.length xs in
+  node "Access.reverse" (Array.init n (fun i -> xs.(n - 1 - i)))
+
+let stride t ~start ~step =
+  if step < 1 then invalid_arg "Access.stride: step must be >= 1";
+  let xs = elems "Access.stride" t in
+  let n = Array.length xs in
+  if start < 0 || start >= n then invalid_arg "Access.stride: bad start";
+  let count = 1 + ((n - 1 - start) / step) in
+  node "Access.stride" (Array.init count (fun i -> xs.(start + (i * step))))
+
+let window t ~size ?(stride = 1) ?(dilation = 1) () =
+  if size < 1 || stride < 1 || dilation < 1 then
+    invalid_arg "Access.window: size, stride and dilation must be >= 1";
+  let xs = elems "Access.window" t in
+  let n = Array.length xs in
+  let span = ((size - 1) * dilation) + 1 in
+  if span > n then invalid_arg "Access.window: window larger than input";
+  let count = ((n - span) / stride) + 1 in
+  node "Access.window"
+    (Array.init count (fun w ->
+         Fractal.Node
+           (Array.init size (fun j -> xs.((w * stride) + (j * dilation))))))
+
+let shifted_slide t ~window =
+  if window < 1 then invalid_arg "Access.shifted_slide: window must be >= 1";
+  let xs = elems "Access.shifted_slide" t in
+  let n = Array.length xs in
+  if window > n then invalid_arg "Access.shifted_slide: window larger than input";
+  let half = window / 2 in
+  node "Access.shifted_slide"
+    (Array.init n (fun i ->
+         let lo = Stdlib.min (Stdlib.max 0 (i - half)) (n - window) in
+         Fractal.Node (Array.init window (fun j -> xs.(lo + j)))))
+
+let interleave t ~phases =
+  if phases < 1 then invalid_arg "Access.interleave: phases must be >= 1";
+  let xs = elems "Access.interleave" t in
+  let n = Array.length xs in
+  if n mod phases <> 0 then
+    invalid_arg "Access.interleave: phases must divide the length";
+  let per = n / phases in
+  node "Access.interleave"
+    (Array.init phases (fun p ->
+         Fractal.Node (Array.init per (fun i -> xs.(p + (i * phases))))))
+
+let gather t idx =
+  let xs = elems "Access.gather" t in
+  let n = Array.length xs in
+  node "Access.gather"
+    (Array.map
+       (fun i ->
+         if i < 0 || i >= n then
+           invalid_arg (Printf.sprintf "Access.gather: index %d out of range" i);
+         xs.(i))
+       idx)
+
+let zip2 a b =
+  let xs = elems "Access.zip2" a and ys = elems "Access.zip2" b in
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Access.zip2: length mismatch";
+  node "Access.zip2"
+    (Array.init (Array.length xs) (fun i -> Fractal.Node [| xs.(i); ys.(i) |]))
+
+let zip3 a b c =
+  let xs = elems "Access.zip3" a
+  and ys = elems "Access.zip3" b
+  and zs = elems "Access.zip3" c in
+  if Array.length xs <> Array.length ys || Array.length ys <> Array.length zs
+  then invalid_arg "Access.zip3: length mismatch";
+  node "Access.zip3"
+    (Array.init (Array.length xs) (fun i ->
+         Fractal.Node [| xs.(i); ys.(i); zs.(i) |]))
+
+let unzip2 t =
+  let xs = elems "Access.unzip2" t in
+  let fst_of p = Fractal.get p 0 and snd_of p = Fractal.get p 1 in
+  ( node "Access.unzip2" (Array.map fst_of xs),
+    node "Access.unzip2" (Array.map snd_of xs) )

@@ -1,0 +1,58 @@
+(** First-order array access operators (paper §4.2).
+
+    Access operators are pure: they rearrange or select elements of a
+    FractalTensor without computing on leaves.  The compiler turns each
+    of them into an access-map annotation and defers materialisation;
+    this module gives their *semantics* so the interpreter and tests can
+    observe what any legal implementation must produce.
+
+    The four pattern families of the paper:
+    contiguously linear ({!linear}, {!slice}, {!reverse}),
+    constantly strided ({!stride}), window ({!window},
+    {!shifted_slide}) and indirect ({!gather}). *)
+
+val linear : ?shift:int -> ?reverse:bool -> Fractal.t -> Fractal.t
+(** Contiguous access over the outer dimension, optionally starting
+    [shift] positions in and/or in reverse order. *)
+
+val slice : Fractal.t -> lo:int -> hi:int -> Fractal.t
+(** Elements [lo, hi) of the outer dimension.  Negative indices count
+    from the end, as in the listings' [qs[2:-2]].
+    @raise Invalid_argument on an empty result. *)
+
+val reverse : Fractal.t -> Fractal.t
+
+val stride : Fractal.t -> start:int -> step:int -> Fractal.t
+(** Every [step]-th element beginning at [start].
+    @raise Invalid_argument if [step < 1] or nothing is selected. *)
+
+val window : Fractal.t -> size:int -> ?stride:int -> ?dilation:int -> unit -> Fractal.t
+(** Overlapping windows: result element [i] is the node
+    [[x(i*stride); x(i*stride+dilation); …]] of [size] elements.
+    Output depth is input depth + 1. *)
+
+val shifted_slide : Fractal.t -> window:int -> Fractal.t
+(** BigBird's sliding neighbourhood (Listing 4): for each position [i]
+    a window of [window] elements centred on [i], clamped at the
+    borders; output has the same outer length as the input. *)
+
+val interleave : Fractal.t -> phases:int -> Fractal.t
+(** [interleave t ~phases] regroups a length-[n] list into [phases]
+    constantly-strided subsequences; element [(p, i)] of the result is
+    input element [p + phases*i].  Used by dilated RNNs, which run
+    [phases] independent recurrences over one sequence.
+    @raise Invalid_argument unless [phases] divides the length. *)
+
+val gather : Fractal.t -> int array -> Fractal.t
+(** Indirect access: select positions given by the index array
+    (gather/scatter patterns). *)
+
+val zip2 : Fractal.t -> Fractal.t -> Fractal.t
+(** [zip2 a b] pairs elements positionally; element [i] of the result
+    is the 2-node [[a_i; b_i]].  @raise Invalid_argument on length
+    mismatch. *)
+
+val zip3 : Fractal.t -> Fractal.t -> Fractal.t -> Fractal.t
+
+val unzip2 : Fractal.t -> Fractal.t * Fractal.t
+(** Inverse of {!zip2} over a node of 2-nodes. *)

@@ -1,0 +1,191 @@
+type prim =
+  | Matmul
+  | Matmul_t
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Maximum
+  | Tanh
+  | Sigmoid
+  | Exp
+  | Neg
+  | Relu
+  | Softmax
+  | Row_max
+  | Row_sum
+  | Transpose
+  | Scale of float
+  | Cols of int * int
+  | Concat_cols
+
+type access =
+  | Linear of { shift : int; reverse : bool }
+  | Strided of { start : int; step : int }
+  | Windowed of { size : int; stride : int; dilation : int }
+  | Shifted_slide of { window : int }
+  | Slice of { lo : int; hi : int }
+  | Indirect of int array
+  | Interleave of { phases : int }
+
+type soac_kind = Map | Reduce | Foldl | Foldr | Scanl | Scanr
+
+type t =
+  | Var of string
+  | Lit of Tensor.t
+  | Tuple of t list
+  | Proj of t * int
+  | Prim of prim * t list
+  | Access of access * t
+  | Zip of t list
+  | Index of t * int list
+  | Soac of soac
+  | Let of string * t * t
+
+and soac = {
+  kind : soac_kind;
+  fn : lam;
+  init : t option;
+  xs : t;
+}
+
+and lam = { params : string list; body : t }
+
+type ty =
+  | Tensor_ty of Shape.t
+  | List_ty of int * ty
+  | Tuple_ty of ty list
+
+type program = {
+  name : string;
+  inputs : (string * ty) list;
+  body : t;
+}
+
+let var s = Var s
+let ( @@@ ) p args = Prim (p, args)
+
+let soac_of kind ?init ~params ~body xs =
+  Soac { kind; fn = { params; body }; init; xs }
+
+let map_e ~params ~body xs = soac_of Map ~params ~body xs
+let reduce_e ?init ~params ~body xs = soac_of Reduce ?init ~params ~body xs
+let foldl_e ~init ~params ~body xs = soac_of Foldl ~init ~params ~body xs
+let scanl_e ?init ~params ~body xs = soac_of Scanl ?init ~params ~body xs
+let scanr_e ?init ~params ~body xs = soac_of Scanr ?init ~params ~body xs
+
+let soac_kind_name = function
+  | Map -> "map"
+  | Reduce -> "reduce"
+  | Foldl -> "foldl"
+  | Foldr -> "foldr"
+  | Scanl -> "scanl"
+  | Scanr -> "scanr"
+
+let prim_name = function
+  | Matmul -> "matmul"
+  | Matmul_t -> "matmul_t"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Maximum -> "maximum"
+  | Tanh -> "tanh"
+  | Sigmoid -> "sigmoid"
+  | Exp -> "exp"
+  | Neg -> "neg"
+  | Relu -> "relu"
+  | Softmax -> "softmax"
+  | Row_max -> "row_max"
+  | Row_sum -> "row_sum"
+  | Transpose -> "transpose"
+  | Scale k -> Printf.sprintf "scale(%g)" k
+  | Cols (lo, hi) -> Printf.sprintf "cols[%d:%d]" lo hi
+  | Concat_cols -> "concat_cols"
+
+let is_aggregate = function
+  | Map -> false
+  | Reduce | Foldl | Foldr | Scanl | Scanr -> true
+
+let is_r_directional = function
+  | Foldr | Scanr -> true
+  | Map | Reduce | Foldl | Scanl -> false
+
+let free_vars expr =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let add bound v =
+    if (not (List.mem v bound)) && not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      order := v :: !order
+    end
+  in
+  let rec go bound = function
+    | Var v -> add bound v
+    | Lit _ -> ()
+    | Tuple es | Zip es -> List.iter (go bound) es
+    | Proj (e, _) | Access (_, e) | Index (e, _) -> go bound e
+    | Prim (_, es) -> List.iter (go bound) es
+    | Soac { fn; init; xs; _ } ->
+        Option.iter (go bound) init;
+        go bound xs;
+        go (fn.params @ bound) fn.body
+    | Let (x, e1, e2) ->
+        go bound e1;
+        go (x :: bound) e2
+  in
+  go [] expr;
+  List.rev !order
+
+let access_name = function
+  | Linear { shift; reverse } ->
+      Printf.sprintf "linear(shift=%d%s)" shift (if reverse then ",rev" else "")
+  | Strided { start; step } -> Printf.sprintf "stride(%d,%d)" start step
+  | Windowed { size; stride; dilation } ->
+      Printf.sprintf "window(%d,%d,%d)" size stride dilation
+  | Shifted_slide { window } -> Printf.sprintf "shifted_slide(%d)" window
+  | Slice { lo; hi } -> Printf.sprintf "slice[%d:%d]" lo hi
+  | Indirect idx -> Printf.sprintf "indirect(#%d)" (Array.length idx)
+  | Interleave { phases } -> Printf.sprintf "interleave(%d)" phases
+
+let rec pp fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Lit t -> Tensor.pp fmt t
+  | Tuple es ->
+      Format.fprintf fmt "(@[%a@])" (Format.pp_print_list ~pp_sep:comma pp) es
+  | Proj (e, i) -> Format.fprintf fmt "%a.%d" pp e i
+  | Prim (p, es) ->
+      Format.fprintf fmt "%s(@[%a@])" (prim_name p)
+        (Format.pp_print_list ~pp_sep:comma pp)
+        es
+  | Access (a, e) -> Format.fprintf fmt "%s(%a)" (access_name a) pp e
+  | Zip es ->
+      Format.fprintf fmt "zip(@[%a@])"
+        (Format.pp_print_list ~pp_sep:comma pp)
+        es
+  | Index (e, is) ->
+      Format.fprintf fmt "%a%s" pp e
+        (String.concat ""
+           (List.map (fun i -> Printf.sprintf "[%d]" i) is))
+  | Soac { kind; fn; init; xs } ->
+      Format.fprintf fmt "@[<hov 2>%a.%s%s @,%s =>@ %a@]" pp xs
+        (soac_kind_name kind)
+        (match init with
+        | None -> ""
+        | Some e -> Format.asprintf "(init=%a)" pp e)
+        (String.concat "," fn.params)
+        pp fn.body
+  | Let (x, e1, e2) ->
+      Format.fprintf fmt "@[<v>let %s = %a in@ %a@]" x pp e1 pp e2
+
+and comma fmt () = Format.fprintf fmt ",@ "
+
+let rec pp_ty fmt = function
+  | Tensor_ty s -> Format.fprintf fmt "float32%s" (Shape.to_string s)
+  | List_ty (n, inner) -> Format.fprintf fmt "[%d]%a" n pp_ty inner
+  | Tuple_ty ts ->
+      Format.fprintf fmt "(@[%a@])"
+        (Format.pp_print_list ~pp_sep:comma pp_ty)
+        ts
+
+let ty_to_string ty = Format.asprintf "%a" pp_ty ty

@@ -1,0 +1,117 @@
+(** The FractalTensor frontend language (paper Appendix A).
+
+    Programs are closed expressions over named input FractalTensors,
+    built from primitive tensor math on statically-shaped leaves,
+    first-order access operators, and second-order compute operators
+    ([map]/[reduce]/[fold]/[scan]) with user-defined lambda bodies.
+    This AST is what the compiler consumes to build the Extended Task
+    Dependence Graph; {!Interp} defines its meaning. *)
+
+(** Primitive (operation-node) math on statically-shaped tensors.
+    These are the user-defined function bodies of the paper's listings:
+    side-effect-free tensor algebra only. *)
+type prim =
+  | Matmul          (** [a @ b] *)
+  | Matmul_t        (** [a @ b^T] — attention logits *)
+  | Add
+  | Sub
+  | Mul             (** elementwise (Hadamard) *)
+  | Div
+  | Maximum         (** elementwise max *)
+  | Tanh
+  | Sigmoid
+  | Exp
+  | Neg
+  | Relu
+  | Softmax         (** row-wise, numerically stable *)
+  | Row_max         (** [[m,n] -> [m,1]] *)
+  | Row_sum         (** [[m,n] -> [m,1]] *)
+  | Transpose
+  | Scale of float
+  | Cols of int * int
+      (** [Cols (lo, hi)]: column slice [[lo,hi)]; negative indices
+          count from the end (BigBird's per-block score selection) *)
+  | Concat_cols     (** horizontal concatenation of its operands *)
+
+(** First-order access operators, attached to the edge between a
+    FractalTensor and the compute operator that consumes it. *)
+type access =
+  | Linear of { shift : int; reverse : bool }
+  | Strided of { start : int; step : int }
+  | Windowed of { size : int; stride : int; dilation : int }
+  | Shifted_slide of { window : int }
+  | Slice of { lo : int; hi : int }
+  | Indirect of int array
+  | Interleave of { phases : int }
+      (** splits a length-[n] dimension into [phases] constantly-strided
+          subsequences: element [(p, t)] of the result is input element
+          [p + phases*t] — the derived form of the paper's constantly
+          strided pattern used by dilated RNNs *)
+
+type soac_kind = Map | Reduce | Foldl | Foldr | Scanl | Scanr
+
+type t =
+  | Var of string                 (** input buffer or lambda binding *)
+  | Lit of Tensor.t               (** literal leaf tensor (e.g. a scan seed) *)
+  | Tuple of t list
+  | Proj of t * int               (** tuple projection *)
+  | Prim of prim * t list
+  | Access of access * t
+  | Zip of t list                 (** positional pairing of equal-length FTs *)
+  | Index of t * int list
+      (** static indexing of programmable dimensions, right-hand side
+          only ([ks[0]], [ks[-1]] in Listing 4) *)
+  | Soac of soac
+  | Let of string * t * t
+
+and soac = {
+  kind : soac_kind;
+  fn : lam;
+      (** For [Map] over [Zip [e1;…;ek]], [fn] binds [k] parameters.
+          For aggregates, the first parameter is the carried state. *)
+  init : t option;  (** seed of an aggregate; [None] = seedless *)
+  xs : t;
+}
+
+and lam = { params : string list; body : t }
+
+type ty =
+  | Tensor_ty of Shape.t
+  | List_ty of int * ty     (** programmable dimension with its extent *)
+  | Tuple_ty of ty list
+
+type program = {
+  name : string;
+  inputs : (string * ty) list;
+  body : t;
+}
+
+(** {1 Smart constructors} *)
+
+val var : string -> t
+val ( @@@ ) : prim -> t list -> t
+(** [p @@@ args = Prim (p, args)]. *)
+
+val map_e : params:string list -> body:t -> t -> t
+val reduce_e : ?init:t -> params:string list -> body:t -> t -> t
+val foldl_e : init:t -> params:string list -> body:t -> t -> t
+val scanl_e : ?init:t -> params:string list -> body:t -> t -> t
+val scanr_e : ?init:t -> params:string list -> body:t -> t -> t
+
+val soac_kind_name : soac_kind -> string
+val prim_name : prim -> string
+
+val is_aggregate : soac_kind -> bool
+(** True for reduce/fold/scan — the partially parallel operators that
+    carry inter-iteration dependencies (paper §4.2). *)
+
+val is_r_directional : soac_kind -> bool
+(** True for [foldr]/[scanr]: the recurrence runs right to left, so the
+    dependence distance is negative in storage coordinates. *)
+
+val free_vars : t -> string list
+(** Free variables in order of first occurrence. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string

@@ -1,0 +1,129 @@
+type t =
+  | Leaf of Tensor.t
+  | Node of t array
+
+let leaf t = Leaf t
+
+let node = function
+  | [] -> invalid_arg "Fractal.node: empty list"
+  | elems -> Node (Array.of_list elems)
+
+let of_tensors ts =
+  match ts with
+  | [] -> invalid_arg "Fractal.of_tensors: empty list"
+  | first :: rest ->
+      let s = Tensor.shape first in
+      List.iter
+        (fun t ->
+          if not (Shape.equal (Tensor.shape t) s) then
+            invalid_arg "Fractal.of_tensors: leaf shape mismatch")
+        rest;
+      Node (Array.of_list (List.map leaf ts))
+
+let tabulate n f =
+  if n < 1 then invalid_arg "Fractal.tabulate: non-positive length";
+  Node (Array.init n f)
+
+let rec rand rng ~dims ~elem =
+  match dims with
+  | [] -> Leaf (Tensor.rand rng elem)
+  | d :: rest -> tabulate d (fun _ -> rand rng ~dims:rest ~elem)
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node elems ->
+      1 + Array.fold_left (fun acc e -> Stdlib.max acc (depth e)) 0 elems
+
+let length = function
+  | Leaf _ -> invalid_arg "Fractal.length: leaf has no list dimension"
+  | Node elems -> Array.length elems
+
+let get t i =
+  match t with
+  | Leaf _ -> invalid_arg "Fractal.get: leaf has no elements"
+  | Node elems ->
+      if i < 0 || i >= Array.length elems then
+        invalid_arg (Printf.sprintf "Fractal.get: index %d out of range" i);
+      elems.(i)
+
+let children = function
+  | Leaf _ -> invalid_arg "Fractal.children: leaf has no elements"
+  | Node elems -> elems
+
+let to_list t = Array.to_list (children t)
+
+let as_leaf = function
+  | Leaf t -> t
+  | Node _ -> invalid_arg "Fractal.as_leaf: value is a node"
+
+let rec fold_leaves f acc = function
+  | Leaf t -> f acc t
+  | Node elems -> Array.fold_left (fold_leaves f) acc elems
+
+let leaves t = List.rev (fold_leaves (fun acc x -> x :: acc) [] t)
+
+let elem_shape t =
+  match leaves t with
+  | [] -> invalid_arg "Fractal.elem_shape: no leaves"
+  | first :: _ -> Tensor.shape first
+
+let is_regular t =
+  let rec check t =
+    (* Returns (depth, extents) or None when irregular. *)
+    match t with
+    | Leaf _ -> Some (0, [])
+    | Node elems -> (
+        match check elems.(0) with
+        | None -> None
+        | Some (d0, ext0) ->
+            let ok =
+              Array.for_all
+                (fun e ->
+                  match check e with
+                  | Some (d, ext) -> d = d0 && ext = ext0
+                  | None -> false)
+                elems
+            in
+            if ok then Some (d0 + 1, Array.length elems :: ext0) else None)
+  in
+  match check t with
+  | None -> false
+  | Some _ -> (
+      match leaves t with
+      | [] -> false
+      | first :: rest ->
+          let s = Tensor.shape first in
+          List.for_all (fun x -> Shape.equal (Tensor.shape x) s) rest)
+
+let rec extents = function
+  | Leaf _ -> []
+  | Node elems -> Array.length elems :: extents elems.(0)
+
+let rec equal_approx ?(eps = 1e-4) a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Tensor.equal_approx ~eps x y
+  | Node xs, Node ys ->
+      Array.length xs = Array.length ys
+      && Array.for_all2 (fun x y -> equal_approx ~eps x y) xs ys
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
+let rec map_leaves f = function
+  | Leaf t -> Leaf (f t)
+  | Node elems -> Node (Array.map (map_leaves f) elems)
+
+let numel t = fold_leaves (fun acc x -> acc + Tensor.numel x) 0 t
+
+let rec pp fmt = function
+  | Leaf t -> Tensor.pp fmt t
+  | Node elems ->
+      let n = Array.length elems in
+      let shown = if n <= 4 then n else 3 in
+      Format.fprintf fmt "@[<hov 1>[%d|" n;
+      for i = 0 to shown - 1 do
+        if i > 0 then Format.fprintf fmt ";@ ";
+        pp fmt elems.(i)
+      done;
+      if shown < n then Format.fprintf fmt ";@ …";
+      Format.fprintf fmt "]@]"
+
+let to_string t = Format.asprintf "%a" pp t

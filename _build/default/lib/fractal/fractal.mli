@@ -1,0 +1,84 @@
+(** The FractalTensor abstract data type (paper §4.1).
+
+    A FractalTensor is a linearly ordered list whose elements are either
+    statically-shaped tensors or other FractalTensors.  Depth is fixed
+    once constructed: a depth-[d] value is a [d]-deep nest of lists over
+    tensor leaves.  Math is defined only on leaves; the enclosing
+    "programmable dimensions" are traversed exclusively by the compute
+    operators in {!Soac} and the access operators in {!Access}.
+
+    Tuples produced by [zip] and by multi-result scans are represented
+    as nodes too; {!is_regular} distinguishes genuine FractalTensors
+    (uniform depth and leaf shape) from such transient tuple values. *)
+
+type t =
+  | Leaf of Tensor.t
+  | Node of t array
+
+(** {1 Construction} *)
+
+val leaf : Tensor.t -> t
+
+val node : t list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val of_tensors : Tensor.t list -> t
+(** Depth-1 FractalTensor from a list of same-shaped tensors.
+    @raise Invalid_argument on empty input or shape mismatch. *)
+
+val tabulate : int -> (int -> t) -> t
+(** [tabulate n f] is the depth+1 node [[f 0; …; f (n-1)]].
+    @raise Invalid_argument if [n < 1]. *)
+
+val rand : Rng.t -> dims:int list -> elem:Shape.t -> t
+(** Regular random FractalTensor with programmable extents [dims] over
+    uniform leaves of shape [elem].  [dims = []] gives a bare leaf. *)
+
+(** {1 Observation} *)
+
+val depth : t -> int
+(** 0 for a leaf; [1 + max (depth children)] for a node. *)
+
+val length : t -> int
+(** Number of elements of the outermost list.
+    @raise Invalid_argument on a leaf. *)
+
+val get : t -> int -> t
+(** @raise Invalid_argument on a leaf or out-of-range index. *)
+
+val children : t -> t array
+(** The outermost elements (not a copy). @raise Invalid_argument on a leaf. *)
+
+val to_list : t -> t list
+
+val as_leaf : t -> Tensor.t
+(** @raise Invalid_argument on a node. *)
+
+val leaves : t -> Tensor.t list
+(** All leaves, left to right. *)
+
+val is_regular : t -> bool
+(** True when every level has uniform child depth/extent and all leaves
+    share one shape — i.e. the value is a well-formed FractalTensor. *)
+
+val elem_shape : t -> Shape.t
+(** Shape of the first leaf. *)
+
+val extents : t -> int list
+(** Programmable extents, outermost first ([[]] for a leaf).  Only
+    meaningful on regular values. *)
+
+(** {1 Comparison and printing} *)
+
+val equal_approx : ?eps:float -> t -> t -> bool
+(** Structural equality with {!Tensor.equal_approx} at the leaves. *)
+
+val map_leaves : (Tensor.t -> Tensor.t) -> t -> t
+
+val fold_leaves : ('a -> Tensor.t -> 'a) -> 'a -> t -> 'a
+
+val numel : t -> int
+(** Total scalar element count over all leaves. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

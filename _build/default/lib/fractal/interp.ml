@@ -1,0 +1,136 @@
+exception Runtime_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let normalize_col n i = if i < 0 then n + i else i
+
+let eval_prim (p : Expr.prim) (args : Tensor.t list) =
+  let unary f =
+    match args with
+    | [ a ] -> f a
+    | _ -> err "%s: expected 1 operand" (Expr.prim_name p)
+  in
+  let binary f =
+    match args with
+    | [ a; b ] -> f a b
+    | _ -> err "%s: expected 2 operands" (Expr.prim_name p)
+  in
+  match p with
+  | Expr.Matmul -> binary Tensor.matmul
+  | Expr.Matmul_t -> binary (fun a b -> Tensor.matmul a (Tensor.transpose b))
+  | Expr.Add -> binary Tensor.add
+  | Expr.Sub -> binary Tensor.sub
+  | Expr.Mul -> binary Tensor.mul
+  | Expr.Div -> binary Tensor.div
+  | Expr.Maximum -> binary Tensor.maximum
+  | Expr.Tanh -> unary Tensor.tanh
+  | Expr.Sigmoid -> unary Tensor.sigmoid
+  | Expr.Exp -> unary Tensor.exp
+  | Expr.Neg -> unary Tensor.neg
+  | Expr.Relu -> unary Tensor.relu
+  | Expr.Softmax -> unary Tensor.softmax
+  | Expr.Row_max -> unary Tensor.row_max
+  | Expr.Row_sum -> unary Tensor.row_sum
+  | Expr.Transpose -> unary Tensor.transpose
+  | Expr.Scale k -> unary (Tensor.scale k)
+  | Expr.Cols (lo, hi) ->
+      unary (fun t ->
+          let n = Shape.dim (Tensor.shape t) 1 in
+          Tensor.slice_cols t (normalize_col n lo) (normalize_col n hi))
+  | Expr.Concat_cols -> Tensor.concat_cols args
+
+let as_leaf v =
+  match v with
+  | Fractal.Leaf t -> t
+  | Fractal.Node _ -> err "expected a tensor value, got a list"
+
+let eval_access (a : Expr.access) v =
+  match a with
+  | Expr.Linear { shift; reverse } -> Access.linear ~shift ~reverse v
+  | Expr.Strided { start; step } -> Access.stride v ~start ~step
+  | Expr.Windowed { size; stride; dilation } ->
+      Access.window v ~size ~stride ~dilation ()
+  | Expr.Shifted_slide { window } -> Access.shifted_slide v ~window
+  | Expr.Slice { lo; hi } -> Access.slice v ~lo ~hi
+  | Expr.Indirect idx -> Access.gather v idx
+  | Expr.Interleave { phases } -> Access.interleave v ~phases
+
+(* Bind lambda parameters against an element value, mirroring
+   Typecheck.bind_elem_params: k parameters destructure a k-node. *)
+let bind_elem_params env params v =
+  match params with
+  | [ p ] -> (p, v) :: env
+  | ps -> (
+      match v with
+      | Fractal.Node elems when Array.length elems = List.length ps ->
+          List.mapi (fun i p -> (p, elems.(i))) ps @ env
+      | _ -> err "lambda arity mismatch when destructuring element")
+
+let rec eval env (e : Expr.t) : Fractal.t =
+  match e with
+  | Expr.Var v -> (
+      match List.assoc_opt v env with
+      | Some value -> value
+      | None -> err "unbound variable %s" v)
+  | Expr.Lit t -> Fractal.Leaf t
+  | Expr.Tuple es -> Fractal.Node (Array.of_list (List.map (eval env) es))
+  | Expr.Proj (e, i) -> Fractal.get (eval env e) i
+  | Expr.Prim (p, es) ->
+      Fractal.Leaf (eval_prim p (List.map (fun e -> as_leaf (eval env e)) es))
+  | Expr.Access (a, e) -> eval_access a (eval env e)
+  | Expr.Zip es -> (
+      match List.map (eval env) es with
+      | [] -> err "zip of nothing"
+      | [ a; b ] -> Access.zip2 a b
+      | [ a; b; c ] -> Access.zip3 a b c
+      | vs ->
+          let n = Fractal.length (List.hd vs) in
+          List.iter
+            (fun v ->
+              if Fractal.length v <> n then err "zip: length mismatch")
+            vs;
+          Fractal.tabulate n (fun i ->
+              Fractal.Node
+                (Array.of_list (List.map (fun v -> Fractal.get v i) vs))))
+  | Expr.Index (e, is) ->
+      List.fold_left
+        (fun v i -> Fractal.get v (normalize_col (Fractal.length v) i))
+        (eval env e) is
+  | Expr.Soac s -> eval_soac env s
+  | Expr.Let (x, e1, e2) -> eval ((x, eval env e1) :: env) e2
+
+and eval_soac env { Expr.kind; fn; init; xs } =
+  let v = eval env xs in
+  let apply_elem x = eval (bind_elem_params env fn.params x) fn.body in
+  let step state x =
+    match fn.params with
+    | [] -> err "%s: lambda needs a state parameter" (Expr.soac_kind_name kind)
+    | sp :: elem_params ->
+        let env = (sp, state) :: env in
+        let env =
+          if elem_params = [] then env
+          else bind_elem_params env elem_params x
+        in
+        eval env fn.body
+  in
+  let init_v = Option.map (eval env) init in
+  match (kind, init_v) with
+  | Expr.Map, _ -> Soac.map apply_elem v
+  | Expr.Reduce, Some s -> Soac.reduce ~init:s step v
+  | Expr.Reduce, None -> Soac.reduce step v
+  | Expr.Foldl, Some s -> Soac.foldl ~init:s step v
+  | Expr.Foldl, None -> err "foldl: missing init"
+  | Expr.Foldr, Some s -> Soac.foldr ~init:s step v
+  | Expr.Foldr, None -> err "foldr: missing init"
+  | Expr.Scanl, Some s -> Soac.scanl ~init:s step v
+  | Expr.Scanl, None -> Soac.scanl1 step v
+  | Expr.Scanr, Some s -> Soac.scanr ~init:s step v
+  | Expr.Scanr, None -> err "scanr: missing init"
+
+let run_program (p : Expr.program) bindings =
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name bindings) then
+        err "program %s: missing input %s" p.name name)
+    p.inputs;
+  eval bindings p.body

@@ -1,0 +1,23 @@
+(** Reference interpreter for frontend programs.
+
+    Defines the semantics that every compiled schedule must preserve;
+    the end-to-end tests compare compiled/wavefront executions and
+    hand-written imperative references against this evaluator.
+
+    Values are {!Fractal.t}; tuples are represented as nodes, mirroring
+    {!Typecheck}'s [Tuple_ty]. *)
+
+exception Runtime_error of string
+
+val eval : (string * Fractal.t) list -> Expr.t -> Fractal.t
+(** [eval env e] evaluates [e] with free variables bound by [env].
+    @raise Runtime_error on unbound variables or malformed values
+    (a type-checked program over well-typed inputs never raises). *)
+
+val run_program : Expr.program -> (string * Fractal.t) list -> Fractal.t
+(** Evaluates a program's body after verifying that each declared input
+    is supplied. @raise Runtime_error on missing inputs. *)
+
+val eval_prim : Expr.prim -> Tensor.t list -> Tensor.t
+(** Primitive evaluation on leaves — shared with the compiled plans'
+    functional execution. *)

@@ -1,0 +1,120 @@
+let elems name t =
+  match t with
+  | Fractal.Leaf _ -> invalid_arg (name ^ ": expected a node, got a leaf")
+  | Fractal.Node xs ->
+      if Array.length xs = 0 then invalid_arg (name ^ ": empty input");
+      xs
+
+let map f t = Fractal.Node (Array.map f (elems "Soac.map" t))
+let mapi f t = Fractal.Node (Array.mapi f (elems "Soac.mapi" t))
+
+let map2 f a b =
+  let xs = elems "Soac.map2" a and ys = elems "Soac.map2" b in
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Soac.map2: length mismatch";
+  Fractal.Node (Array.map2 f xs ys)
+
+let map3 f a b c =
+  let xs = elems "Soac.map3" a
+  and ys = elems "Soac.map3" b
+  and zs = elems "Soac.map3" c in
+  if Array.length xs <> Array.length ys || Array.length ys <> Array.length zs
+  then invalid_arg "Soac.map3: length mismatch";
+  Fractal.Node (Array.init (Array.length xs) (fun i -> f xs.(i) ys.(i) zs.(i)))
+
+let reduce ?init op t =
+  let xs = elems "Soac.reduce" t in
+  let start, first =
+    match init with
+    | Some s -> (s, 0)
+    | None -> (xs.(0), 1)
+  in
+  let acc = ref start in
+  for i = first to Array.length xs - 1 do
+    acc := op !acc xs.(i)
+  done;
+  !acc
+
+let foldl ~init op t =
+  let xs = elems "Soac.foldl" t in
+  Array.fold_left op init xs
+
+let foldr ~init op t =
+  let xs = elems "Soac.foldr" t in
+  let acc = ref init in
+  for i = Array.length xs - 1 downto 0 do
+    acc := op !acc xs.(i)
+  done;
+  !acc
+
+let scanl ~init op t =
+  let xs = elems "Soac.scanl" t in
+  let acc = ref init in
+  Fractal.Node
+    (Array.map
+       (fun x ->
+         acc := op !acc x;
+         !acc)
+       xs)
+
+let scanl1 op t =
+  let xs = elems "Soac.scanl1" t in
+  let acc = ref xs.(0) in
+  Fractal.Node
+    (Array.mapi
+       (fun i x ->
+         if i > 0 then acc := op !acc x;
+         !acc)
+       xs)
+
+let scanr ~init op t =
+  let xs = elems "Soac.scanr" t in
+  let n = Array.length xs in
+  let out = Array.make n init in
+  let acc = ref init in
+  for i = n - 1 downto 0 do
+    acc := op !acc xs.(i);
+    out.(i) <- !acc
+  done;
+  Fractal.Node out
+
+let reduce_tree op t =
+  let xs = elems "Soac.reduce_tree" t in
+  let rec go lo hi =
+    if hi - lo = 1 then xs.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      op (go lo mid) (go mid hi)
+  in
+  go 0 (Array.length xs)
+
+(* Divide-and-conquer inclusive prefix: scan both halves, then combine
+   the right half with the left half's total.  Depth O(log n); on a
+   parallel machine the two recursive scans and the final combination
+   map run concurrently. *)
+let scanl_tree op t =
+  let xs = elems "Soac.scanl_tree" t in
+  let rec go lo hi =
+    if hi - lo = 1 then [| xs.(lo) |]
+    else begin
+      let mid = (lo + hi) / 2 in
+      let left = go lo mid and right = go mid hi in
+      let total = left.(Array.length left - 1) in
+      Array.append left (Array.map (fun x -> op total x) right)
+    end
+  in
+  Fractal.Node (go 0 (Array.length xs))
+
+let foldl_state ~init step t =
+  let xs = elems "Soac.foldl_state" t in
+  Array.fold_left step init xs
+
+let scanl_state ~init step out t =
+  let xs = elems "Soac.scanl_state" t in
+  let acc = ref init in
+  Fractal.Node
+    (Array.map
+       (fun x ->
+         acc := step !acc x;
+         out !acc)
+       xs)

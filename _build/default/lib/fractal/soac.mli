@@ -1,0 +1,74 @@
+(** Second-order array compute operators (paper §4.2, Table 1).
+
+    These operators are the only way to iterate over the programmable
+    dimensions of a FractalTensor.  [map] is fully parallel
+    (apply-to-each); [reduce], [foldl]/[foldr] and [scanl]/[scanr] are
+    aggregate operators whose binary function is expected to be
+    associative (reduce) or left/right-associative (fold/scan).  They
+    define the reference semantics the compiler must preserve.
+
+    All operators act on the *outermost* dimension of their input;
+    nesting the calls nests the iteration, exactly as in the paper's
+    listings. *)
+
+val map : (Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+(** [map f [x0;…;xm] = [f x0;…;f xm]]. *)
+
+val mapi : (int -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+
+val map2 : (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t -> Fractal.t
+(** Pointwise map over two FractalTensors of equal outer length
+    (the [zip … |> map] pattern of the listings).
+    @raise Invalid_argument on length mismatch. *)
+
+val map3 :
+  (Fractal.t -> Fractal.t -> Fractal.t -> Fractal.t) ->
+  Fractal.t -> Fractal.t -> Fractal.t -> Fractal.t
+
+val reduce : ?init:Fractal.t -> (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+(** [reduce op xs = x0 op x1 op … op xm] ([init] seeds the chain when
+    given).  [op] must be associative for the parallel schedules the
+    compiler derives to be legal. @raise Invalid_argument on an empty
+    or leaf input. *)
+
+val foldl : init:Fractal.t -> (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+(** [foldl ~init op [x0;…;xm] = (…((init op x0) op x1)…) op xm]. *)
+
+val foldr : init:Fractal.t -> (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+
+val scanl : init:Fractal.t -> (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+(** [scanl ~init op [x0;…;xm] = [init op x0; (init op x0) op x1; …]];
+    the result has the same outer length as the input. *)
+
+val scanl1 : (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+(** Seedless scan: [scanl1 op [x0;…] = [x0; x0 op x1; …]]. *)
+
+val scanr : init:Fractal.t -> (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+
+(** {1 Parallel execution of aggregate operators}
+
+    §4.2: "the linear order of FractalTensor elements, along with the
+    associativity of ⊕, dictates the desired execution order …
+    successive iterations can be partially overlapped, thus exposing
+    parallelism."  These executors realise that claim: when [op] is
+    associative they compute the same result as the sequential
+    definitions through a balanced tree. *)
+
+val reduce_tree : (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+(** Balanced-tree reduction; equals {!reduce} for associative [op]. *)
+
+val scanl_tree : (Fractal.t -> Fractal.t -> Fractal.t) -> Fractal.t -> Fractal.t
+(** Inclusive parallel prefix by divide and conquer (depth O(log n),
+    work O(n log n)); equals {!scanl1} for associative [op]. *)
+
+(** {1 State-carrying variants}
+
+    Aggregate operators whose accumulator is an arbitrary OCaml value —
+    the idiom for cells that carry tuples of state (e.g. the LSTM's
+    [(c, h)] pair, paper Listing 2). *)
+
+val foldl_state : init:'s -> ('s -> Fractal.t -> 's) -> Fractal.t -> 's
+
+val scanl_state : init:'s -> ('s -> Fractal.t -> 's) -> ('s -> Fractal.t) -> Fractal.t -> Fractal.t
+(** [scanl_state ~init step out xs] threads ['s] through [xs] and
+    collects [out state] at each position. *)

@@ -1,0 +1,225 @@
+exception Type_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let normalize_col n i = if i < 0 then n + i else i
+
+let dims2 name s =
+  if Shape.rank s <> 2 then err "%s: expected rank-2 tensor, got %s" name
+      (Shape.to_string s);
+  (Shape.dim s 0, Shape.dim s 1)
+
+(* The broadcast result of two shapes under Tensor.map2's rules. *)
+let broadcast_shape name a b =
+  if Shape.equal a b then a
+  else if Shape.rank a = 0 then b
+  else if Shape.rank b = 0 then a
+  else if Shape.rank a = 2 && Shape.rank b = 2 then begin
+    let ma, na = dims2 name a and mb, nb = dims2 name b in
+    if ma = mb && nb = 1 then a
+    else if ma = mb && na = 1 then b
+    else if na = nb && mb = 1 then a
+    else if na = nb && ma = 1 then b
+    else
+      err "%s: incompatible shapes %s and %s" name (Shape.to_string a)
+        (Shape.to_string b)
+  end
+  else
+    err "%s: incompatible shapes %s and %s" name (Shape.to_string a)
+      (Shape.to_string b)
+
+let prim_result_shape (p : Expr.prim) (shapes : Shape.t list) =
+  let name = Expr.prim_name p in
+  let unary () =
+    match shapes with
+    | [ s ] -> s
+    | _ -> err "%s: expected 1 operand" name
+  in
+  let binary () =
+    match shapes with
+    | [ a; b ] -> (a, b)
+    | _ -> err "%s: expected 2 operands" name
+  in
+  match p with
+  | Expr.Matmul ->
+      let a, b = binary () in
+      let m, k = dims2 name a and k', n = dims2 name b in
+      if k <> k' then err "%s: inner dims %d vs %d" name k k';
+      Shape.of_array [| m; n |]
+  | Expr.Matmul_t ->
+      let a, b = binary () in
+      let m, k = dims2 name a and n, k' = dims2 name b in
+      if k <> k' then err "%s: inner dims %d vs %d" name k k';
+      Shape.of_array [| m; n |]
+  | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Maximum ->
+      let a, b = binary () in
+      broadcast_shape name a b
+  | Expr.Tanh | Expr.Sigmoid | Expr.Exp | Expr.Neg | Expr.Relu
+  | Expr.Softmax | Expr.Scale _ ->
+      unary ()
+  | Expr.Row_max | Expr.Row_sum ->
+      let m, _ = dims2 name (unary ()) in
+      Shape.of_array [| m; 1 |]
+  | Expr.Transpose ->
+      let m, n = dims2 name (unary ()) in
+      Shape.of_array [| n; m |]
+  | Expr.Cols (lo, hi) ->
+      let m, n = dims2 name (unary ()) in
+      let lo = normalize_col n lo and hi = normalize_col n hi in
+      if lo < 0 || hi > n || lo >= hi then
+        err "%s: empty column range on %d columns" name n;
+      Shape.of_array [| m; hi - lo |]
+  | Expr.Concat_cols -> (
+      match shapes with
+      | [] -> err "%s: expected at least 1 operand" name
+      | first :: _ ->
+          let m, _ = dims2 name first in
+          let total =
+            List.fold_left
+              (fun acc s ->
+                let m', n = dims2 name s in
+                if m' <> m then err "%s: row mismatch" name;
+                acc + n)
+              0 shapes
+          in
+          Shape.of_array [| m; total |])
+
+let access_result (a : Expr.access) (ty : Expr.ty) =
+  let n, elem =
+    match ty with
+    | Expr.List_ty (n, elem) -> (n, elem)
+    | _ -> err "access operator applied to a non-list value"
+  in
+  match a with
+  | Expr.Linear { shift; reverse = _ } ->
+      if shift < 0 || shift >= n then err "linear: shift %d out of %d" shift n;
+      Expr.List_ty (n - shift, elem)
+  | Expr.Strided { start; step } ->
+      if step < 1 then err "stride: step must be >= 1";
+      if start < 0 || start >= n then err "stride: bad start %d" start;
+      Expr.List_ty (1 + ((n - 1 - start) / step), elem)
+  | Expr.Windowed { size; stride; dilation } ->
+      let span = ((size - 1) * dilation) + 1 in
+      if span > n then err "window: span %d exceeds extent %d" span n;
+      Expr.List_ty (((n - span) / stride) + 1, Expr.List_ty (size, elem))
+  | Expr.Shifted_slide { window } ->
+      if window > n then err "shifted_slide: window %d exceeds extent %d" window n;
+      Expr.List_ty (n, Expr.List_ty (window, elem))
+  | Expr.Slice { lo; hi } ->
+      let lo = normalize_col n lo and hi = normalize_col n hi in
+      if lo < 0 || hi > n || lo >= hi then err "slice: empty range";
+      Expr.List_ty (hi - lo, elem)
+  | Expr.Indirect idx ->
+      Array.iter
+        (fun i -> if i < 0 || i >= n then err "indirect: index %d out of %d" i n)
+        idx;
+      Expr.List_ty (Array.length idx, elem)
+  | Expr.Interleave { phases } ->
+      if phases < 1 || n mod phases <> 0 then
+        err "interleave: %d phases do not divide extent %d" phases n;
+      Expr.List_ty (phases, Expr.List_ty (n / phases, elem))
+
+(* Bind SOAC lambda parameters: a k-parameter lambda over a k-tuple
+   element destructures it; a 1-parameter lambda binds the element. *)
+let bind_elem_params env params (elem : Expr.ty) =
+  match (params, elem) with
+  | [ p ], _ -> (p, elem) :: env
+  | ps, Expr.Tuple_ty ts when List.length ps = List.length ts ->
+      List.combine ps ts @ env
+  | ps, _ ->
+      err "lambda takes %d element parameters but the element is %s"
+        (List.length ps)
+        (Expr.ty_to_string elem)
+
+let rec infer env (e : Expr.t) : Expr.ty =
+  match e with
+  | Expr.Var v -> (
+      match List.assoc_opt v env with
+      | Some ty -> ty
+      | None -> err "unbound variable %s" v)
+  | Expr.Lit t -> Expr.Tensor_ty (Tensor.shape t)
+  | Expr.Tuple es -> Expr.Tuple_ty (List.map (infer env) es)
+  | Expr.Proj (e, i) -> (
+      match infer env e with
+      | Expr.Tuple_ty ts when i >= 0 && i < List.length ts -> List.nth ts i
+      | ty -> err "projection .%d on %s" i (Expr.ty_to_string ty))
+  | Expr.Prim (p, es) ->
+      let shapes =
+        List.map
+          (fun e ->
+            match infer env e with
+            | Expr.Tensor_ty s -> s
+            | ty ->
+                err "primitive %s applied to non-tensor %s" (Expr.prim_name p)
+                  (Expr.ty_to_string ty))
+          es
+      in
+      Expr.Tensor_ty (prim_result_shape p shapes)
+  | Expr.Access (a, e) -> access_result a (infer env e)
+  | Expr.Zip es -> (
+      match List.map (infer env) es with
+      | [] -> err "zip of nothing"
+      | (Expr.List_ty (n, _) :: _) as tys ->
+          let elems =
+            List.map
+              (function
+                | Expr.List_ty (n', elem) when n' = n -> elem
+                | Expr.List_ty (n', _) ->
+                    err "zip: extents %d and %d differ" n n'
+                | ty -> err "zip of non-list %s" (Expr.ty_to_string ty))
+              tys
+          in
+          Expr.List_ty (n, Expr.Tuple_ty elems)
+      | ty :: _ -> err "zip of non-list %s" (Expr.ty_to_string ty))
+  | Expr.Index (e, is) ->
+      List.fold_left
+        (fun ty i ->
+          match ty with
+          | Expr.List_ty (n, elem) ->
+              let i = normalize_col n i in
+              if i < 0 || i >= n then err "index %d out of extent %d" i n;
+              elem
+          | ty -> err "indexing into %s" (Expr.ty_to_string ty))
+        (infer env e) is
+  | Expr.Soac s -> infer_soac env s
+  | Expr.Let (x, e1, e2) -> infer ((x, infer env e1) :: env) e2
+
+and infer_soac env { Expr.kind; fn; init; xs } =
+  let xs_ty = infer env xs in
+  let n, elem =
+    match xs_ty with
+    | Expr.List_ty (n, elem) -> (n, elem)
+    | ty ->
+        err "%s applied to non-list %s" (Expr.soac_kind_name kind)
+          (Expr.ty_to_string ty)
+  in
+  match kind with
+  | Expr.Map ->
+      let env' = bind_elem_params env fn.params elem in
+      Expr.List_ty (n, infer env' fn.body)
+  | Expr.Reduce | Expr.Foldl | Expr.Foldr | Expr.Scanl | Expr.Scanr -> (
+      let state_ty =
+        match init with
+        | Some e -> infer env e
+        | None -> elem
+      in
+      match fn.params with
+      | [] -> err "%s: lambda needs a state parameter" (Expr.soac_kind_name kind)
+      | state :: elem_params ->
+          let env' =
+            bind_elem_params ((state, state_ty) :: env)
+              (if elem_params = [] then [ "_unused_elem" ] else elem_params)
+              elem
+          in
+          let body_ty = infer env' fn.body in
+          if body_ty <> state_ty then
+            err "%s: step returns %s but the carried state is %s"
+              (Expr.soac_kind_name kind)
+              (Expr.ty_to_string body_ty)
+              (Expr.ty_to_string state_ty);
+          (match kind with
+          | Expr.Scanl | Expr.Scanr -> Expr.List_ty (n, state_ty)
+          | Expr.Reduce | Expr.Foldl | Expr.Foldr -> state_ty
+          | Expr.Map -> assert false))
+
+let check_program (p : Expr.program) = infer p.inputs p.body

@@ -1,0 +1,24 @@
+(** Shape and depth inference for frontend programs (paper §4.3:
+    "the shape of the final resulting FractalTensor can be inferred
+    through shape inference").
+
+    Every programmable extent is concrete at check time — exactly the
+    situation of the paper's tracer, which sees actual FractalTensor
+    instances.  The checker rejects programs that would fail at run
+    time: rank/shape mismatches in primitive math, zip length
+    mismatches, aggregate state/element confusion, unbound variables. *)
+
+exception Type_error of string
+
+val infer : (string * Expr.ty) list -> Expr.t -> Expr.ty
+(** [infer env e] is the type of [e] with free variables bound by [env].
+    @raise Type_error on ill-typed programs. *)
+
+val check_program : Expr.program -> Expr.ty
+(** Infer the result type of a whole program.
+    @raise Type_error as {!infer}. *)
+
+val prim_result_shape : Expr.prim -> Shape.t list -> Shape.t
+(** Output shape of a primitive applied to operand shapes — shared with
+    the compiler's operation-node lowering.
+    @raise Type_error on invalid operands. *)

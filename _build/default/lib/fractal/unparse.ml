@@ -1,0 +1,134 @@
+exception Unprintable of string
+
+let shape_lit s =
+  "["
+  ^ String.concat "," (Array.to_list (Array.map string_of_int (Shape.dims s)))
+  ^ "]"
+
+(* Numbers must survive a parse round trip: integers print bare,
+   everything else with enough digits. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    string_of_int (int_of_float v)
+  else Printf.sprintf "%.17g" v
+
+let lit t =
+  let d = Tensor.data t in
+  if Shape.rank (Tensor.shape t) = 0 then number d.(0)
+  else
+    let v = d.(0) in
+    if Array.for_all (fun x -> x = v) d then
+      if v = 0.0 then "zeros" ^ shape_lit (Tensor.shape t)
+      else if v = 1.0 then "ones" ^ shape_lit (Tensor.shape t)
+      else
+        Printf.sprintf "full%s(%s)" (shape_lit (Tensor.shape t)) (number v)
+    else raise (Unprintable "non-uniform literal tensor")
+
+(* Precedence levels: 0 = let, 1 = sum, 2 = product, 3 = matmul,
+   4 = postfix/atom.  [go level e] parenthesises when [e] binds looser
+   than the context requires. *)
+let rec go level (e : Expr.t) =
+  let prec, printed =
+    match e with
+    | Expr.Let (x, e1, e2) ->
+        (0, Printf.sprintf "let %s = %s in %s" x (go 1 e1) (go 0 e2))
+    | Expr.Prim (Expr.Add, [ a; b ]) ->
+        (1, Printf.sprintf "%s + %s" (go 1 a) (go 2 b))
+    | Expr.Prim (Expr.Sub, [ a; b ]) ->
+        (1, Printf.sprintf "%s - %s" (go 1 a) (go 2 b))
+    | Expr.Prim (Expr.Mul, [ a; b ]) ->
+        (2, Printf.sprintf "%s * %s" (go 2 a) (go 3 b))
+    | Expr.Prim (Expr.Div, [ a; b ]) ->
+        (2, Printf.sprintf "%s / %s" (go 2 a) (go 3 b))
+    | Expr.Prim (Expr.Matmul, [ a; b ]) ->
+        (3, Printf.sprintf "%s @ %s" (go 3 a) (go 4 b))
+    | Expr.Prim (Expr.Matmul_t, [ a; b ]) ->
+        (3, Printf.sprintf "%s @T %s" (go 3 a) (go 4 b))
+    | Expr.Prim (Expr.Maximum, [ a; b ]) ->
+        (4, Printf.sprintf "max(%s, %s)" (go 0 a) (go 0 b))
+    | Expr.Prim (Expr.Scale k, [ a ]) ->
+        (4, Printf.sprintf "scale(%s, %s)" (number k) (go 0 a))
+    | Expr.Prim (Expr.Cols (lo, hi), [ a ]) ->
+        (4, Printf.sprintf "cols(%d, %d, %s)" lo hi (go 0 a))
+    | Expr.Prim (Expr.Concat_cols, es) ->
+        (4, Printf.sprintf "concat_cols(%s)"
+             (String.concat ", " (List.map (go 0) es)))
+    | Expr.Prim (p, [ a ]) ->
+        let name =
+          match p with
+          | Expr.Tanh -> "tanh"
+          | Expr.Sigmoid -> "sigmoid"
+          | Expr.Exp -> "exp"
+          | Expr.Neg -> "neg"
+          | Expr.Relu -> "relu"
+          | Expr.Softmax -> "softmax"
+          | Expr.Row_max -> "rowmax"
+          | Expr.Row_sum -> "rowsum"
+          | Expr.Transpose -> "transpose"
+          | other -> raise (Unprintable (Expr.prim_name other))
+        in
+        (4, Printf.sprintf "%s(%s)" name (go 0 a))
+    | Expr.Prim (p, _) -> raise (Unprintable (Expr.prim_name p))
+    | Expr.Var v -> (4, v)
+    | Expr.Lit t -> (4, lit t)
+    | Expr.Tuple es ->
+        (4, Printf.sprintf "(%s)" (String.concat ", " (List.map (go 0) es)))
+    | Expr.Zip es ->
+        (4, Printf.sprintf "zip(%s)" (String.concat ", " (List.map (go 0) es)))
+    | Expr.Proj (e, i) -> (4, Printf.sprintf "%s.%d" (go 4 e) i)
+    | Expr.Index (e, is) ->
+        ( 4,
+          go 4 e
+          ^ String.concat ""
+              (List.map (fun i -> Printf.sprintf "[%d]" i) is) )
+    | Expr.Access (a, e) ->
+        let call =
+          match a with
+          | Expr.Slice { lo; hi } -> Printf.sprintf "slice(%d, %d)" lo hi
+          | Expr.Windowed { size; stride; dilation } ->
+              Printf.sprintf "window(%d, %d, %d)" size stride dilation
+          | Expr.Strided { start; step } ->
+              Printf.sprintf "stride(%d, %d)" start step
+          | Expr.Shifted_slide { window } ->
+              Printf.sprintf "shifted_slide(%d)" window
+          | Expr.Interleave { phases } ->
+              Printf.sprintf "interleave(%d)" phases
+          | Expr.Linear { shift; reverse = false } ->
+              Printf.sprintf "linear(%d)" shift
+          | Expr.Linear { reverse = true; _ } ->
+              raise (Unprintable "reverse access")
+          | Expr.Indirect _ -> raise (Unprintable "indirect access")
+        in
+        (4, Printf.sprintf "%s.%s" (go 4 e) call)
+    | Expr.Soac { kind; fn; init; xs } ->
+        let seed =
+          match init with
+          | None -> ""
+          | Some e -> Printf.sprintf "(%s)" (go 0 e)
+        in
+        ( 4,
+          Printf.sprintf "%s.%s%s { |%s| %s }" (go 4 xs)
+            (Expr.soac_kind_name kind)
+            seed
+            (String.concat ", " fn.params)
+            (go 0 fn.body) )
+  in
+  if prec < level then "(" ^ printed ^ ")" else printed
+
+let expr e = go 0 e
+
+let rec ty = function
+  | Expr.Tensor_ty s ->
+      "f32" ^ shape_lit s
+  | Expr.List_ty (n, inner) -> Printf.sprintf "[%d]%s" n (ty inner)
+  | Expr.Tuple_ty _ -> raise (Unprintable "tuple type in an input declaration")
+
+let program (p : Expr.program) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "program %s\n" p.Expr.name);
+  List.iter
+    (fun (x, t) ->
+      Buffer.add_string buf (Printf.sprintf "input %s: %s\n" x (ty t)))
+    p.Expr.inputs;
+  Buffer.add_string buf ("return " ^ expr p.Expr.body ^ "\n");
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Pretty-printing programs back to the concrete syntax of {!Parse}.
+
+    [Parse.program (Unparse.program p)] yields a structurally equal
+    program for every program in the printable fragment (everything the
+    workloads use except arbitrary literal tensors, which print as
+    [zeros]/[ones]/[full] when uniform and are otherwise rejected).
+    The round trip is property-tested. *)
+
+exception Unprintable of string
+(** Raised for literal tensors with no concrete-syntax form
+    (non-uniform contents). *)
+
+val expr : Expr.t -> string
+val ty : Expr.ty -> string
+val program : Expr.program -> string

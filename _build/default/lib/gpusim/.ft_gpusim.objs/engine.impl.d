@@ -1,0 +1,1 @@
+lib/gpusim/engine.ml: Format Kernel List

@@ -1,0 +1,1 @@
+lib/gpusim/engine.mli: Device Format Kernel

@@ -1,0 +1,64 @@
+type t = {
+  name : string;
+  sm_count : int;
+  fp32_gflops : float;
+  tensor_gflops : float;
+  dram_bw_gbs : float;
+  l2_bw_gbs : float;
+  l1_bw_gbs : float;
+  l2_bytes : int;
+  l1_bytes_per_sm : int;
+  kernel_launch_us : float;
+  blocks_for_full_occupancy : int;
+}
+
+let a100 =
+  {
+    name = "A100-SXM4-40GB";
+    sm_count = 108;
+    fp32_gflops = 19_500.0;
+    tensor_gflops = 156_000.0;
+    dram_bw_gbs = 1_555.0;
+    l2_bw_gbs = 4_500.0;
+    l1_bw_gbs = 19_400.0;
+    l2_bytes = 40 * 1024 * 1024;
+    l1_bytes_per_sm = 192 * 1024;
+    kernel_launch_us = 4.0;
+    blocks_for_full_occupancy = 216; (* 2 resident blocks per SM *)
+  }
+
+let h100 =
+  {
+    name = "H100-SXM5-80GB";
+    sm_count = 132;
+    fp32_gflops = 67_000.0;
+    tensor_gflops = 494_500.0; (* TF32 dense *)
+    dram_bw_gbs = 3_350.0;
+    l2_bw_gbs = 12_000.0;
+    l1_bw_gbs = 33_000.0;
+    l2_bytes = 50 * 1024 * 1024;
+    l1_bytes_per_sm = 228 * 1024;
+    kernel_launch_us = 3.5;
+    blocks_for_full_occupancy = 264;
+  }
+
+let v100 =
+  {
+    name = "V100-SXM2-16GB";
+    sm_count = 80;
+    fp32_gflops = 15_700.0;
+    tensor_gflops = 125_000.0; (* FP16 TC; no TF32 on Volta *)
+    dram_bw_gbs = 900.0;
+    l2_bw_gbs = 2_500.0;
+    l1_bw_gbs = 12_000.0;
+    l2_bytes = 6 * 1024 * 1024;
+    l1_bytes_per_sm = 128 * 1024;
+    kernel_launch_us = 5.0;
+    blocks_for_full_occupancy = 160;
+  }
+
+let occupancy dev tasks =
+  if tasks <= 0 then 1.0 /. float_of_int dev.blocks_for_full_occupancy
+  else
+    Float.min 1.0
+      (float_of_int tasks /. float_of_int dev.blocks_for_full_occupancy)

@@ -1,0 +1,38 @@
+(** GPU device models for the analytical simulator.
+
+    The paper evaluates on an NVIDIA A100; this container has no GPU,
+    so the reproduction executes schedules against a device description
+    instead (DESIGN.md §2).  Parameters follow the A100 whitepaper:
+    108 SMs, 19.5 TFLOP/s FP32 (156 TFLOP/s TF32 tensor core),
+    1555 GB/s HBM2, 40 MB L2, 192 KB unified L1/shared per SM. *)
+
+type t = {
+  name : string;
+  sm_count : int;
+  fp32_gflops : float;        (** peak FP32, GFLOP/s *)
+  tensor_gflops : float;      (** peak TF32 tensor-core, GFLOP/s *)
+  dram_bw_gbs : float;        (** HBM bandwidth, GB/s *)
+  l2_bw_gbs : float;          (** aggregate L2 bandwidth, GB/s *)
+  l1_bw_gbs : float;          (** aggregate L1/shared bandwidth, GB/s *)
+  l2_bytes : int;
+  l1_bytes_per_sm : int;
+  kernel_launch_us : float;   (** driver launch latency per kernel *)
+  blocks_for_full_occupancy : int;
+      (** resident thread blocks needed to saturate the device *)
+}
+
+val a100 : t
+
+val h100 : t
+(** H100-SXM5 parameters (132 SMs, 3.35 TB/s HBM3, 50 MB L2, 989
+    TFLOP/s TF32 tensor core) — the paper's discussion (§7) notes the
+    programming model is hardware independent; plans retarget by
+    swapping the device description. *)
+
+val v100 : t
+(** V100-SXM2 (80 SMs, 900 GB/s HBM2, 6 MB L2): a smaller-cache device
+    on which deferred materialization matters even more. *)
+
+val occupancy : t -> int -> float
+(** [occupancy dev tasks] in (0, 1]: the fraction of peak compute a
+    kernel with [tasks] independent thread blocks can reach. *)

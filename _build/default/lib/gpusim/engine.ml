@@ -1,0 +1,46 @@
+type metrics = {
+  time_ms : float;
+  dram_gb : float;
+  l2_gb : float;
+  l1_gb : float;
+  kernels : int;
+  total_flops : float;
+}
+
+let run dev kernels =
+  let time_us = ref 0.0
+  and dram = ref 0.0
+  and l2 = ref 0.0
+  and l1 = ref 0.0
+  and flops = ref 0.0 in
+  List.iter
+    (fun k ->
+      time_us := !time_us +. Kernel.total_time_us dev k;
+      dram := !dram +. k.Kernel.dram_read +. k.Kernel.dram_write;
+      l2 := !l2 +. k.Kernel.l2_bytes;
+      l1 := !l1 +. k.Kernel.l1_bytes;
+      flops := !flops +. k.Kernel.flops)
+    kernels;
+  {
+    time_ms = !time_us /. 1e3;
+    dram_gb = !dram /. 1e9;
+    l2_gb = !l2 /. 1e9;
+    l1_gb = !l1 /. 1e9;
+    kernels = List.length kernels;
+    total_flops = !flops;
+  }
+
+let pp_metrics fmt m =
+  Format.fprintf fmt
+    "%.3f ms, %d kernels, DRAM %.2f GB, L2 %.2f GB, L1 %.2f GB, %.2f GFLOP"
+    m.time_ms m.kernels m.dram_gb m.l2_gb m.l1_gb (m.total_flops /. 1e9)
+
+let add a b =
+  {
+    time_ms = a.time_ms +. b.time_ms;
+    dram_gb = a.dram_gb +. b.dram_gb;
+    l2_gb = a.l2_gb +. b.l2_gb;
+    l1_gb = a.l1_gb +. b.l1_gb;
+    kernels = a.kernels + b.kernels;
+    total_flops = a.total_flops +. b.total_flops;
+  }

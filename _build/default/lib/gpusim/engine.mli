@@ -1,0 +1,23 @@
+(** Timeline execution of kernel plans.
+
+    Kernels issue on a single stream (CUDA's default execution model
+    for the frameworks compared in the paper): total time is the sum of
+    per-kernel times, with per-kernel launch/host overhead overlapping
+    pipelined execution.  Memory counters aggregate across kernels —
+    these are the numbers Table 7 profiles on the real hardware. *)
+
+type metrics = {
+  time_ms : float;
+  dram_gb : float;   (** total HBM traffic, read + write *)
+  l2_gb : float;
+  l1_gb : float;
+  kernels : int;
+  total_flops : float;
+}
+
+val run : Device.t -> Kernel.t list -> metrics
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
+val add : metrics -> metrics -> metrics
+(** Sequential composition of two runs. *)

@@ -1,0 +1,49 @@
+(** Abstract GPU kernels: the unit of simulated execution.
+
+    A kernel is characterised by its arithmetic work, the bytes it
+    moves at each level of the memory hierarchy, and its exploitable
+    parallelism.  Scheduling policies (ours and every baseline) produce
+    the same math but different kernels: more or fewer launches, more
+    or less materialised traffic — which is exactly the paper's source
+    of performance differences. *)
+
+type t = {
+  k_name : string;
+  flops : float;
+  dram_read : float;       (** bytes from HBM *)
+  dram_write : float;      (** bytes to HBM *)
+  l2_bytes : float;        (** total L2 transaction bytes *)
+  l1_bytes : float;        (** total L1/shared transaction bytes *)
+  parallel_tasks : int;    (** independent thread blocks *)
+  uses_tensor_core : bool;
+  host_overhead_us : float;
+      (** framework CPU time to issue this kernel (dispatch, shape
+          checks, allocator) — dominates small-kernel DAG execution *)
+  launch_free : bool;
+      (** a step inside a persistent fused kernel (grid-sync between
+          wavefronts): no per-step launch or host cost *)
+}
+
+val make :
+  ?dram_read:float ->
+  ?dram_write:float ->
+  ?l2_bytes:float ->
+  ?l1_bytes:float ->
+  ?uses_tensor_core:bool ->
+  ?host_overhead_us:float ->
+  ?launch_free:bool ->
+  name:string ->
+  flops:float ->
+  parallel_tasks:int ->
+  unit ->
+  t
+
+val exec_time_us : Device.t -> t -> float
+(** Roofline execution time: the maximum of the compute time at the
+    kernel's achievable occupancy and each memory level's transfer
+    time.  Excludes launch/host overhead. *)
+
+val total_time_us : Device.t -> t -> float
+(** [exec_time_us] plus the larger of device launch latency and the
+    issuing framework's host overhead (kernel launches pipeline behind
+    host dispatch, so the two overlap). *)

@@ -1,0 +1,36 @@
+let gemm ?(alpha = 1.0) ?(beta = 1.0) ~c a b =
+  let ab = Tensor.matmul a b in
+  let scaled = if alpha = 1.0 then ab else Tensor.scale alpha ab in
+  if beta = 0.0 then scaled else Tensor.add scaled (Tensor.scale beta c)
+
+let linear x w b = Tensor.add (Tensor.matmul x w) b
+
+let rnn_cell ~x ~h ~w ~u ~b =
+  Tensor.tanh (Tensor.add (Tensor.add (Tensor.matmul x w) (Tensor.matmul h u)) b)
+
+let lstm_gates ~x ~h ~ws ~us ~bs =
+  if Array.length ws <> 4 || Array.length us <> 4 || Array.length bs <> 4 then
+    invalid_arg "Kernels.lstm_gates: expected 4 weight sets";
+  Array.init 4 (fun g ->
+      Tensor.add
+        (Tensor.add (Tensor.matmul x ws.(g)) (Tensor.matmul h us.(g)))
+        bs.(g))
+
+let lstm_cell ~x ~h ~c ~ws ~us ~bs =
+  let gs = lstm_gates ~x ~h ~ws ~us ~bs in
+  let i = Tensor.sigmoid gs.(0)
+  and f = Tensor.sigmoid gs.(1)
+  and o = Tensor.sigmoid gs.(2)
+  and c_hat = Tensor.tanh gs.(3) in
+  let c' = Tensor.add (Tensor.mul f c) (Tensor.mul i c_hat) in
+  let h' = Tensor.mul o (Tensor.tanh c') in
+  (c', h')
+
+let attention_scores ~q ~k = Tensor.matmul q (Tensor.transpose k)
+
+let attention ~q ~k ~v =
+  Tensor.matmul (Tensor.softmax (attention_scores ~q ~k)) v
+
+let matmul_flops ~m ~n ~k = 2 * m * n * k
+let elementwise_flops s = Shape.numel s
+let softmax_flops ~m ~n = 4 * m * n

@@ -1,0 +1,41 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix s }
+
+let float t =
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let normal t =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-12 then draw () else u
+  in
+  let u1 = draw () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* keep 62 bits so Int64.to_int cannot produce a negative value *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod n

@@ -1,0 +1,28 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Based on SplitMix64.  Every workload in the reproduction draws its
+    inputs from this generator so that tests, examples and benchmarks are
+    bit-reproducible across runs. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds an independent stream from [seed]. *)
+
+val split : t -> t
+(** A statistically independent child stream; the parent advances. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). *)
+
+val normal : t -> float
+(** Standard normal via Box–Muller. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). @raise Invalid_argument if [n <= 0]. *)

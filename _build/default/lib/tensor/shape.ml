@@ -1,0 +1,75 @@
+type t = int array
+
+let of_array dims =
+  Array.iteri
+    (fun i d ->
+      if d < 1 then
+        invalid_arg
+          (Printf.sprintf "Shape.of_array: axis %d has non-positive extent %d"
+             i d))
+    dims;
+  Array.copy dims
+
+let of_list dims = of_array (Array.of_list dims)
+let scalar : t = [||]
+let dims (s : t) = Array.copy s
+let rank (s : t) = Array.length s
+
+let dim (s : t) i =
+  if i < 0 || i >= Array.length s then
+    invalid_arg (Printf.sprintf "Shape.dim: axis %d out of range" i);
+  s.(i)
+
+let numel (s : t) = Array.fold_left ( * ) 1 s
+let equal (a : t) (b : t) = a = b
+
+let strides (s : t) =
+  let n = Array.length s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let ravel (s : t) idx =
+  let n = Array.length s in
+  if Array.length idx <> n then
+    invalid_arg "Shape.ravel: index rank mismatch";
+  let st = strides s in
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    if idx.(i) < 0 || idx.(i) >= s.(i) then
+      invalid_arg
+        (Printf.sprintf "Shape.ravel: index %d out of bounds on axis %d"
+           idx.(i) i);
+    off := !off + (idx.(i) * st.(i))
+  done;
+  !off
+
+let unravel (s : t) off =
+  if off < 0 || off >= numel s then invalid_arg "Shape.unravel: out of bounds";
+  let n = Array.length s in
+  let idx = Array.make n 0 in
+  let st = strides s in
+  let rest = ref off in
+  for i = 0 to n - 1 do
+    idx.(i) <- !rest / st.(i);
+    rest := !rest mod st.(i)
+  done;
+  idx
+
+let concat_outer n (s : t) =
+  if n < 1 then invalid_arg "Shape.concat_outer: non-positive extent";
+  Array.append [| n |] s
+
+let drop_outer (s : t) =
+  if Array.length s = 0 then invalid_arg "Shape.drop_outer: rank-0 shape";
+  Array.sub s 1 (Array.length s - 1)
+
+let broadcastable (a : t) (b : t) =
+  equal a b || Array.length a = 0 || Array.length b = 0
+
+let to_string (s : t) =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -1,0 +1,58 @@
+(** Static tensor shapes.
+
+    A shape is an ordered list of strictly positive dimension extents,
+    row-major.  Shapes are immutable; all functions return fresh values.
+    FractalTensor leaf tensors always carry a static shape known at
+    compile time (paper §4.1). *)
+
+type t
+(** A static shape, e.g. [[|1; 512|]] for a 512-wide row vector. *)
+
+val of_array : int array -> t
+(** [of_array dims] validates that every extent is [>= 1].
+    @raise Invalid_argument on a non-positive extent. *)
+
+val of_list : int list -> t
+
+val scalar : t
+(** The rank-0 shape (one element). *)
+
+val dims : t -> int array
+(** The extents, as a fresh array. *)
+
+val rank : t -> int
+
+val dim : t -> int -> int
+(** [dim s i] is the extent of axis [i] (0-based).
+    @raise Invalid_argument if [i] is out of range. *)
+
+val numel : t -> int
+(** Total number of elements (product of extents; 1 for a scalar). *)
+
+val equal : t -> t -> bool
+
+val strides : t -> int array
+(** Row-major strides: [strides [|a;b;c|] = [|b*c; c; 1|]]. *)
+
+val ravel : t -> int array -> int
+(** [ravel s idx] is the flat row-major offset of multi-index [idx].
+    @raise Invalid_argument if [idx] has wrong rank or is out of bounds. *)
+
+val unravel : t -> int -> int array
+(** Inverse of {!ravel}.
+    @raise Invalid_argument if the offset is out of bounds. *)
+
+val concat_outer : int -> t -> t
+(** [concat_outer n s] prepends an axis of extent [n]. *)
+
+val drop_outer : t -> t
+(** Removes the outermost axis.
+    @raise Invalid_argument on a rank-0 shape. *)
+
+val broadcastable : t -> t -> bool
+(** [broadcastable a b] holds when the two shapes are equal or one of
+    them is a scalar. FractalTensor math functions only need this
+    restricted form of broadcasting. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,297 @@
+type t = { shape : Shape.t; data : float array }
+
+let create shape data =
+  if Array.length data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.create: %d elements for shape %s"
+         (Array.length data) (Shape.to_string shape));
+  { shape; data }
+
+let full shape v = { shape; data = Array.make (Shape.numel shape) v }
+let zeros shape = full shape 0.0
+let ones shape = full shape 1.0
+let scalar v = { shape = Shape.scalar; data = [| v |] }
+
+let init shape f =
+  let n = Shape.numel shape in
+  let data = Array.init n (fun i -> f (Shape.unravel shape i)) in
+  { shape; data }
+
+let rand rng shape =
+  let n = Shape.numel shape in
+  { shape; data = Array.init n (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) }
+
+let randn rng shape =
+  let n = Shape.numel shape in
+  { shape; data = Array.init n (fun _ -> Rng.normal rng) }
+
+let shape t = t.shape
+let numel t = Array.length t.data
+let data t = t.data
+let get t idx = t.data.(Shape.ravel t.shape idx)
+let get1 t i = t.data.(i)
+
+let to_scalar t =
+  if Array.length t.data <> 1 then
+    invalid_arg "Tensor.to_scalar: tensor is not a singleton";
+  t.data.(0)
+
+let map f t = { t with data = Array.map f t.data }
+
+(* [m,1] against [m,n]: one value per row.  [1,n] against [m,n]: one
+   value per column.  These are the only broadcasts DNN cell functions
+   in this repository need (e.g. FlashAttention's running max/sum). *)
+let col_vector_against a b =
+  Shape.rank a.shape = 2 && Shape.rank b.shape = 2
+  && Shape.dim b.shape 1 = 1
+  && Shape.dim a.shape 0 = Shape.dim b.shape 0
+
+let row_vector_against a b =
+  Shape.rank a.shape = 2 && Shape.rank b.shape = 2
+  && Shape.dim b.shape 0 = 1
+  && Shape.dim a.shape 1 = Shape.dim b.shape 1
+
+let map2 f a b =
+  if Shape.equal a.shape b.shape then
+    { a with data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i)) }
+  else if Shape.rank b.shape = 0 then
+    let v = b.data.(0) in
+    { a with data = Array.map (fun x -> f x v) a.data }
+  else if Shape.rank a.shape = 0 then
+    let v = a.data.(0) in
+    { b with data = Array.map (fun x -> f v x) b.data }
+  else if col_vector_against a b then
+    let n = Shape.dim a.shape 1 in
+    { a with
+      data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i / n)) }
+  else if col_vector_against b a then
+    let n = Shape.dim b.shape 1 in
+    { b with
+      data = Array.init (numel b) (fun i -> f a.data.(i / n) b.data.(i)) }
+  else if row_vector_against a b then
+    let n = Shape.dim a.shape 1 in
+    { a with
+      data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i mod n)) }
+  else if row_vector_against b a then
+    let n = Shape.dim b.shape 1 in
+    { b with
+      data = Array.init (numel b) (fun i -> f a.data.(i mod n) b.data.(i)) }
+  else
+    invalid_arg
+      (Printf.sprintf "Tensor.map2: incompatible shapes %s and %s"
+         (Shape.to_string a.shape) (Shape.to_string b.shape))
+
+let maximum = map2 Float.max
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let scale k = map (fun x -> k *. x)
+let neg = map (fun x -> -.x)
+let exp = map Stdlib.exp
+let tanh = map Stdlib.tanh
+let sigmoid = map (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
+let relu = map (fun x -> if x > 0.0 then x else 0.0)
+
+let require_rank2 name t =
+  if Shape.rank t.shape <> 2 then
+    invalid_arg (name ^ ": expected a rank-2 tensor")
+
+(* Blocked i-k-j matmul: the k-major inner loop streams rows of [b],
+   which keeps the working set cache-resident for the shapes used in
+   this repository (hidden sizes up to 1024). *)
+let matmul a b =
+  require_rank2 "Tensor.matmul" a;
+  require_rank2 "Tensor.matmul" b;
+  let m = Shape.dim a.shape 0 and k = Shape.dim a.shape 1 in
+  let k' = Shape.dim b.shape 0 and n = Shape.dim b.shape 1 in
+  if k <> k' then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul: inner dims %d and %d differ" k k');
+  let out = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * k and orow = i * n in
+    for p = 0 to k - 1 do
+      let av = ad.(arow + p) in
+      if av <> 0.0 then begin
+        let brow = p * n in
+        for j = 0 to n - 1 do
+          out.(orow + j) <- out.(orow + j) +. (av *. bd.(brow + j))
+        done
+      end
+    done
+  done;
+  { shape = Shape.of_array [| m; n |]; data = out }
+
+let transpose t =
+  require_rank2 "Tensor.transpose" t;
+  let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      out.((j * m) + i) <- t.data.((i * n) + j)
+    done
+  done;
+  { shape = Shape.of_array [| n; m |]; data = out }
+
+let dot a b =
+  if numel a <> numel b then invalid_arg "Tensor.dot: size mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let max t =
+  if numel t = 0 then invalid_arg "Tensor.max: empty tensor";
+  Array.fold_left Float.max t.data.(0) t.data
+
+let mean t = sum t /. float_of_int (numel t)
+
+let row_reduce name f init t =
+  require_rank2 name t;
+  let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
+  let out = Array.make m init in
+  for i = 0 to m - 1 do
+    let acc = ref t.data.(i * n) in
+    for j = 1 to n - 1 do
+      acc := f !acc t.data.((i * n) + j)
+    done;
+    out.(i) <- !acc
+  done;
+  { shape = Shape.of_array [| m; 1 |]; data = out }
+
+let row_max t = row_reduce "Tensor.row_max" Float.max neg_infinity t
+let row_sum t = row_reduce "Tensor.row_sum" ( +. ) 0.0 t
+
+let softmax t =
+  require_rank2 "Tensor.softmax" t;
+  let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    let base = i * n in
+    let mx = ref t.data.(base) in
+    for j = 1 to n - 1 do
+      if t.data.(base + j) > !mx then mx := t.data.(base + j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to n - 1 do
+      let e = Stdlib.exp (t.data.(base + j) -. !mx) in
+      out.(base + j) <- e;
+      z := !z +. e
+    done;
+    for j = 0 to n - 1 do
+      out.(base + j) <- out.(base + j) /. !z
+    done
+  done;
+  { t with data = out }
+
+let reshape t shape =
+  if Shape.numel shape <> numel t then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { shape; data = t.data }
+
+let concat_rows ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat_rows: empty list"
+  | first :: _ ->
+      require_rank2 "Tensor.concat_rows" first;
+      let n = Shape.dim first.shape 1 in
+      let total =
+        List.fold_left
+          (fun acc t ->
+            require_rank2 "Tensor.concat_rows" t;
+            if Shape.dim t.shape 1 <> n then
+              invalid_arg "Tensor.concat_rows: column mismatch";
+            acc + Shape.dim t.shape 0)
+          0 ts
+      in
+      let out = Array.make (total * n) 0.0 in
+      let row = ref 0 in
+      List.iter
+        (fun t ->
+          Array.blit t.data 0 out (!row * n) (numel t);
+          row := !row + Shape.dim t.shape 0)
+        ts;
+      { shape = Shape.of_array [| total; n |]; data = out }
+
+let slice_rows t lo hi =
+  require_rank2 "Tensor.slice_rows" t;
+  let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
+  if lo < 0 || hi > m || lo >= hi then
+    invalid_arg
+      (Printf.sprintf "Tensor.slice_rows: [%d,%d) out of %d rows" lo hi m);
+  { shape = Shape.of_array [| hi - lo; n |];
+    data = Array.sub t.data (lo * n) ((hi - lo) * n) }
+
+let slice_cols t lo hi =
+  require_rank2 "Tensor.slice_cols" t;
+  let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
+  if lo < 0 || hi > n || lo >= hi then
+    invalid_arg
+      (Printf.sprintf "Tensor.slice_cols: [%d,%d) out of %d columns" lo hi n);
+  let w = hi - lo in
+  let out = Array.make (m * w) 0.0 in
+  for i = 0 to m - 1 do
+    Array.blit t.data ((i * n) + lo) out (i * w) w
+  done;
+  { shape = Shape.of_array [| m; w |]; data = out }
+
+let concat_cols ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat_cols: empty list"
+  | first :: _ ->
+      require_rank2 "Tensor.concat_cols" first;
+      let m = Shape.dim first.shape 0 in
+      let total =
+        List.fold_left
+          (fun acc t ->
+            require_rank2 "Tensor.concat_cols" t;
+            if Shape.dim t.shape 0 <> m then
+              invalid_arg "Tensor.concat_cols: row mismatch";
+            acc + Shape.dim t.shape 1)
+          0 ts
+      in
+      let out = Array.make (m * total) 0.0 in
+      let col = ref 0 in
+      List.iter
+        (fun t ->
+          let n = Shape.dim t.shape 1 in
+          for i = 0 to m - 1 do
+            Array.blit t.data (i * n) out ((i * total) + !col) n
+          done;
+          col := !col + n)
+        ts;
+      { shape = Shape.of_array [| m; total |]; data = out }
+
+let copy t = { t with data = Array.copy t.data }
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let d = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    let x = Float.abs (a.data.(i) -. b.data.(i)) in
+    if x > !d then d := x
+  done;
+  !d
+
+let equal_approx ?(eps = 1e-4) a b =
+  Shape.equal a.shape b.shape && max_abs_diff a b <= eps
+
+let pp fmt t =
+  Format.fprintf fmt "tensor%s" (Shape.to_string t.shape);
+  if numel t <= 8 then begin
+    Format.fprintf fmt "{";
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Format.fprintf fmt "; ";
+        Format.fprintf fmt "%g" v)
+      t.data;
+    Format.fprintf fmt "}"
+  end
+
+let to_string t = Format.asprintf "%a" pp t

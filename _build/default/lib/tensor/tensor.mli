@@ -1,0 +1,123 @@
+(** Dense, row-major, float tensors with static shapes.
+
+    These are the leaf elements of a FractalTensor (paper §4.1): math
+    operations are defined only on these statically-shaped values.  The
+    implementation is pure OCaml over flat [float array]s and is used for
+    the numerical (correctness) side of the reproduction; performance
+    modelling happens in the GPU simulator, not here. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : Shape.t -> float array -> t
+(** [create shape data] wraps [data] (not copied).
+    @raise Invalid_argument if [Array.length data <> Shape.numel shape]. *)
+
+val zeros : Shape.t -> t
+val ones : Shape.t -> t
+val full : Shape.t -> float -> t
+val scalar : float -> t
+
+val init : Shape.t -> (int array -> float) -> t
+(** [init shape f] fills each multi-index [idx] with [f idx]. *)
+
+val rand : Rng.t -> Shape.t -> t
+(** I.i.d. uniform values in [-1, 1), drawn from the given stream. *)
+
+val randn : Rng.t -> Shape.t -> t
+(** I.i.d. standard-normal values. *)
+
+(** {1 Observation} *)
+
+val shape : t -> Shape.t
+val numel : t -> int
+val data : t -> float array
+(** The underlying buffer (not a copy); callers must not mutate it. *)
+
+val get : t -> int array -> float
+val get1 : t -> int -> float
+(** Flat row-major access. *)
+
+val to_scalar : t -> float
+(** @raise Invalid_argument unless the tensor holds exactly one element. *)
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination with limited broadcasting: shapes must be
+    equal, or one side a scalar, or — for 2-D operands — one side an
+    [[m,1]] column vector or a [[1,n]] row vector against an [[m,n]]
+    tensor.  @raise Invalid_argument otherwise. *)
+
+val maximum : t -> t -> t
+(** Elementwise maximum (same broadcasting as {!map2}). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val exp : t -> t
+val tanh : t -> t
+val sigmoid : t -> t
+val relu : t -> t
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+(** [matmul a b] for 2-D [a : [m,k]] and [b : [k,n]].  Cache-blocked.
+    @raise Invalid_argument on rank or inner-dimension mismatch. *)
+
+val transpose : t -> t
+(** 2-D transpose. *)
+
+val dot : t -> t -> float
+(** Inner product of two same-shape tensors viewed flat. *)
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val max : t -> float
+val mean : t -> float
+
+val row_max : t -> t
+(** For 2-D [[m,n]]: per-row maximum, shape [[m,1]]. *)
+
+val row_sum : t -> t
+(** For 2-D [[m,n]]: per-row sum, shape [[m,1]]. *)
+
+val softmax : t -> t
+(** Numerically-stable row-wise softmax of a 2-D tensor. *)
+
+(** {1 Structure} *)
+
+val reshape : t -> Shape.t -> t
+(** Same element count, new shape; shares the buffer. *)
+
+val concat_rows : t list -> t
+(** Stacks 2-D tensors with equal column counts vertically. *)
+
+val slice_rows : t -> int -> int -> t
+(** [slice_rows t lo hi] is rows [lo, hi) of a 2-D tensor. *)
+
+val slice_cols : t -> int -> int -> t
+(** [slice_cols t lo hi] is columns [lo, hi) of a 2-D tensor. *)
+
+val concat_cols : t list -> t
+(** Stacks 2-D tensors with equal row counts horizontally. *)
+
+val copy : t -> t
+
+(** {1 Comparison and printing} *)
+
+val equal_approx : ?eps:float -> t -> t -> bool
+(** Shape equality plus max-abs-difference [<= eps] (default [1e-4]). *)
+
+val max_abs_diff : t -> t -> float
+(** @raise Invalid_argument on shape mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

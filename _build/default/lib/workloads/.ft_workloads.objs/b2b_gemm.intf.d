@@ -1,0 +1,1 @@
+lib/workloads/b2b_gemm.mli: Expr Fractal Rng

@@ -1,0 +1,1 @@
+lib/workloads/bigbird.ml: Expr Fractal List Option Shape Tensor

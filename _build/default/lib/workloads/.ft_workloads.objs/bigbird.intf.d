@@ -1,0 +1,1 @@
+lib/workloads/bigbird.mli: Expr Fractal Rng

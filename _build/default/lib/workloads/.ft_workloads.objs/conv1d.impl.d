@@ -1,0 +1,1 @@
+lib/workloads/conv1d.ml: Expr Fractal Shape Tensor

@@ -1,0 +1,1 @@
+lib/workloads/conv1d.mli: Expr Fractal Rng

@@ -1,0 +1,1 @@
+lib/workloads/dilated_rnn.ml: Array Expr Fractal List Printf Shape Soac Tensor

@@ -1,0 +1,1 @@
+lib/workloads/dilated_rnn.mli: Expr Fractal Rng

@@ -1,0 +1,1 @@
+lib/workloads/flash_attention.ml: Expr Fractal Kernels List Shape Tensor

@@ -1,0 +1,1 @@
+lib/workloads/flash_attention.mli: Expr Fractal Rng

@@ -1,0 +1,1 @@
+lib/workloads/grid_rnn.ml: Array Expr Fractal Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/workloads/grid_rnn.mli: Expr Fractal Rng

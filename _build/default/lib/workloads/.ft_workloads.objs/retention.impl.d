@@ -1,0 +1,1 @@
+lib/workloads/retention.ml: Array Expr Fractal List Shape Tensor

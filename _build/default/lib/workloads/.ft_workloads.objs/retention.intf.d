@@ -1,0 +1,1 @@
+lib/workloads/retention.mli: Expr Fractal Rng

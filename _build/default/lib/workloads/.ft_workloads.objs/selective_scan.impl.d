@@ -1,0 +1,1 @@
+lib/workloads/selective_scan.ml: Access Expr Fractal Shape Soac Tensor

@@ -1,0 +1,1 @@
+lib/workloads/selective_scan.mli: Expr Fractal Rng

@@ -1,0 +1,1 @@
+lib/workloads/stacked_lstm.ml: Array Expr Fractal Kernels Shape Stdlib Tensor

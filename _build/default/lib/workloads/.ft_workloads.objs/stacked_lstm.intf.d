@@ -1,0 +1,1 @@
+lib/workloads/stacked_lstm.mli: Expr Fractal Rng

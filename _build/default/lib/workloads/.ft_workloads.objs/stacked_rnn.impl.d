@@ -1,0 +1,1 @@
+lib/workloads/stacked_rnn.ml: Array Expr Fractal Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/workloads/stacked_rnn.mli: Expr Fractal Rng

@@ -1,0 +1,61 @@
+type config = {
+  m_blocks : int;
+  block_m : int;
+  k : int;
+  n : int;
+  p : int;
+}
+
+let default = { m_blocks = 3; block_m = 4; k = 8; n = 6; p = 5 }
+let paper = { m_blocks = 64; block_m = 128; k = 64; n = 64; p = 64 }
+
+(* ess = ass.map a => (a @ b) @ c *)
+let program cfg =
+  let open Expr in
+  {
+    name = "b2b_gemm";
+    inputs =
+      [
+        ( "ass",
+          List_ty (cfg.m_blocks, Tensor_ty (Shape.of_array [| cfg.block_m; cfg.k |]))
+        );
+        ("b", Tensor_ty (Shape.of_array [| cfg.k; cfg.n |]));
+        ("c", Tensor_ty (Shape.of_array [| cfg.n; cfg.p |]));
+      ];
+    body =
+      map_e ~params:[ "a" ]
+        ~body:
+          (Let
+             ( "d",
+               Matmul @@@ [ Var "a"; Var "b" ],
+               Matmul @@@ [ Var "d"; Var "c" ] ))
+        (Var "ass");
+  }
+
+type inputs = {
+  ass : Fractal.t;
+  b : Fractal.t;
+  c : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  {
+    ass =
+      Fractal.tabulate cfg.m_blocks (fun _ ->
+          Fractal.Leaf
+            (Tensor.rand rng (Shape.of_array [| cfg.block_m; cfg.k |])));
+    b = Fractal.Leaf (Tensor.rand rng (Shape.of_array [| cfg.k; cfg.n |]));
+    c = Fractal.Leaf (Tensor.rand rng (Shape.of_array [| cfg.n; cfg.p |]));
+  }
+
+let bindings inp = [ ("ass", inp.ass); ("b", inp.b); ("c", inp.c) ]
+
+let reference _cfg inp =
+  let b = Fractal.as_leaf inp.b and c = Fractal.as_leaf inp.c in
+  Soac.map
+    (fun a -> Fractal.Leaf (Tensor.matmul (Tensor.matmul (Fractal.as_leaf a) b) c))
+    inp.ass
+
+let flops cfg =
+  let m = cfg.m_blocks * cfg.block_m in
+  (2 * m * cfg.n * cfg.k) + (2 * m * cfg.p * cfg.n)

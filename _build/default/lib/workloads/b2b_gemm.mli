@@ -1,0 +1,33 @@
+(** Back-to-back GEMMs (paper Table 6: K = 64, P = 64).
+
+    [E = (A @ B) @ C] with a narrow intermediate: [A : [M,K]],
+    [B : [K,64]], [C : [64,64]].  Blocked over rows of [A], the
+    intermediate [D = A@B] tile never needs to leave fast memory —
+    the fusion cuBLAS cannot perform across two library calls (the
+    paper reports 1.21× over cuBLAS). *)
+
+type config = {
+  m_blocks : int; (** row blocks of A *)
+  block_m : int;  (** rows per block *)
+  k : int;        (** inner dim of the first GEMM *)
+  n : int;        (** intermediate width (paper: 64) *)
+  p : int;        (** output width (paper: 64) *)
+}
+
+val default : config
+val paper : config
+
+val program : config -> Expr.program
+
+type inputs = {
+  ass : Fractal.t; (** [m_blocks] of [block_m, k] *)
+  b : Fractal.t;   (** leaf [k, n] *)
+  c : Fractal.t;   (** leaf [n, p] *)
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+
+val flops : config -> int

@@ -1,0 +1,157 @@
+type config = {
+  batch : int;
+  blocks : int;
+  block : int;
+  dim : int;
+  window : int;
+}
+
+let default = { batch = 2; blocks = 8; block = 4; dim = 8; window = 3 }
+let paper = { batch = 16; blocks = 64; block = 32; dim = 512; window = 3 }
+
+let margin = 2 (* the listing's qs[2:-2] *)
+
+let interior cfg = cfg.blocks - (2 * margin)
+
+let check cfg =
+  if cfg.window mod 2 = 0 then invalid_arg "Bigbird: window must be odd";
+  if (cfg.window / 2) + (cfg.window - 1) > cfg.blocks - 1 + margin then
+    invalid_arg "Bigbird: window too large for the interior margin"
+
+(* Score layout per interior query block, in column blocks:
+   [ global-left | window_0 .. window_{w-1} | global-right ]. *)
+let program cfg =
+  check cfg;
+  let open Expr in
+  let b = cfg.block in
+  let w = cfg.window in
+  let tile = Shape.of_array [| b; cfg.dim |] in
+  let slice2 e = Access (Slice { lo = margin; hi = -margin }, e) in
+  let wqk_body =
+    Concat_cols
+    @@@ List.init w (fun j -> Matmul_t @@@ [ Var "q"; Index (Var "kwin", [ j ]) ])
+  in
+  let cols j = Cols (j * b, (j + 1) * b) in
+  let weighted =
+    (* Σ_j scores[window j] @ vwin[j] + the two global components *)
+    let terms =
+      List.init w (fun j ->
+          Matmul @@@ [ cols (1 + j) @@@ [ Var "s" ]; Index (Var "vwin", [ j ]) ])
+    in
+    List.fold_left (fun acc t -> Add @@@ [ acc; t ]) (List.hd terms) (List.tl terms)
+  in
+  {
+    name = "bigbird";
+    inputs =
+      [
+        ("qss", List_ty (cfg.batch, List_ty (cfg.blocks, Tensor_ty tile)));
+        ("kss", List_ty (cfg.batch, List_ty (cfg.blocks, Tensor_ty tile)));
+        ("vss", List_ty (cfg.batch, List_ty (cfg.blocks, Tensor_ty tile)));
+      ];
+    body =
+      (let bindings =
+         [
+           ("wks", Access (Shifted_slide { window = w }, Var "ks"));
+           ("wvs", Access (Shifted_slide { window = w }, Var "vs"));
+           ( "wqk",
+             map_e ~params:[ "q"; "kwin" ] ~body:wqk_body
+               (Zip [ slice2 (Var "qs"); slice2 (Var "wks") ]) );
+           ( "gqk1",
+             map_e ~params:[ "q" ]
+               ~body:(Matmul_t @@@ [ Var "q"; Index (Var "ks", [ 0 ]) ])
+               (slice2 (Var "qs")) );
+           ( "gqk2",
+             map_e ~params:[ "q" ]
+               ~body:(Matmul_t @@@ [ Var "q"; Index (Var "ks", [ -1 ]) ])
+               (slice2 (Var "qs")) );
+           ( "scores",
+             map_e ~params:[ "gl"; "wk"; "gr" ]
+               ~body:
+                 (Softmax @@@ [ Concat_cols @@@ [ Var "gl"; Var "wk"; Var "gr" ] ])
+               (Zip [ Var "gqk1"; Var "wqk"; Var "gqk2" ]) );
+           ( "wo",
+             map_e ~params:[ "s"; "vwin" ] ~body:weighted
+               (Zip [ Var "scores"; slice2 (Var "wvs") ]) );
+           ( "go1",
+             map_e ~params:[ "s" ]
+               ~body:
+                 (Matmul @@@ [ cols 0 @@@ [ Var "s" ]; Index (Var "vs", [ 0 ]) ])
+               (Var "scores") );
+           ( "go2",
+             map_e ~params:[ "s" ]
+               ~body:
+                 (Matmul
+                 @@@ [ cols (1 + w) @@@ [ Var "s" ]; Index (Var "vs", [ -1 ]) ])
+               (Var "scores") );
+         ]
+       in
+       let final =
+         map_e ~params:[ "x"; "y"; "z" ]
+           ~body:(Add @@@ [ Add @@@ [ Var "x"; Var "y" ]; Var "z" ])
+           (Zip [ Var "go1"; Var "go2"; Var "wo" ])
+       in
+       let lambda_body =
+         List.fold_right (fun (x, e) rest -> Let (x, e, rest)) bindings final
+       in
+       map_e ~params:[ "qs"; "ks"; "vs" ] ~body:lambda_body
+         (Zip [ Var "qss"; Var "kss"; Var "vss" ]));
+  }
+
+type inputs = {
+  qss : Fractal.t;
+  kss : Fractal.t;
+  vss : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  check cfg;
+  let tile = Shape.of_array [| cfg.block; cfg.dim |] in
+  let seq () =
+    Fractal.tabulate cfg.batch (fun _ ->
+        Fractal.tabulate cfg.blocks (fun _ ->
+            Fractal.Leaf (Tensor.scale 0.2 (Tensor.rand rng tile))))
+  in
+  { qss = seq (); kss = seq (); vss = seq () }
+
+let bindings inp = [ ("qss", inp.qss); ("kss", inp.kss); ("vss", inp.vss) ]
+
+let reference cfg inp =
+  check cfg;
+  let half = cfg.window / 2 in
+  let tile f b i = Fractal.as_leaf (Fractal.get (Fractal.get f b) i) in
+  Fractal.tabulate cfg.batch (fun n ->
+      Fractal.tabulate (interior cfg) (fun i ->
+          let ib = i + margin in
+          let q = tile inp.qss n ib in
+          let win_start = ib - half in
+          let kblocks =
+            tile inp.kss n 0
+            :: List.init cfg.window (fun j -> tile inp.kss n (win_start + j))
+            @ [ tile inp.kss n (cfg.blocks - 1) ]
+          in
+          let vblocks =
+            tile inp.vss n 0
+            :: List.init cfg.window (fun j -> tile inp.vss n (win_start + j))
+            @ [ tile inp.vss n (cfg.blocks - 1) ]
+          in
+          let scores =
+            Tensor.softmax
+              (Tensor.concat_cols
+                 (List.map
+                    (fun k -> Tensor.matmul q (Tensor.transpose k))
+                    kblocks))
+          in
+          let out = ref None in
+          List.iteri
+            (fun j v ->
+              let s = Tensor.slice_cols scores (j * cfg.block) ((j + 1) * cfg.block) in
+              let t = Tensor.matmul s v in
+              out := Some (match !out with None -> t | Some acc -> Tensor.add acc t))
+            vblocks;
+          Fractal.Leaf (Option.get !out)))
+
+let flops cfg =
+  let b = cfg.block and d = cfg.dim in
+  let comps = cfg.window + 2 in
+  cfg.batch * interior cfg
+  * ((comps * 2 * b * b * d) + (4 * b * comps * b) + (comps * 2 * b * d * b))

@@ -1,0 +1,45 @@
+(** BigBird blocked sparse attention (paper Listing 4, random
+    component omitted as in the listing).
+
+    Per sequence, queries attend to: a window of [window] key blocks
+    around their own position, plus the first and last (global) key
+    blocks.  Only interior query blocks ([window/2 .. blocks-window/2])
+    are computed, exactly as the listing's [qs[2:-2]] slicing.
+
+    The heavy lifting is the windowed attention; FractalTensor keeps
+    the window access as an access map and defers materialisation,
+    where DAG frameworks emit gather/copy operators that move the same
+    key/value data three times (paper §6.4). *)
+
+type config = {
+  batch : int;
+  blocks : int;   (** sequence blocks (paper: 64) *)
+  block : int;    (** rows per block (paper: 32) *)
+  dim : int;      (** embedding width (paper: 512) *)
+  window : int;   (** window size in blocks (paper: 3, odd) *)
+}
+
+val default : config
+val paper : config
+
+val interior : config -> int
+(** Number of interior query blocks actually computed. *)
+
+val program : config -> Expr.program
+
+type inputs = {
+  qss : Fractal.t;
+  kss : Fractal.t;
+  vss : Fractal.t;
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+(** Direct computation: per interior query block, softmax over the
+    concatenated [global-left | window | global-right] scores, then the
+    weighted sum of the corresponding value blocks.
+    Result: [batch][interior] of [block, dim]. *)
+
+val flops : config -> int

@@ -1,0 +1,82 @@
+type config = {
+  batch : int;
+  seq_len : int;
+  taps : int;
+  channels : int;
+  filters : int;
+}
+
+let default = { batch = 2; seq_len = 8; taps = 3; channels = 6; filters = 5 }
+
+let large =
+  { batch = 64; seq_len = 1024; taps = 9; channels = 256; filters = 256 }
+
+let out_len cfg = cfg.seq_len - cfg.taps + 1
+
+let program cfg =
+  let token = Shape.of_array [| 1; cfg.channels |] in
+  let tap = Shape.of_array [| cfg.channels; cfg.filters |] in
+  let out = Shape.of_array [| 1; cfg.filters |] in
+  let open Expr in
+  {
+    name = "conv1d";
+    inputs =
+      [
+        ("xss", List_ty (cfg.batch, List_ty (cfg.seq_len, Tensor_ty token)));
+        ("ws", List_ty (cfg.taps, Tensor_ty tap));
+      ];
+    body =
+      map_e ~params:[ "xs" ]
+        ~body:
+          (map_e ~params:[ "win" ]
+             ~body:
+               (reduce_e
+                  ~init:(Lit (Tensor.zeros out))
+                  ~params:[ "acc"; "x"; "w" ]
+                  ~body:
+                    (Add @@@ [ Var "acc"; Matmul @@@ [ Var "x"; Var "w" ] ])
+                  (Zip [ Var "win"; Var "ws" ]))
+             (Access
+                ( Windowed { size = cfg.taps; stride = 1; dilation = 1 },
+                  Var "xs" )))
+        (Var "xss");
+  }
+
+type inputs = {
+  xss : Fractal.t;
+  ws : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  let token = Shape.of_array [| 1; cfg.channels |] in
+  let tap = Shape.of_array [| cfg.channels; cfg.filters |] in
+  {
+    xss =
+      Fractal.tabulate cfg.batch (fun _ ->
+          Fractal.tabulate cfg.seq_len (fun _ ->
+              Fractal.Leaf (Tensor.rand rng token)));
+    ws =
+      Fractal.tabulate cfg.taps (fun _ ->
+          Fractal.Leaf
+            (Tensor.scale (1.0 /. float_of_int cfg.channels) (Tensor.rand rng tap)));
+  }
+
+let bindings inp = [ ("xss", inp.xss); ("ws", inp.ws) ]
+
+let reference cfg inp =
+  let out = Shape.of_array [| 1; cfg.filters |] in
+  let w j = Fractal.as_leaf (Fractal.get inp.ws j) in
+  Fractal.tabulate cfg.batch (fun n ->
+      Fractal.tabulate (out_len cfg) (fun i ->
+          let acc = ref (Tensor.zeros out) in
+          for j = 0 to cfg.taps - 1 do
+            let x =
+              Fractal.as_leaf (Fractal.get (Fractal.get inp.xss n) (i + j))
+            in
+            acc := Tensor.add !acc (Tensor.matmul x (w j))
+          done;
+          Fractal.Leaf !acc))
+
+let flops cfg =
+  cfg.batch * out_len cfg * cfg.taps
+  * ((2 * cfg.channels * cfg.filters) + cfg.filters)

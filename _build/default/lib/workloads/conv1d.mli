@@ -1,0 +1,43 @@
+(** 1-D (temporal) convolution through the window access operator.
+
+    The paper's discussion (§7) notes FractalTensor can express CNNs —
+    the window access pattern is the convolution/stencil pattern of
+    §4.2 — while leaving them unimplemented because vendor kernels are
+    already optimal.  This workload demonstrates the expressibility
+    claim end-to-end: a temporal convolution written as
+
+      xss.map xs =>
+        xs.window(K).map win =>
+          zip(win, ws).reduce 0, (acc, (x, w)) => acc + x@w
+
+    parses into an ETDG whose window access maps carry the
+    two-block-dimension affine rows, and compiles through the same
+    pipeline as everything else. *)
+
+type config = {
+  batch : int;
+  seq_len : int;
+  taps : int;      (** kernel width K *)
+  channels : int;  (** input width C *)
+  filters : int;   (** output width F *)
+}
+
+val default : config
+val large : config
+
+val out_len : config -> int
+(** [seq_len - taps + 1] (valid convolution). *)
+
+val program : config -> Expr.program
+
+type inputs = {
+  xss : Fractal.t; (** [N][L] tokens [1,C] *)
+  ws : Fractal.t;  (** [K] taps [C,F] *)
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+
+val flops : config -> int

@@ -1,0 +1,156 @@
+type config = {
+  batch : int;
+  layers : int;
+  seq_len : int;
+  hidden : int;
+}
+
+let default = { batch = 2; layers = 3; seq_len = 8; hidden = 8 }
+let paper = { batch = 256; layers = 6; seq_len = 64; hidden = 256 }
+
+let check cfg =
+  let max_dilation = 1 lsl (cfg.layers - 1) in
+  if cfg.seq_len mod max_dilation <> 0 then
+    invalid_arg "Dilated_rnn: seq_len must be divisible by the largest dilation"
+
+(* Layer k's cell: tanh(x @ ws[k] + h @ us[k]). *)
+let cell_body k =
+  let open Expr in
+  Tanh
+  @@@ [
+        Add
+        @@@ [
+              Matmul @@@ [ Var "x"; Index (Var "ws", [ k ]) ];
+              Matmul @@@ [ Var "h"; Index (Var "us", [ k ]) ];
+            ];
+      ]
+
+(* Wrap [depth] map levels (with fresh parameter names) around an
+   inner transformation of the innermost sequence. *)
+let rec wrap_maps tag depth inner seq =
+  let open Expr in
+  if depth = 0 then inner seq
+  else
+    let p = Printf.sprintf "%s_m%d" tag depth in
+    map_e ~params:[ p ]
+      ~body:(wrap_maps tag (depth - 1) inner (Var p))
+      seq
+
+(* Layer k (0-based) over a depth-[d_in] input: maps over the outer
+   d_in - 1 dims; layer 0 scans the innermost dim directly, later
+   layers split it into 2 further phases first. *)
+let layer cfg k d_in seq =
+  let open Expr in
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let scan s =
+    scanl_e
+      ~init:(Lit (Tensor.zeros token))
+      ~params:[ "h"; "x" ] ~body:(cell_body k) s
+  in
+  let tag = Printf.sprintf "l%d" k in
+  let inner s =
+    if k = 0 then scan s
+    else
+      let p = tag ^ "_ph" in
+      map_e ~params:[ p ] ~body:(scan (Var p))
+        (Access (Interleave { phases = 2 }, s))
+  in
+  wrap_maps tag (d_in - 1) inner seq
+
+let program cfg =
+  check cfg;
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let open Expr in
+  (* let h1 = layer0(xss) in let h2 = layer1(h1) in … layerK as body *)
+  let rec chain k d_in seq =
+    if k = cfg.layers - 1 then layer cfg k d_in seq
+    else
+      let name = Printf.sprintf "h%d" (k + 1) in
+      Let (name, layer cfg k d_in seq, chain (k + 1) (d_in + if k = 0 then 0 else 1) (Var name))
+  in
+  {
+    name = "dilated_rnn";
+    inputs =
+      [
+        ("xss", List_ty (cfg.batch, List_ty (cfg.seq_len, Tensor_ty token)));
+        ("ws", List_ty (cfg.layers, Tensor_ty weight));
+        ("us", List_ty (cfg.layers, Tensor_ty weight));
+      ];
+    body = chain 0 2 (Var "xss");
+  }
+
+type inputs = {
+  xss : Fractal.t;
+  ws : Fractal.t;
+  us : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  check cfg;
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let scale = 0.8 /. float_of_int cfg.hidden in
+  {
+    xss =
+      Fractal.tabulate cfg.batch (fun _ ->
+          Fractal.tabulate cfg.seq_len (fun _ ->
+              Fractal.Leaf (Tensor.rand rng token)));
+    ws =
+      Fractal.tabulate cfg.layers (fun _ ->
+          Fractal.Leaf (Tensor.scale scale (Tensor.rand rng weight)));
+    us =
+      Fractal.tabulate cfg.layers (fun _ ->
+          Fractal.Leaf (Tensor.scale scale (Tensor.rand rng weight)));
+  }
+
+let bindings inp = [ ("xss", inp.xss); ("ws", inp.ws); ("us", inp.us) ]
+
+let reference cfg inp =
+  check cfg;
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let zero = Tensor.zeros token in
+  let wmat f k = Fractal.as_leaf (Fractal.get f k) in
+  Fractal.tabulate cfg.batch (fun n ->
+      let prev =
+        Array.init cfg.seq_len (fun l ->
+            Fractal.as_leaf (Fractal.get (Fractal.get inp.xss n) l))
+      in
+      let prev = ref prev in
+      for k = 0 to cfg.layers - 1 do
+        let s = 1 lsl k in
+        let cur = Array.make cfg.seq_len zero in
+        for t = 0 to cfg.seq_len - 1 do
+          let h = if t - s >= 0 then cur.(t - s) else zero in
+          cur.(t) <-
+            Tensor.tanh
+              (Tensor.add
+                 (Tensor.matmul !prev.(t) (wmat inp.ws k))
+                 (Tensor.matmul h (wmat inp.us k)))
+        done;
+        prev := cur
+      done;
+      Fractal.Node (Array.map (fun t -> Fractal.Leaf t) !prev))
+
+(* The program's output nests the time dimension as
+   [2][2]…[L/2^(layers-1)]; each binary level interleaves phases
+   (flat t = q + 2*t').  Undo it bottom-up. *)
+let flatten_output cfg out =
+  let rec flat v =
+    match v with
+    | Fractal.Leaf _ -> [ v ]
+    | Fractal.Node elems ->
+        if Fractal.depth v = 1 then Array.to_list elems
+        else begin
+          if Array.length elems <> 2 then
+            invalid_arg "Dilated_rnn.flatten_output: unexpected structure";
+          let a = flat elems.(0) and b = flat elems.(1) in
+          List.concat (List.map2 (fun x y -> [ x; y ]) a b)
+        end
+  in
+  if cfg.layers = 1 then out
+  else Soac.map (fun per_n -> Fractal.node (flat per_n)) out
+
+let cell_flops cfg =
+  let h = cfg.hidden in
+  (2 * 2 * h * h) + h

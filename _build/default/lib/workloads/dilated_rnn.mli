@@ -1,0 +1,43 @@
+(** Stacked Dilated RNN (Chang et al., paper Table 6: batch 256,
+    dilation 1…32).
+
+    Layer [k] has dilation [2^(k-1)]: its recurrence connects step [t]
+    to step [t - 2^(k-1)].  In FractalTensor this is the constantly
+    strided access pattern: interleaving the sequence into [2^(k-1)]
+    phases turns the layer into independent plain scans over the
+    phases — data parallelism a DAG framework cannot see (§6.3).
+
+    Because each layer carries a different access operator, the
+    program is a [let] chain of per-layer nests; layer [k+1] splits the
+    innermost time dimension of layer [k]'s output into 2 further
+    phases, so the dependence distance doubles per layer. *)
+
+type config = {
+  batch : int;
+  layers : int;  (** dilations are [1, 2, …, 2^(layers-1)] *)
+  seq_len : int; (** must be divisible by [2^(layers-1)] *)
+  hidden : int;
+}
+
+val default : config
+val paper : config
+
+val program : config -> Expr.program
+
+type inputs = {
+  xss : Fractal.t; (** [N][L] tokens [1,H] *)
+  ws : Fractal.t;  (** [layers] input weights [H,H] *)
+  us : Fractal.t;  (** [layers] recurrent weights [H,H] *)
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+(** Final layer's hidden states in flat time order: [N][L] of [1,H]. *)
+
+val flatten_output : config -> Fractal.t -> Fractal.t
+(** Undo the per-layer phase nesting of the program's output, back to
+    flat time order [N][L] (for comparison with {!reference}). *)
+
+val cell_flops : config -> int

@@ -1,0 +1,134 @@
+type config = {
+  batch : int;
+  heads : int;
+  q_blocks : int;
+  kv_blocks : int;
+  block : int;
+  head_dim : int;
+}
+
+let default =
+  { batch = 1; heads = 2; q_blocks = 2; kv_blocks = 3; block = 4; head_dim = 8 }
+
+let paper =
+  { batch = 16; heads = 16; q_blocks = 64; kv_blocks = 128; block = 32;
+    head_dim = 128 }
+
+(* osss = zip(qsss,ksss,vsss).map (qss,kss,vss) =>
+     zip(qss,kss,vss).map (qs,ks,vs) =>
+       qs.map q =>
+         let acc = zip(ks,vs).reduce (-inf,0,0), ((m,s,o),(k,v)) =>
+           t1 = q@k^T; m' = max(m, rowmax t1)
+           p  = exp(t1 - m'); a = exp(m - m')
+           (m', a*s + rowsum p, a*o + p@v)
+         in acc.o / acc.s *)
+let program cfg =
+  let stat = Shape.of_array [| cfg.block; 1 |] in
+  let tile = Shape.of_array [| cfg.block; cfg.head_dim |] in
+  let open Expr in
+  let step_body =
+    Let
+      ( "t1",
+        Matmul_t @@@ [ Var "q"; Var "k" ],
+        Let
+          ( "m'",
+            Maximum @@@ [ Proj (Var "mso", 0); Row_max @@@ [ Var "t1" ] ],
+            Let
+              ( "p",
+                Exp @@@ [ Sub @@@ [ Var "t1"; Var "m'" ] ],
+                Let
+                  ( "a",
+                    Exp @@@ [ Sub @@@ [ Proj (Var "mso", 0); Var "m'" ] ],
+                    Tuple
+                      [
+                        Var "m'";
+                        Add
+                        @@@ [
+                              Mul @@@ [ Var "a"; Proj (Var "mso", 1) ];
+                              Row_sum @@@ [ Var "p" ];
+                            ];
+                        Add
+                        @@@ [
+                              Mul @@@ [ Var "a"; Proj (Var "mso", 2) ];
+                              Matmul @@@ [ Var "p"; Var "v" ];
+                            ];
+                      ] ) ) ) )
+  in
+  let q_body =
+    Let
+      ( "acc",
+        reduce_e
+          ~init:
+            (Tuple
+               [
+                 Lit (Tensor.full stat (-1e30));
+                 Lit (Tensor.zeros stat);
+                 Lit (Tensor.zeros tile);
+               ])
+          ~params:[ "mso"; "k"; "v" ] ~body:step_body
+          (Zip [ Var "ks"; Var "vs" ]),
+        Div @@@ [ Proj (Var "acc", 2); Proj (Var "acc", 1) ] )
+  in
+  let blocked n = List_ty (cfg.batch, List_ty (cfg.heads, List_ty (n, Tensor_ty tile))) in
+  {
+    name = "flash_attention";
+    inputs =
+      [
+        ("qsss", blocked cfg.q_blocks);
+        ("ksss", blocked cfg.kv_blocks);
+        ("vsss", blocked cfg.kv_blocks);
+      ];
+    body =
+      map_e ~params:[ "qss"; "kss"; "vss" ]
+        ~body:
+          (map_e ~params:[ "qs"; "ks"; "vs" ]
+             ~body:
+               (map_e ~params:[ "q" ] ~body:q_body (Var "qs"))
+             (Zip [ Var "qss"; Var "kss"; Var "vss" ]))
+        (Zip [ Var "qsss"; Var "ksss"; Var "vsss" ]);
+  }
+
+type inputs = {
+  qsss : Fractal.t;
+  ksss : Fractal.t;
+  vsss : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  let tile = Shape.of_array [| cfg.block; cfg.head_dim |] in
+  let blocked n =
+    Fractal.tabulate cfg.batch (fun _ ->
+        Fractal.tabulate cfg.heads (fun _ ->
+            Fractal.tabulate n (fun _ ->
+                Fractal.Leaf (Tensor.scale 0.3 (Tensor.rand rng tile)))))
+  in
+  {
+    qsss = blocked cfg.q_blocks;
+    ksss = blocked cfg.kv_blocks;
+    vsss = blocked cfg.kv_blocks;
+  }
+
+let bindings inp =
+  [ ("qsss", inp.qsss); ("ksss", inp.ksss); ("vsss", inp.vsss) ]
+
+let reference cfg inp =
+  Fractal.tabulate cfg.batch (fun b ->
+      Fractal.tabulate cfg.heads (fun h ->
+          let gather f n =
+            Tensor.concat_rows
+              (List.init n (fun i ->
+                   Fractal.as_leaf
+                     (Fractal.get (Fractal.get (Fractal.get f b) h) i)))
+          in
+          let q = gather inp.qsss cfg.q_blocks
+          and k = gather inp.ksss cfg.kv_blocks
+          and v = gather inp.vsss cfg.kv_blocks in
+          let o = Kernels.attention ~q ~k ~v in
+          Fractal.tabulate cfg.q_blocks (fun i ->
+              Fractal.Leaf
+                (Tensor.slice_rows o (i * cfg.block) ((i + 1) * cfg.block)))))
+
+let flops cfg =
+  let lq = cfg.q_blocks * cfg.block and lkv = cfg.kv_blocks * cfg.block in
+  cfg.batch * cfg.heads
+  * ((2 * lq * lkv * cfg.head_dim * 2) + (4 * lq * lkv))

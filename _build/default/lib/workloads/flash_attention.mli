@@ -1,0 +1,49 @@
+(** FlashAttention (paper Listing 3) — multi-head attention as a
+    parallel algorithm over blocked data.
+
+    Queries, keys and values arrive pre-blocked: depth-3
+    FractalTensors [batch][heads][blocks] whose leaves are
+    [block × head_dim] tiles.  Per query block, a [reduce] over the
+    key/value blocks carries the online-softmax state
+    [(running max m, running sum s, unnormalised output o)]; the
+    result is normalised afterwards.  (The paper's listing has the
+    rescaling factors transposed — [t6 = exp(m_t − m)] would exceed 1;
+    this implementation uses the standard correct update.  The
+    listing's mismatched batch extents for Q and K/V are unified.)
+
+    The reference is the quadratic softmax attention computed on the
+    unblocked matrices — the two must agree, which is exactly
+    FlashAttention's correctness claim. *)
+
+type config = {
+  batch : int;
+  heads : int;
+  q_blocks : int;
+  kv_blocks : int;
+  block : int;    (** rows per block (paper: 32) *)
+  head_dim : int; (** paper: 128 *)
+}
+
+val default : config
+val paper : config
+(** batch 16, heads 16, 64×32 query rows (2048), 128×32 kv rows
+    (4096), head_dim 128 — the shapes of Listing 3 with the batch
+    extent unified. *)
+
+val program : config -> Expr.program
+
+type inputs = {
+  qsss : Fractal.t;
+  ksss : Fractal.t;
+  vsss : Fractal.t;
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+(** Exact attention per (batch, head): [softmax(Q K^T) V], re-blocked
+    to [batch][heads][q_blocks] of [block, head_dim]. *)
+
+val flops : config -> int
+(** Total attention FLOPs (2·QK^T + softmax + 2·PV). *)

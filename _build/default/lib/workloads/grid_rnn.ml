@@ -1,0 +1,156 @@
+type config = {
+  batch : int;
+  depth : int;
+  rows : int;
+  cols : int;
+  hidden : int;
+}
+
+let default = { batch = 2; depth = 2; rows = 3; cols = 4; hidden = 8 }
+let paper = { batch = 256; depth = 32; rows = 8; cols = 8; hidden = 256 }
+
+(* hsss = xsss.map xs2d =>
+     zip(ws,us,vs).scanl xs2d, (grid_below, (w,u,v)) =>
+       grid_below.scanl zrow, (row_above, row_below) =>
+         zip(row_below, row_above).scanl 0, (hleft, (xb, hup)) =>
+           tanh(xb@w + hup@u + hleft@v) *)
+let program cfg =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let open Expr in
+  let cell =
+    Tanh
+    @@@ [
+          Add
+          @@@ [
+                Add
+                @@@ [
+                      Matmul @@@ [ Var "xb"; Var "w" ];
+                      Matmul @@@ [ Var "hup"; Var "u" ];
+                    ];
+                Matmul @@@ [ Var "hleft"; Var "v" ];
+              ];
+        ]
+  in
+  {
+    name = "grid_rnn";
+    inputs =
+      [
+        ( "xsss",
+          List_ty
+            (cfg.batch, List_ty (cfg.rows, List_ty (cfg.cols, Tensor_ty token)))
+        );
+        ("zrow", List_ty (cfg.cols, Tensor_ty token));
+        ("ws", List_ty (cfg.depth, Tensor_ty weight));
+        ("us", List_ty (cfg.depth, Tensor_ty weight));
+        ("vs", List_ty (cfg.depth, Tensor_ty weight));
+      ];
+    body =
+      map_e ~params:[ "xs2d" ]
+        ~body:
+          (scanl_e ~init:(Var "xs2d")
+             ~params:[ "grid_below"; "w"; "u"; "v" ]
+             ~body:
+               (scanl_e ~init:(Var "zrow")
+                  ~params:[ "row_above"; "row_below" ]
+                  ~body:
+                    (scanl_e
+                       ~init:(Lit (Tensor.zeros token))
+                       ~params:[ "hleft"; "xb"; "hup" ]
+                       ~body:cell
+                       (Zip [ Var "row_below"; Var "row_above" ]))
+                  (Var "grid_below"))
+             (Zip [ Var "ws"; Var "us"; Var "vs" ]))
+        (Var "xsss");
+  }
+
+type inputs = {
+  xsss : Fractal.t;
+  zrow : Fractal.t;
+  ws : Fractal.t;
+  us : Fractal.t;
+  vs : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let scale = 0.8 /. float_of_int cfg.hidden in
+  let wmat () = Fractal.Leaf (Tensor.scale scale (Tensor.rand rng weight)) in
+  {
+    xsss =
+      Fractal.tabulate cfg.batch (fun _ ->
+          Fractal.tabulate cfg.rows (fun _ ->
+              Fractal.tabulate cfg.cols (fun _ ->
+                  Fractal.Leaf (Tensor.rand rng token))));
+    zrow = Fractal.tabulate cfg.cols (fun _ -> Fractal.Leaf (Tensor.zeros token));
+    ws = Fractal.tabulate cfg.depth (fun _ -> wmat ());
+    us = Fractal.tabulate cfg.depth (fun _ -> wmat ());
+    vs = Fractal.tabulate cfg.depth (fun _ -> wmat ());
+  }
+
+let bindings inp =
+  [
+    ("xsss", inp.xsss);
+    ("zrow", inp.zrow);
+    ("ws", inp.ws);
+    ("us", inp.us);
+    ("vs", inp.vs);
+  ]
+
+let cell ~w ~u ~v ~xb ~hup ~hleft =
+  Tensor.tanh
+    (Tensor.add
+       (Tensor.add (Tensor.matmul xb w) (Tensor.matmul hup u))
+       (Tensor.matmul hleft v))
+
+let run_schedule cfg inp ~wavefront =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let zero = Tensor.zeros token in
+  let wmat f d = Fractal.as_leaf (Fractal.get f d) in
+  let per_batch n =
+    let h =
+      Array.init cfg.depth (fun _ ->
+          Array.make_matrix cfg.rows cfg.cols zero)
+    in
+    let step d i j =
+      let xb =
+        if d = 0 then
+          Fractal.as_leaf (Fractal.get (Fractal.get (Fractal.get inp.xsss n) i) j)
+        else h.(d - 1).(i).(j)
+      in
+      let hup = if i = 0 then zero else h.(d).(i - 1).(j) in
+      let hleft = if j = 0 then zero else h.(d).(i).(j - 1) in
+      h.(d).(i).(j) <-
+        cell ~w:(wmat inp.ws d) ~u:(wmat inp.us d) ~v:(wmat inp.vs d) ~xb ~hup
+          ~hleft
+    in
+    if wavefront then
+      for k = 0 to cfg.depth + cfg.rows + cfg.cols - 3 do
+        for d = 0 to Stdlib.min (cfg.depth - 1) k do
+          for i = 0 to Stdlib.min (cfg.rows - 1) (k - d) do
+            let j = k - d - i in
+            if j >= 0 && j < cfg.cols then step d i j
+          done
+        done
+      done
+    else
+      for d = 0 to cfg.depth - 1 do
+        for i = 0 to cfg.rows - 1 do
+          for j = 0 to cfg.cols - 1 do
+            step d i j
+          done
+        done
+      done;
+    Fractal.tabulate cfg.depth (fun d ->
+        Fractal.tabulate cfg.rows (fun i ->
+            Fractal.tabulate cfg.cols (fun j -> Fractal.Leaf h.(d).(i).(j))))
+  in
+  Fractal.Node (Array.init cfg.batch per_batch)
+
+let reference cfg inp = run_schedule cfg inp ~wavefront:false
+let wavefront cfg inp = run_schedule cfg inp ~wavefront:true
+
+let cell_flops cfg =
+  let h = cfg.hidden in
+  (3 * 2 * h * h) + (3 * h)

@@ -1,0 +1,45 @@
+(** Stacked Grid RNN (Kalchbrenner et al., paper Table 6: batch 256,
+    depth 32).
+
+    A 2-D grid of cells per layer: cell [(i, j)] of layer [d] combines
+    the layer-below activation at [(i, j)] with this layer's hidden
+    states from [(i-1, j)] and [(i, j-1)]:
+
+    [h[d][i][j] = tanh(x@w_d + h_up@u_d + h_left@v_d)].
+
+    Three nested aggregate operators (layers, rows, columns) make the
+    parsed ETDG contain 8 block nodes (§6.3), and the reordering pass
+    derives a 3-D wavefront [d + i + j]. *)
+
+type config = {
+  batch : int;
+  depth : int;
+  rows : int;
+  cols : int;
+  hidden : int;
+}
+
+val default : config
+val paper : config
+
+val program : config -> Expr.program
+
+type inputs = {
+  xsss : Fractal.t; (** [N][I][J] grid inputs [1,H] *)
+  zrow : Fractal.t; (** [J] zero states [1,H] (row-scan seed) *)
+  ws : Fractal.t;   (** [D] input weights [H,H] *)
+  us : Fractal.t;   (** [D] up-neighbour weights [H,H] *)
+  vs : Fractal.t;   (** [D] left-neighbour weights [H,H] *)
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+(** [N][D][I][J] hidden states. *)
+
+val wavefront : config -> inputs -> Fractal.t
+(** Schedule along the [d + i + j] hyperplane; agrees with
+    {!reference}. *)
+
+val cell_flops : config -> int

@@ -1,0 +1,159 @@
+type config = {
+  batch : int;
+  heads : int;
+  chunks : int;
+  chunk : int;
+  head_dim : int;
+  gamma : float;
+}
+
+let default =
+  { batch = 2; heads = 2; chunks = 3; chunk = 4; head_dim = 6; gamma = 0.9 }
+
+let large =
+  { batch = 16; heads = 16; chunks = 64; chunk = 32; head_dim = 128;
+    gamma = 0.96875 }
+
+(* Constant decay tensors for one chunk of B tokens. *)
+let decay_mask cfg =
+  let b = cfg.chunk in
+  Tensor.init (Shape.of_array [| b; b |]) (fun idx ->
+      let i = idx.(0) and j = idx.(1) in
+      if i >= j then cfg.gamma ** float_of_int (i - j) else 0.0)
+
+let lambda_col cfg =
+  (* Λ_i = γ^(i+1): scales the cross-chunk contribution per row *)
+  Tensor.init (Shape.of_array [| cfg.chunk; 1 |]) (fun idx ->
+      cfg.gamma ** float_of_int (idx.(0) + 1))
+
+let gamma_col cfg =
+  (* Γ_i = γ^(B-1-i): pre-scales keys entering the state update *)
+  Tensor.init (Shape.of_array [| cfg.chunk; 1 |]) (fun idx ->
+      cfg.gamma ** float_of_int (cfg.chunk - 1 - idx.(0)))
+
+let program cfg =
+  let tile = Shape.of_array [| cfg.chunk; cfg.head_dim |] in
+  let state = Shape.of_array [| cfg.head_dim; cfg.head_dim |] in
+  let open Expr in
+  let gamma_b = cfg.gamma ** float_of_int cfg.chunk in
+  (* step: state so = (S, O_prev); elements (q, k, v) *)
+  let step_body =
+    Let
+      ( "intra",
+        Matmul
+        @@@ [
+              Mul
+              @@@ [ Matmul_t @@@ [ Var "q"; Var "k" ]; Lit (decay_mask cfg) ];
+              Var "v";
+            ],
+        Let
+          ( "cross",
+            Mul
+            @@@ [
+                  Lit (lambda_col cfg);
+                  Matmul @@@ [ Var "q"; Proj (Var "so", 0) ];
+                ],
+            Let
+              ( "s'",
+                Add
+                @@@ [
+                      Scale gamma_b @@@ [ Proj (Var "so", 0) ];
+                      Matmul
+                      @@@ [
+                            Transpose
+                            @@@ [ Mul @@@ [ Lit (gamma_col cfg); Var "k" ] ];
+                            Var "v";
+                          ];
+                    ],
+                Tuple [ Var "s'"; Add @@@ [ Var "intra"; Var "cross" ] ] ) ) )
+  in
+  let blocked =
+    List_ty (cfg.batch, List_ty (cfg.heads, List_ty (cfg.chunks, Tensor_ty tile)))
+  in
+  {
+    name = "retention";
+    inputs = [ ("qsss", blocked); ("ksss", blocked); ("vsss", blocked) ];
+    body =
+      map_e ~params:[ "qss"; "kss"; "vss" ]
+        ~body:
+          (map_e ~params:[ "qs"; "ks"; "vs" ]
+             ~body:
+               (Let
+                  ( "sos",
+                    scanl_e
+                      ~init:
+                        (Tuple
+                           [ Lit (Tensor.zeros state); Lit (Tensor.zeros tile) ])
+                      ~params:[ "so"; "q"; "k"; "v" ]
+                      ~body:step_body
+                      (Zip [ Var "qs"; Var "ks"; Var "vs" ]),
+                    (* only the output stream is the program's result;
+                       the carried state is internal *)
+                    map_e ~params:[ "so2" ]
+                      ~body:(Proj (Var "so2", 1))
+                      (Var "sos") ))
+             (Zip [ Var "qss"; Var "kss"; Var "vss" ]))
+        (Zip [ Var "qsss"; Var "ksss"; Var "vsss" ]);
+  }
+
+type inputs = {
+  qsss : Fractal.t;
+  ksss : Fractal.t;
+  vsss : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  let tile = Shape.of_array [| cfg.chunk; cfg.head_dim |] in
+  let blocked () =
+    Fractal.tabulate cfg.batch (fun _ ->
+        Fractal.tabulate cfg.heads (fun _ ->
+            Fractal.tabulate cfg.chunks (fun _ ->
+                Fractal.Leaf (Tensor.scale 0.4 (Tensor.rand rng tile)))))
+  in
+  { qsss = blocked (); ksss = blocked (); vsss = blocked () }
+
+let bindings inp =
+  [ ("qsss", inp.qsss); ("ksss", inp.ksss); ("vsss", inp.vsss) ]
+
+(* Token-level recurrence: S <- gamma S + k^T v; o = q S. *)
+let reference cfg inp =
+  let dh = cfg.head_dim in
+  let state = Shape.of_array [| dh; dh |] in
+  Fractal.tabulate cfg.batch (fun b ->
+      Fractal.tabulate cfg.heads (fun h ->
+          let tile f c =
+            Fractal.as_leaf (Fractal.get (Fractal.get (Fractal.get f b) h) c)
+          in
+          let s = ref (Tensor.zeros state) in
+          Fractal.tabulate cfg.chunks (fun c ->
+              let q = tile inp.qsss c
+              and k = tile inp.ksss c
+              and v = tile inp.vsss c in
+              let rows = ref [] in
+              for t = 0 to cfg.chunk - 1 do
+                let qt = Tensor.slice_rows q t (t + 1) in
+                let kt = Tensor.slice_rows k t (t + 1) in
+                let vt = Tensor.slice_rows v t (t + 1) in
+                s :=
+                  Tensor.add
+                    (Tensor.scale cfg.gamma !s)
+                    (Tensor.matmul (Tensor.transpose kt) vt);
+                rows := Tensor.matmul qt !s :: !rows
+              done;
+              Fractal.Leaf (Tensor.concat_rows (List.rev !rows)))))
+
+(* The program already projects the output stream; kept for API
+   compatibility with callers that held the (S, O) formulation. *)
+let output_of_interp out = out
+
+let flops cfg =
+  let b = cfg.chunk and d = cfg.head_dim in
+  let per_chunk =
+    (2 * b * b * d)   (* QK^T *)
+    + (b * b)         (* mask *)
+    + (2 * b * d * b) (* (..)V *)
+    + (2 * b * d * d) (* Q S *)
+    + (2 * d * d * b) (* K^T V *)
+    + (3 * ((b * d) + (d * d)))
+  in
+  cfg.batch * cfg.heads * cfg.chunks * per_chunk

@@ -1,0 +1,58 @@
+(** Retention (RetNet, Sun et al. 2023) — one of the emerging
+    architectures the paper's §7 names as future work, implemented here
+    to demonstrate that the operator set already covers it.
+
+    Retention replaces softmax attention with a decayed linear
+    recurrence over a [d×d] state:
+
+      S_t = γ·S_{t-1} + k_tᵀ v_t         o_t = q_t S_t
+
+    The efficient form is {e chunkwise}: within a chunk of [B] tokens
+    the decay mask [D_{ij} = γ^{i-j} (i ≥ j)] makes the intra-chunk
+    part fully parallel ([(<Q,K> ⊙ D) V]), while a [scanl] over chunks
+    carries the cross-chunk state:
+
+      O_c     = (Q_c K_cᵀ ⊙ D) V_c + Λ ⊙ (Q_c S)
+      S'      = γ^B S + (Γ ⊙ K_c)ᵀ V_c
+
+    with [Λ_i = γ^{i+1}] and [Γ_i = γ^{B-1-i}] constant per-row decay
+    vectors (all are literal tensors in the program).  Because the
+    recurrence is exactly linear, the chunkwise program must equal the
+    token-level recurrence bit-for-bit up to rounding — the correctness
+    check below. *)
+
+type config = {
+  batch : int;
+  heads : int;
+  chunks : int;
+  chunk : int;    (** tokens per chunk *)
+  head_dim : int;
+  gamma : float;  (** decay, in (0, 1) *)
+}
+
+val default : config
+val large : config
+
+val program : config -> Expr.program
+(** [map(batch) ∘ map(heads) ∘ scanl(chunks)] with the [(S, O)] pair as
+    carried state; the result's second component holds the outputs. *)
+
+type inputs = {
+  qsss : Fractal.t;
+  ksss : Fractal.t;
+  vsss : Fractal.t;
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+(** Token-level recurrence, re-blocked to [batch][heads][chunks] of
+    [chunk, head_dim]. *)
+
+val output_of_interp : Fractal.t -> Fractal.t
+(** Identity: the program projects the [O] stream itself (the carried
+    state is internal).  Kept for callers of the earlier [(S, O)]
+    formulation. *)
+
+val flops : config -> int

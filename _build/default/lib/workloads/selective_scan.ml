@@ -1,0 +1,80 @@
+type config = {
+  batch : int;
+  seq_len : int;
+  hidden : int;
+}
+
+let default = { batch = 3; seq_len = 11; hidden = 8 }
+let large = { batch = 64; seq_len = 4096; hidden = 256 }
+
+(* hss = zip(ass, bss-pairs).map … scanl: h' = a*h + b *)
+let program cfg =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let open Expr in
+  {
+    name = "selective_scan";
+    inputs =
+      [
+        ("ass", List_ty (cfg.batch, List_ty (cfg.seq_len, Tensor_ty token)));
+        ("bss", List_ty (cfg.batch, List_ty (cfg.seq_len, Tensor_ty token)));
+      ];
+    body =
+      map_e ~params:[ "as_"; "bs" ]
+        ~body:
+          (scanl_e
+             ~init:(Lit (Tensor.zeros token))
+             ~params:[ "h"; "a"; "b" ]
+             ~body:(Add @@@ [ Mul @@@ [ Var "a"; Var "h" ]; Var "b" ])
+             (Zip [ Var "as_"; Var "bs" ]))
+        (Zip [ Var "ass"; Var "bss" ]);
+  }
+
+type inputs = {
+  ass : Fractal.t;
+  bss : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  {
+    ass =
+      Fractal.tabulate cfg.batch (fun _ ->
+          Fractal.tabulate cfg.seq_len (fun _ ->
+              Fractal.Leaf (Tensor.sigmoid (Tensor.rand rng token))));
+    bss =
+      Fractal.tabulate cfg.batch (fun _ ->
+          Fractal.tabulate cfg.seq_len (fun _ ->
+              Fractal.Leaf (Tensor.rand rng token)));
+  }
+
+let bindings inp = [ ("ass", inp.ass); ("bss", inp.bss) ]
+
+let reference cfg inp =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  Fractal.tabulate cfg.batch (fun n ->
+      let h = ref (Tensor.zeros token) in
+      Fractal.tabulate cfg.seq_len (fun l ->
+          let leaf f = Fractal.as_leaf (Fractal.get (Fractal.get f n) l) in
+          h := Tensor.add (Tensor.mul (leaf inp.ass) !h) (leaf inp.bss);
+          Fractal.Leaf !h))
+
+(* The associative combine over (gate, value) pairs. *)
+let combine p q =
+  let a1 = Fractal.as_leaf (Fractal.get p 0)
+  and b1 = Fractal.as_leaf (Fractal.get p 1)
+  and a2 = Fractal.as_leaf (Fractal.get q 0)
+  and b2 = Fractal.as_leaf (Fractal.get q 1) in
+  Fractal.Node
+    [|
+      Fractal.Leaf (Tensor.mul a1 a2);
+      Fractal.Leaf (Tensor.add (Tensor.mul a2 b1) b2);
+    |]
+
+let parallel_form _cfg inp =
+  Soac.map2
+    (fun as_ bs ->
+      let pairs = Access.zip2 as_ bs in
+      let scanned = Soac.scanl_tree combine pairs in
+      (* with h₀ = 0 the prefix's value component is h_t itself *)
+      Soac.map (fun pair -> Fractal.get pair 1) scanned)
+    inp.ass inp.bss

@@ -1,0 +1,41 @@
+(** Selective scan — the gated linear recurrence at the core of
+    Mamba-style state-space models, another architecture the paper's
+    §7 names as a target.
+
+      h_t = a_t ⊙ h_{t-1} + b_t
+
+    The FractalTensor program is a plain [map(batch) ∘ scanl(seq)].
+    The recurrence's binary form over (gate, value) pairs
+
+      (a₁, b₁) ⊕ (a₂, b₂) = (a₁⊙a₂, a₂⊙b₁ + b₂)
+
+    is associative, which is exactly the §4.2 property that lets the
+    compiler overlap successive iterations: {!parallel_form} computes
+    the same sequence through {!Soac.scanl_tree} in logarithmic depth,
+    and the tests check the three forms (sequential program, tree
+    parallel, imperative reference) agree. *)
+
+type config = {
+  batch : int;
+  seq_len : int;
+  hidden : int;
+}
+
+val default : config
+val large : config
+
+val program : config -> Expr.program
+
+type inputs = {
+  ass : Fractal.t; (** [N][L] gates in (0,1), shape [1,H] *)
+  bss : Fractal.t; (** [N][L] values [1,H] *)
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t
+
+val parallel_form : config -> inputs -> Fractal.t
+(** The same recurrence through the associative pair combine and the
+    O(log n)-depth tree scan. *)

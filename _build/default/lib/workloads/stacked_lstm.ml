@@ -1,0 +1,183 @@
+type config = {
+  batch : int;
+  depth : int;
+  seq_len : int;
+  hidden : int;
+}
+
+let default = { batch = 2; depth = 3; seq_len = 4; hidden = 8 }
+let paper = { batch = 256; depth = 32; seq_len = 64; hidden = 256 }
+
+(* Listing 2, with the carried layer state made explicitly a sequence
+   of (c, h) pairs:
+     hsss, csss = xss.map xs =>
+       zip(wss, uss, bss).foldl (zip css0 xs), (ss, (ws, us, bs)) =>
+         ss.scanl (0,0), ((c,h), (cb,hb)) =>
+           g_k = hb@ws[k] + h@us[k] + bs[k]
+           c' = sigmoid(g_f)*c + sigmoid(g_i)*tanh(g_c)
+           h' = sigmoid(g_o)*tanh(c')               *)
+let program cfg =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let open Expr in
+  let gate k =
+    (* hb @ ws[k] + h @ us[k] + bs[k] *)
+    Add
+    @@@ [
+          Add
+          @@@ [
+                Matmul @@@ [ Var "hb"; Index (Var "ws", [ k ]) ];
+                Matmul @@@ [ Proj (Var "ch", 1); Index (Var "us", [ k ]) ];
+              ];
+          Index (Var "bs", [ k ]);
+        ]
+  in
+  let cell_body =
+    Let
+      ( "gi",
+        gate 0,
+        Let
+          ( "gf",
+            gate 1,
+            Let
+              ( "go",
+                gate 2,
+                Let
+                  ( "gc",
+                    gate 3,
+                    Let
+                      ( "c'",
+                        Add
+                        @@@ [
+                              Mul
+                              @@@ [ Sigmoid @@@ [ Var "gf" ]; Proj (Var "ch", 0) ];
+                              Mul
+                              @@@ [ Sigmoid @@@ [ Var "gi" ]; Tanh @@@ [ Var "gc" ] ];
+                            ],
+                        Tuple
+                          [
+                            Var "c'";
+                            Mul
+                            @@@ [ Sigmoid @@@ [ Var "go" ]; Tanh @@@ [ Var "c'" ] ];
+                          ] ) ) ) ) )
+  in
+  {
+    name = "stacked_lstm";
+    inputs =
+      [
+        ("xss", List_ty (cfg.batch, List_ty (cfg.seq_len, Tensor_ty token)));
+        ("css0", List_ty (cfg.seq_len, Tensor_ty token));
+        ("wss", List_ty (cfg.depth, List_ty (4, Tensor_ty weight)));
+        ("uss", List_ty (cfg.depth, List_ty (4, Tensor_ty weight)));
+        ("bss", List_ty (cfg.depth, List_ty (4, Tensor_ty token)));
+      ];
+    body =
+      map_e ~params:[ "xs" ]
+        ~body:
+          (foldl_e
+             ~init:(Zip [ Var "css0"; Var "xs" ])
+             ~params:[ "ss"; "ws"; "us"; "bs" ]
+             ~body:
+               (scanl_e
+                  ~init:
+                    (Tuple [ Lit (Tensor.zeros token); Lit (Tensor.zeros token) ])
+                  ~params:[ "ch"; "cb"; "hb" ]
+                  ~body:cell_body (Var "ss"))
+             (Zip [ Var "wss"; Var "uss"; Var "bss" ]))
+        (Var "xss");
+  }
+
+type inputs = {
+  xss : Fractal.t;
+  css0 : Fractal.t;
+  wss : Fractal.t;
+  uss : Fractal.t;
+  bss : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let scale = 1.0 /. float_of_int cfg.hidden in
+  let gates f = Fractal.tabulate 4 (fun _ -> Fractal.Leaf (f ())) in
+  {
+    xss =
+      Fractal.tabulate cfg.batch (fun _ ->
+          Fractal.tabulate cfg.seq_len (fun _ ->
+              Fractal.Leaf (Tensor.rand rng token)));
+    css0 =
+      Fractal.tabulate cfg.seq_len (fun _ -> Fractal.Leaf (Tensor.zeros token));
+    wss =
+      Fractal.tabulate cfg.depth (fun _ ->
+          gates (fun () -> Tensor.scale scale (Tensor.rand rng weight)));
+    uss =
+      Fractal.tabulate cfg.depth (fun _ ->
+          gates (fun () -> Tensor.scale scale (Tensor.rand rng weight)));
+    bss =
+      Fractal.tabulate cfg.depth (fun _ ->
+          gates (fun () -> Tensor.rand rng token));
+  }
+
+let bindings inp =
+  [
+    ("xss", inp.xss);
+    ("css0", inp.css0);
+    ("wss", inp.wss);
+    ("uss", inp.uss);
+    ("bss", inp.bss);
+  ]
+
+let weights_of inp d =
+  let pick f = Array.init 4 (fun k -> Fractal.as_leaf (Fractal.get (Fractal.get f d) k)) in
+  (pick inp.wss, pick inp.uss, pick inp.bss)
+
+(* One cell step: inputs (c, h) of this layer, (cb, hb) from below. *)
+let cell ~ws ~us ~bs ~c ~h ~hb =
+  Kernels.lstm_cell ~x:hb ~h ~c ~ws ~us ~bs
+
+let run_schedule cfg inp ~wavefront =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let zero = Tensor.zeros token in
+  let per_batch n =
+    let cs = Array.make_matrix cfg.depth cfg.seq_len zero in
+    let hs = Array.make_matrix cfg.depth cfg.seq_len zero in
+    let step d l =
+      let hb =
+        if d = 0 then Fractal.as_leaf (Fractal.get (Fractal.get inp.xss n) l)
+        else hs.(d - 1).(l)
+      in
+      let c = if l = 0 then zero else cs.(d).(l - 1)
+      and h = if l = 0 then zero else hs.(d).(l - 1) in
+      let ws, us, bs = weights_of inp d in
+      let c', h' = cell ~ws ~us ~bs ~c ~h ~hb in
+      cs.(d).(l) <- c';
+      hs.(d).(l) <- h'
+    in
+    if wavefront then
+      for k = 0 to cfg.depth + cfg.seq_len - 2 do
+        for d = Stdlib.max 0 (k - cfg.seq_len + 1) to Stdlib.min (cfg.depth - 1) k do
+          step d (k - d)
+        done
+      done
+    else
+      for d = 0 to cfg.depth - 1 do
+        for l = 0 to cfg.seq_len - 1 do
+          step d l
+        done
+      done;
+    let pack m =
+      Fractal.tabulate cfg.depth (fun d ->
+          Fractal.tabulate cfg.seq_len (fun l -> Fractal.Leaf m.(d).(l)))
+    in
+    (pack cs, pack hs)
+  in
+  let results = Array.init cfg.batch per_batch in
+  ( Fractal.Node (Array.map fst results),
+    Fractal.Node (Array.map snd results) )
+
+let reference cfg inp = run_schedule cfg inp ~wavefront:false
+let wavefront cfg inp = run_schedule cfg inp ~wavefront:true
+
+let cell_flops cfg =
+  let h = cfg.hidden in
+  (8 * 2 * h * h) + (10 * h)

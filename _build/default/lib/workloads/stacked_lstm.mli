@@ -1,0 +1,45 @@
+(** Stacked LSTM (paper Listing 2, Table 6: batch 256, depth 32).
+
+    Layer [d] consumes the hidden sequence of layer [d-1] (the input
+    tokens for layer 0) and threads an [(c, h)] cell state along the
+    sequence.  In the FractalTensor program the fold over layers
+    carries the layer-below sequence as pairs [(c, h)], seeded by
+    zipping a zero cell-state sequence with the input tokens, which
+    keeps the carried state's type uniform across layers (the paper's
+    listing leaves this implicit).
+
+    Gate order in the weight lists is [i, f, o, c̃].  After parsing,
+    the ETDG has 4 block nodes (§6.3). *)
+
+type config = {
+  batch : int;
+  depth : int;
+  seq_len : int;
+  hidden : int;
+}
+
+val default : config
+val paper : config
+
+val program : config -> Expr.program
+
+type inputs = {
+  xss : Fractal.t;  (** [N][L] tokens [1,H] *)
+  css0 : Fractal.t; (** [L] zero cell states [1,H] (fold seed) *)
+  wss : Fractal.t;  (** [D][4] input weights [H,H] *)
+  uss : Fractal.t;  (** [D][4] recurrent weights [H,H] *)
+  bss : Fractal.t;  (** [D][4] biases [1,H] *)
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+val bindings : inputs -> (string * Fractal.t) list
+
+val reference : config -> inputs -> Fractal.t * Fractal.t
+(** [(csss, hsss)], each [N][D][L] of [1,H]. *)
+
+val wavefront : config -> inputs -> Fractal.t * Fractal.t
+(** Anti-diagonal schedule over [(d, l)]; must agree with
+    {!reference}. *)
+
+val cell_flops : config -> int
+(** FLOPs of one LSTM cell application at batch 1 (8 GEMVs + gates). *)

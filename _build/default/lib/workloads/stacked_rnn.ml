@@ -1,0 +1,104 @@
+type config = {
+  batch : int;
+  depth : int;
+  seq_len : int;
+  hidden : int;
+}
+
+let default = { batch = 2; depth = 3; seq_len = 4; hidden = 8 }
+let paper = { batch = 256; depth = 32; seq_len = 64; hidden = 512 }
+
+(* Listing 1:
+     ysss = xss.map xs =>
+       yss = ws.scanl xs, (s̄, w) =>
+         ys = s̄.scanl 0, (s, x) =>
+           y = x@w + s *)
+let program cfg =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let open Expr in
+  {
+    name = "stacked_rnn";
+    inputs =
+      [
+        ("xss", List_ty (cfg.batch, List_ty (cfg.seq_len, Tensor_ty token)));
+        ("ws", List_ty (cfg.depth, Tensor_ty weight));
+      ];
+    body =
+      map_e ~params:[ "xs" ]
+        ~body:
+          (scanl_e ~init:(Var "xs") ~params:[ "sbar"; "w" ]
+             ~body:
+               (scanl_e
+                  ~init:(Lit (Tensor.zeros token))
+                  ~params:[ "s"; "x" ]
+                  ~body:(Add @@@ [ Matmul @@@ [ Var "x"; Var "w" ]; Var "s" ])
+                  (Var "sbar"))
+             (Var "ws"))
+        (Var "xss");
+  }
+
+type inputs = {
+  xss : Fractal.t;
+  ws : Fractal.t;
+}
+
+let gen_inputs rng cfg =
+  (* Small magnitudes keep the unactivated recurrence numerically tame
+     across long sequences. *)
+  let scale = 0.5 /. float_of_int cfg.hidden in
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let weight = Shape.of_array [| cfg.hidden; cfg.hidden |] in
+  let xss =
+    Fractal.tabulate cfg.batch (fun _ ->
+        Fractal.tabulate cfg.seq_len (fun _ -> Fractal.Leaf (Tensor.rand rng token)))
+  in
+  let ws =
+    Fractal.tabulate cfg.depth (fun _ ->
+        Fractal.Leaf (Tensor.scale scale (Tensor.rand rng weight)))
+  in
+  { xss; ws }
+
+let bindings inp = [ ("xss", inp.xss); ("ws", inp.ws) ]
+
+let cell x w s = Tensor.add (Tensor.matmul x w) s
+
+(* The imperative triple loop of Fig. 1(a). *)
+let reference cfg inp =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let w d = Fractal.as_leaf (Fractal.get inp.ws d) in
+  Fractal.tabulate cfg.batch (fun n ->
+      let out = Array.make_matrix cfg.depth cfg.seq_len (Tensor.zeros token) in
+      for d = 0 to cfg.depth - 1 do
+        for l = 0 to cfg.seq_len - 1 do
+          let x =
+            if d = 0 then Fractal.as_leaf (Fractal.get (Fractal.get inp.xss n) l)
+            else out.(d - 1).(l)
+          in
+          let s = if l = 0 then Tensor.zeros token else out.(d).(l - 1) in
+          out.(d).(l) <- cell x (w d) s
+        done
+      done;
+      Fractal.tabulate cfg.depth (fun d ->
+          Fractal.tabulate cfg.seq_len (fun l -> Fractal.Leaf out.(d).(l))))
+
+(* Wavefront order: all cells with d + l = k are independent given
+   wavefronts < k (the schedule selected by the hyperplane method). *)
+let wavefront cfg inp =
+  let token = Shape.of_array [| 1; cfg.hidden |] in
+  let w d = Fractal.as_leaf (Fractal.get inp.ws d) in
+  Fractal.tabulate cfg.batch (fun n ->
+      let out = Array.make_matrix cfg.depth cfg.seq_len (Tensor.zeros token) in
+      for k = 0 to cfg.depth + cfg.seq_len - 2 do
+        for d = Stdlib.max 0 (k - cfg.seq_len + 1) to Stdlib.min (cfg.depth - 1) k do
+          let l = k - d in
+          let x =
+            if d = 0 then Fractal.as_leaf (Fractal.get (Fractal.get inp.xss n) l)
+            else out.(d - 1).(l)
+          in
+          let s = if l = 0 then Tensor.zeros token else out.(d).(l - 1) in
+          out.(d).(l) <- cell x (w d) s
+        done
+      done;
+      Fractal.tabulate cfg.depth (fun d ->
+          Fractal.tabulate cfg.seq_len (fun l -> Fractal.Leaf out.(d).(l))))

@@ -1,0 +1,44 @@
+(** Stacked vanilla RNN — the paper's running example (Listing 1, Figs 1–6).
+
+    [ysss[n][d][l] = tanh(x @ w_d + y_prev)] where [x] is the layer
+    below's output at step [l] (the input token for layer 0) and
+    [y_prev] is the same layer's output at step [l-1].
+
+    The paper's listing computes [y = x@w + s] with no activation; we
+    follow the listing exactly so that the ETDG matches Fig. 4. *)
+
+type config = {
+  batch : int;   (** N: number of sentences *)
+  depth : int;   (** D: stacked layers *)
+  seq_len : int; (** L: sentence length *)
+  hidden : int;  (** H: token width; the paper uses 512 *)
+}
+
+val default : config
+(** N=2, D=3, L=4, H=8 — small extents for tests. *)
+
+val paper : config
+(** The shape of the paper's running example: N, D=32, L, H=512
+    (batch 256, matching Table 6). *)
+
+val program : config -> Expr.program
+(** The FractalTensor program of Listing 1. *)
+
+type inputs = {
+  xss : Fractal.t; (** [N][L] tokens of shape [1,H] *)
+  ws : Fractal.t;  (** [D] weight matrices of shape [H,H] *)
+}
+
+val gen_inputs : Rng.t -> config -> inputs
+
+val bindings : inputs -> (string * Fractal.t) list
+(** Environment for {!Interp.run_program}. *)
+
+val reference : config -> inputs -> Fractal.t
+(** Imperative nested-loop implementation (Fig. 1(a)): returns the
+    [N][D][L] FractalTensor of outputs. *)
+
+val wavefront : config -> inputs -> Fractal.t
+(** Anti-diagonal (hyperplane) schedule over the [(d, l)] plane — the
+    execution order the reordering pass derives (§5.2).  Must agree
+    with {!reference}; exercised by tests to show schedule legality. *)

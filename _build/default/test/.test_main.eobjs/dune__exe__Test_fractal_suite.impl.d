@@ -1,0 +1,1 @@
+test/test_fractal_suite.ml: Access Alcotest Fractal List QCheck2 QCheck_alcotest Rng Shape Soac Tensor

@@ -1,0 +1,1 @@
+test/test_frontend_suite.ml: Alcotest B2b_gemm Bigbird Dilated_rnn Expr Flash_attention Fractal Grid_rnn Interp QCheck2 QCheck_alcotest Rng Shape Soac Stacked_lstm Stacked_rnn Tensor Typecheck

@@ -1,0 +1,1 @@
+test/test_fuzz_suite.ml: Access_map Alcotest Array Build Domain Expr Fractal Interp Ir List QCheck2 QCheck_alcotest Rng Shape Soac Stacked_rnn String Tensor Typecheck Vm

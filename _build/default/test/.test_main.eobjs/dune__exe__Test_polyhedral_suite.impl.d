@@ -1,0 +1,1 @@
+test/test_polyhedral_suite.ml: Access_map Alcotest Array Domain Linalg List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tensor_suite.ml: Alcotest Array Float Kernels List QCheck2 QCheck_alcotest Rng Shape Stdlib Tensor

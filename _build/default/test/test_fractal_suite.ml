@@ -1,0 +1,246 @@
+(* Tests for the FractalTensor ADT, the SOAC compute operators and the
+   access operators (the programming model of paper §4.1–4.2). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let leaf v = Fractal.Leaf (Tensor.scalar v)
+let of_floats vs = Fractal.node (List.map leaf vs)
+let to_floats t =
+  List.map (fun x -> Tensor.to_scalar (Fractal.as_leaf x)) (Fractal.to_list t)
+
+let adt_tests =
+  [
+    Alcotest.test_case "depth" `Quick (fun () ->
+        checki "leaf" 0 (Fractal.depth (leaf 1.));
+        checki "depth1" 1 (Fractal.depth (of_floats [ 1.; 2. ]));
+        checki "depth2" 2
+          (Fractal.depth (Fractal.node [ of_floats [ 1. ]; of_floats [ 2. ] ])));
+    Alcotest.test_case "extents" `Quick (fun () ->
+        let t =
+          Fractal.rand (Rng.create 1) ~dims:[ 2; 3 ] ~elem:(Shape.of_array [| 4 |])
+        in
+        Alcotest.(check (list int)) "extents" [ 2; 3 ] (Fractal.extents t);
+        checkb "regular" true (Fractal.is_regular t));
+    Alcotest.test_case "irregular detected" `Quick (fun () ->
+        let t = Fractal.node [ of_floats [ 1.; 2. ]; of_floats [ 3. ] ] in
+        checkb "irregular" false (Fractal.is_regular t));
+    Alcotest.test_case "mixed leaf shapes are irregular" `Quick (fun () ->
+        let t =
+          Fractal.node
+            [ leaf 1.; Fractal.Leaf (Tensor.zeros (Shape.of_array [| 2 |])) ]
+        in
+        checkb "irregular" false (Fractal.is_regular t));
+    Alcotest.test_case "node rejects empty" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Fractal.node: empty list")
+          (fun () -> ignore (Fractal.node [])));
+    Alcotest.test_case "numel sums leaves" `Quick (fun () ->
+        let t =
+          Fractal.rand (Rng.create 2) ~dims:[ 2; 3 ] ~elem:(Shape.of_array [| 5 |])
+        in
+        checki "numel" 30 (Fractal.numel t));
+    Alcotest.test_case "map_leaves preserves structure" `Quick (fun () ->
+        let t = of_floats [ 1.; 2.; 3. ] in
+        Alcotest.(check (list (float 1e-9)))
+          "doubled" [ 2.; 4.; 6. ]
+          (to_floats (Fractal.map_leaves (Tensor.scale 2.0) t)));
+    Alcotest.test_case "equal_approx distinguishes structure" `Quick (fun () ->
+        checkb "leaf vs node" false
+          (Fractal.equal_approx (leaf 1.) (of_floats [ 1. ])));
+  ]
+
+let add a b = Fractal.Leaf (Tensor.add (Fractal.as_leaf a) (Fractal.as_leaf b))
+
+let soac_tests =
+  [
+    Alcotest.test_case "map" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "mapped" [ 2.; 3. ]
+          (to_floats
+             (Soac.map
+                (fun x -> Fractal.Leaf (Tensor.map (( +. ) 1.) (Fractal.as_leaf x)))
+                (of_floats [ 1.; 2. ]))));
+    Alcotest.test_case "foldl order" `Quick (fun () ->
+        let sub a b =
+          Fractal.Leaf (Tensor.sub (Fractal.as_leaf a) (Fractal.as_leaf b))
+        in
+        let r = Soac.foldl ~init:(leaf 10.) sub (of_floats [ 1.; 2.; 3. ]) in
+        Alcotest.(check (float 1e-9)) "((10-1)-2)-3" 4.0
+          (Tensor.to_scalar (Fractal.as_leaf r)));
+    Alcotest.test_case "foldr order" `Quick (fun () ->
+        let sub a b =
+          Fractal.Leaf (Tensor.sub (Fractal.as_leaf a) (Fractal.as_leaf b))
+        in
+        let r = Soac.foldr ~init:(leaf 10.) sub (of_floats [ 1.; 2.; 3. ]) in
+        Alcotest.(check (float 1e-9)) "((10-3)-2)-1" 4.0
+          (Tensor.to_scalar (Fractal.as_leaf r)));
+    Alcotest.test_case "scanl produces prefixes" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "prefix sums" [ 1.; 3.; 6. ]
+          (to_floats (Soac.scanl ~init:(leaf 0.) add (of_floats [ 1.; 2.; 3. ]))));
+    Alcotest.test_case "scanl1 keeps first element" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "values" [ 1.; 3.; 6. ]
+          (to_floats (Soac.scanl1 add (of_floats [ 1.; 2.; 3. ]))));
+    Alcotest.test_case "scanr scans from the right" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "suffix sums" [ 6.; 5.; 3. ]
+          (to_floats (Soac.scanr ~init:(leaf 0.) add (of_floats [ 1.; 2.; 3. ]))));
+    Alcotest.test_case "reduce without seed" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "sum" 6.0
+          (Tensor.to_scalar
+             (Fractal.as_leaf (Soac.reduce add (of_floats [ 1.; 2.; 3. ])))));
+    Alcotest.test_case "map2 zips" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "sums" [ 5.; 7. ]
+          (to_floats (Soac.map2 add (of_floats [ 1.; 2. ]) (of_floats [ 4.; 5. ]))));
+    Alcotest.test_case "map2 rejects length mismatch" `Quick (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Soac.map2: length mismatch") (fun () ->
+            ignore (Soac.map2 add (of_floats [ 1. ]) (of_floats [ 1.; 2. ]))));
+    Alcotest.test_case "scanl_state threads arbitrary state" `Quick (fun () ->
+        let r =
+          Soac.scanl_state ~init:0.0
+            (fun acc x -> acc +. Tensor.to_scalar (Fractal.as_leaf x))
+            (fun acc -> leaf acc)
+            (of_floats [ 1.; 2.; 3. ])
+        in
+        Alcotest.(check (list (float 1e-9))) "sums" [ 1.; 3.; 6. ] (to_floats r));
+  ]
+
+let floats_gen =
+  QCheck2.Gen.(list_size (int_range 1 12) (float_bound_inclusive 10.0))
+
+let soac_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"last of scanl = foldl" floats_gen
+         (fun vs ->
+           let t = of_floats vs in
+           let scan = Soac.scanl ~init:(leaf 0.) add t in
+           let fold = Soac.foldl ~init:(leaf 0.) add t in
+           Fractal.equal_approx ~eps:1e-6
+             (Fractal.get scan (Fractal.length scan - 1))
+             fold));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"reduce = foldl for associative op"
+         floats_gen (fun vs ->
+           let t = of_floats vs in
+           Fractal.equal_approx ~eps:1e-6
+             (Soac.reduce ~init:(leaf 0.) add t)
+             (Soac.foldl ~init:(leaf 0.) add t)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"map distributes over composition"
+         floats_gen (fun vs ->
+           let t = of_floats vs in
+           let f x = Fractal.Leaf (Tensor.scale 2.0 (Fractal.as_leaf x)) in
+           let g x = Fractal.Leaf (Tensor.map (( +. ) 1.) (Fractal.as_leaf x)) in
+           Fractal.equal_approx
+             (Soac.map f (Soac.map g t))
+             (Soac.map (fun x -> f (g x)) t)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"scanr = reverse scanl reverse"
+         floats_gen (fun vs ->
+           let t = of_floats vs in
+           Fractal.equal_approx ~eps:1e-6
+             (Soac.scanr ~init:(leaf 0.) add t)
+             (Access.reverse (Soac.scanl ~init:(leaf 0.) add (Access.reverse t)))));
+  ]
+
+let access_tests =
+  [
+    Alcotest.test_case "linear with shift" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "shifted" [ 3.; 4. ]
+          (to_floats (Access.linear ~shift:2 (of_floats [ 1.; 2.; 3.; 4. ]))));
+    Alcotest.test_case "linear reverse" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "reversed" [ 3.; 2.; 1. ]
+          (to_floats (Access.linear ~reverse:true (of_floats [ 1.; 2.; 3. ]))));
+    Alcotest.test_case "stride" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "strided" [ 2.; 4.; 6. ]
+          (to_floats
+             (Access.stride (of_floats [ 1.; 2.; 3.; 4.; 5.; 6. ]) ~start:1
+                ~step:2)));
+    Alcotest.test_case "slice with negative bounds" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "interior" [ 2.; 3. ]
+          (to_floats (Access.slice (of_floats [ 1.; 2.; 3.; 4. ]) ~lo:1 ~hi:(-1))));
+    Alcotest.test_case "window" `Quick (fun () ->
+        let w = Access.window (of_floats [ 1.; 2.; 3.; 4. ]) ~size:2 () in
+        checki "count" 3 (Fractal.length w);
+        Alcotest.(check (list (float 1e-9)))
+          "second window" [ 2.; 3. ]
+          (to_floats (Fractal.get w 1)));
+    Alcotest.test_case "window with dilation" `Quick (fun () ->
+        let w =
+          Access.window (of_floats [ 1.; 2.; 3.; 4.; 5. ]) ~size:2 ~dilation:2 ()
+        in
+        Alcotest.(check (list (float 1e-9)))
+          "first" [ 1.; 3. ]
+          (to_floats (Fractal.get w 0)));
+    Alcotest.test_case "shifted_slide clamps at borders" `Quick (fun () ->
+        let w = Access.shifted_slide (of_floats [ 1.; 2.; 3.; 4. ]) ~window:3 in
+        checki "count" 4 (Fractal.length w);
+        Alcotest.(check (list (float 1e-9)))
+          "first (clamped)" [ 1.; 2.; 3. ]
+          (to_floats (Fractal.get w 0));
+        Alcotest.(check (list (float 1e-9)))
+          "interior" [ 1.; 2.; 3. ]
+          (to_floats (Fractal.get w 1));
+        Alcotest.(check (list (float 1e-9)))
+          "last (clamped)" [ 2.; 3.; 4. ]
+          (to_floats (Fractal.get w 3)));
+    Alcotest.test_case "interleave phases" `Quick (fun () ->
+        let w = Access.interleave (of_floats [ 1.; 2.; 3.; 4. ]) ~phases:2 in
+        Alcotest.(check (list (float 1e-9)))
+          "phase0" [ 1.; 3. ]
+          (to_floats (Fractal.get w 0));
+        Alcotest.(check (list (float 1e-9)))
+          "phase1" [ 2.; 4. ]
+          (to_floats (Fractal.get w 1)));
+    Alcotest.test_case "gather" `Quick (fun () ->
+        Alcotest.(check (list (float 1e-9)))
+          "gathered" [ 3.; 1.; 3. ]
+          (to_floats (Access.gather (of_floats [ 1.; 2.; 3. ]) [| 2; 0; 2 |])));
+    Alcotest.test_case "zip2 / unzip2 roundtrip" `Quick (fun () ->
+        let a = of_floats [ 1.; 2. ] and b = of_floats [ 3.; 4. ] in
+        let x, y = Access.unzip2 (Access.zip2 a b) in
+        checkb "fst" true (Fractal.equal_approx a x);
+        checkb "snd" true (Fractal.equal_approx b y));
+  ]
+
+let access_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"reverse is an involution" floats_gen
+         (fun vs ->
+           let t = of_floats vs in
+           Fractal.equal_approx t (Access.reverse (Access.reverse t))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"interleave preserves all elements"
+         QCheck2.Gen.(pair (int_range 1 4) (int_range 1 6))
+         (fun (phases, per) ->
+           let n = phases * per in
+           let t = of_floats (List.init n float_of_int) in
+           let w = Access.interleave t ~phases in
+           let collected =
+             List.concat_map to_floats (Fractal.to_list w) |> List.sort compare
+           in
+           collected = List.init n float_of_int));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"window count formula"
+         QCheck2.Gen.(pair (int_range 2 10) (int_range 1 3))
+         (fun (n, size) ->
+           QCheck2.assume (size <= n);
+           let t = of_floats (List.init n float_of_int) in
+           Fractal.length (Access.window t ~size ()) = n - size + 1));
+  ]
+
+let suites =
+  [
+    ("fractal", adt_tests);
+    ("soac", soac_tests @ soac_props);
+    ("access", access_tests @ access_props);
+  ]

@@ -1,0 +1,287 @@
+(* Tests for the frontend language: typing rules, interpreter
+   semantics, and end-to-end equivalence of every workload program
+   against its imperative reference. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let open_ty = Alcotest.testable (fun fmt t -> Expr.pp_ty fmt t) ( = )
+
+let tensor_ty dims = Expr.Tensor_ty (Shape.of_array dims)
+
+let vec n = tensor_ty [| 1; n |]
+
+let typecheck_tests =
+  [
+    Alcotest.test_case "map over list" `Quick (fun () ->
+        let open Expr in
+        let ty =
+          Typecheck.infer
+            [ ("xs", List_ty (3, vec 4)) ]
+            (map_e ~params:[ "x" ] ~body:(Tanh @@@ [ Var "x" ]) (Var "xs"))
+        in
+        Alcotest.check open_ty "ty" (Expr.List_ty (3, vec 4)) ty);
+    Alcotest.test_case "scanl keeps length, foldl drops it" `Quick (fun () ->
+        let open Expr in
+        let env = [ ("xs", List_ty (5, vec 4)) ] in
+        let scan =
+          Typecheck.infer env
+            (scanl_e
+               ~init:(Lit (Tensor.zeros (Shape.of_array [| 1; 4 |])))
+               ~params:[ "s"; "x" ]
+               ~body:(Add @@@ [ Var "s"; Var "x" ])
+               (Var "xs"))
+        in
+        Alcotest.check open_ty "scan" (Expr.List_ty (5, vec 4)) scan;
+        let fold =
+          Typecheck.infer env
+            (foldl_e
+               ~init:(Lit (Tensor.zeros (Shape.of_array [| 1; 4 |])))
+               ~params:[ "s"; "x" ]
+               ~body:(Add @@@ [ Var "s"; Var "x" ])
+               (Var "xs"))
+        in
+        Alcotest.check open_ty "fold" (vec 4) fold);
+    Alcotest.test_case "zip builds tuple elements" `Quick (fun () ->
+        let open Expr in
+        let env = [ ("a", List_ty (2, vec 3)); ("b", List_ty (2, vec 4)) ] in
+        Alcotest.check open_ty "ty"
+          (Expr.List_ty (2, Expr.Tuple_ty [ vec 3; vec 4 ]))
+          (Typecheck.infer env (Zip [ Var "a"; Var "b" ])));
+    Alcotest.test_case "zip rejects extent mismatch" `Quick (fun () ->
+        let open Expr in
+        let env = [ ("a", List_ty (2, vec 3)); ("b", List_ty (3, vec 3)) ] in
+        checkb "raises" true
+          (try
+             ignore (Typecheck.infer env (Zip [ Var "a"; Var "b" ]));
+             false
+           with Typecheck.Type_error _ -> true));
+    Alcotest.test_case "aggregate step must return the state type" `Quick
+      (fun () ->
+        let open Expr in
+        let env = [ ("xs", List_ty (3, vec 4)) ] in
+        checkb "raises" true
+          (try
+             ignore
+               (Typecheck.infer env
+                  (scanl_e
+                     ~init:(Lit (Tensor.zeros (Shape.of_array [| 1; 4 |])))
+                     ~params:[ "s"; "x" ]
+                     ~body:(Row_max @@@ [ Var "x" ])
+                     (Var "xs")));
+             false
+           with Typecheck.Type_error _ -> true));
+    Alcotest.test_case "matmul shape rule" `Quick (fun () ->
+        checkb "ok" true
+          (Shape.equal
+             (Typecheck.prim_result_shape Expr.Matmul
+                [ Shape.of_array [| 2; 3 |]; Shape.of_array [| 3; 5 |] ])
+             (Shape.of_array [| 2; 5 |])));
+    Alcotest.test_case "negative column indices" `Quick (fun () ->
+        checkb "ok" true
+          (Shape.equal
+             (Typecheck.prim_result_shape (Expr.Cols (-2, 4))
+                [ Shape.of_array [| 3; 4 |] ])
+             (Shape.of_array [| 3; 2 |])));
+    Alcotest.test_case "unbound variable" `Quick (fun () ->
+        checkb "raises" true
+          (try
+             ignore (Typecheck.infer [] (Expr.Var "nope"));
+             false
+           with Typecheck.Type_error _ -> true));
+    Alcotest.test_case "all six workload programs typecheck" `Quick (fun () ->
+        ignore (Typecheck.check_program (Stacked_rnn.program Stacked_rnn.default));
+        ignore (Typecheck.check_program (Stacked_lstm.program Stacked_lstm.default));
+        ignore (Typecheck.check_program (Grid_rnn.program Grid_rnn.default));
+        ignore (Typecheck.check_program (Dilated_rnn.program Dilated_rnn.default));
+        ignore (Typecheck.check_program (B2b_gemm.program B2b_gemm.default));
+        ignore
+          (Typecheck.check_program (Flash_attention.program Flash_attention.default));
+        ignore (Typecheck.check_program (Bigbird.program Bigbird.default)));
+    Alcotest.test_case "stacked RNN result type matches Listing 1" `Quick
+      (fun () ->
+        let cfg = Stacked_rnn.default in
+        let ty = Typecheck.check_program (Stacked_rnn.program cfg) in
+        checks "type" "[2][3][4]float32[1,8]" (Expr.ty_to_string ty));
+  ]
+
+let free_vars_tests =
+  [
+    Alcotest.test_case "lambda parameters are bound" `Quick (fun () ->
+        let open Expr in
+        let e =
+          map_e ~params:[ "x" ]
+            ~body:(Add @@@ [ Var "x"; Var "w" ])
+            (Var "xs")
+        in
+        Alcotest.(check (list string)) "free" [ "xs"; "w" ] (free_vars e));
+    Alcotest.test_case "let binding shadows" `Quick (fun () ->
+        let open Expr in
+        let e = Let ("x", Var "a", Add @@@ [ Var "x"; Var "b" ]) in
+        Alcotest.(check (list string)) "free" [ "a"; "b" ] (free_vars e));
+  ]
+
+(* End-to-end: interpreter vs imperative references. *)
+let seeded f = f (Rng.create 2024)
+
+let interp_tests =
+  [
+    Alcotest.test_case "stacked RNN = reference" `Quick (fun () ->
+        let cfg = Stacked_rnn.default in
+        let inp = seeded (fun r -> Stacked_rnn.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (Stacked_rnn.program cfg) (Stacked_rnn.bindings inp)
+        in
+        checkb "equal" true
+          (Fractal.equal_approx out (Stacked_rnn.reference cfg inp)));
+    Alcotest.test_case "stacked RNN wavefront = reference" `Quick (fun () ->
+        let cfg = { Stacked_rnn.default with depth = 4; seq_len = 6 } in
+        let inp = seeded (fun r -> Stacked_rnn.gen_inputs r cfg) in
+        checkb "equal" true
+          (Fractal.equal_approx
+             (Stacked_rnn.wavefront cfg inp)
+             (Stacked_rnn.reference cfg inp)));
+    Alcotest.test_case "stacked LSTM = reference (last layer)" `Quick (fun () ->
+        let cfg = Stacked_lstm.default in
+        let inp = seeded (fun r -> Stacked_lstm.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (Stacked_lstm.program cfg)
+            (Stacked_lstm.bindings inp)
+        in
+        let csss, hsss = Stacked_lstm.reference cfg inp in
+        let proj i =
+          Soac.map (fun pn -> Soac.map (fun pr -> Fractal.get pr i) pn) out
+        in
+        let last m = Soac.map (fun pn -> Fractal.get pn (cfg.depth - 1)) m in
+        checkb "c" true (Fractal.equal_approx (proj 0) (last csss));
+        checkb "h" true (Fractal.equal_approx (proj 1) (last hsss)));
+    Alcotest.test_case "stacked LSTM wavefront = reference" `Quick (fun () ->
+        let cfg = Stacked_lstm.default in
+        let inp = seeded (fun r -> Stacked_lstm.gen_inputs r cfg) in
+        let rc, rh = Stacked_lstm.reference cfg inp in
+        let wc, wh = Stacked_lstm.wavefront cfg inp in
+        checkb "c" true (Fractal.equal_approx rc wc);
+        checkb "h" true (Fractal.equal_approx rh wh));
+    Alcotest.test_case "grid RNN = reference, wavefront legal" `Quick (fun () ->
+        let cfg = Grid_rnn.default in
+        let inp = seeded (fun r -> Grid_rnn.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (Grid_rnn.program cfg) (Grid_rnn.bindings inp)
+        in
+        let r = Grid_rnn.reference cfg inp in
+        checkb "interp" true (Fractal.equal_approx out r);
+        checkb "wavefront" true (Fractal.equal_approx (Grid_rnn.wavefront cfg inp) r));
+    Alcotest.test_case "dilated RNN = reference" `Quick (fun () ->
+        let cfg = Dilated_rnn.default in
+        let inp = seeded (fun r -> Dilated_rnn.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (Dilated_rnn.program cfg) (Dilated_rnn.bindings inp)
+        in
+        checkb "equal" true
+          (Fractal.equal_approx
+             (Dilated_rnn.flatten_output cfg out)
+             (Dilated_rnn.reference cfg inp)));
+    Alcotest.test_case "dilated RNN, deeper stack" `Quick (fun () ->
+        let cfg = { Dilated_rnn.default with layers = 4; seq_len = 16 } in
+        let inp = seeded (fun r -> Dilated_rnn.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (Dilated_rnn.program cfg) (Dilated_rnn.bindings inp)
+        in
+        checkb "equal" true
+          (Fractal.equal_approx
+             (Dilated_rnn.flatten_output cfg out)
+             (Dilated_rnn.reference cfg inp)));
+    Alcotest.test_case "b2b GEMM = reference" `Quick (fun () ->
+        let cfg = B2b_gemm.default in
+        let inp = seeded (fun r -> B2b_gemm.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (B2b_gemm.program cfg) (B2b_gemm.bindings inp)
+        in
+        checkb "equal" true (Fractal.equal_approx out (B2b_gemm.reference cfg inp)));
+    Alcotest.test_case "FlashAttention = exact attention" `Quick (fun () ->
+        let cfg = Flash_attention.default in
+        let inp = seeded (fun r -> Flash_attention.gen_inputs r cfg) in
+        let out =
+          Interp.run_program
+            (Flash_attention.program cfg)
+            (Flash_attention.bindings inp)
+        in
+        checkb "equal" true
+          (Fractal.equal_approx out (Flash_attention.reference cfg inp)));
+    Alcotest.test_case "FlashAttention, longer kv" `Quick (fun () ->
+        let cfg = { Flash_attention.default with kv_blocks = 7; q_blocks = 3 } in
+        let inp = seeded (fun r -> Flash_attention.gen_inputs r cfg) in
+        let out =
+          Interp.run_program
+            (Flash_attention.program cfg)
+            (Flash_attention.bindings inp)
+        in
+        checkb "equal" true
+          (Fractal.equal_approx out (Flash_attention.reference cfg inp)));
+    Alcotest.test_case "BigBird = reference" `Quick (fun () ->
+        let cfg = Bigbird.default in
+        let inp = seeded (fun r -> Bigbird.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (Bigbird.program cfg) (Bigbird.bindings inp)
+        in
+        checkb "equal" true (Fractal.equal_approx out (Bigbird.reference cfg inp)));
+    Alcotest.test_case "BigBird window 5" `Quick (fun () ->
+        let cfg = { Bigbird.default with window = 5; blocks = 10 } in
+        let inp = seeded (fun r -> Bigbird.gen_inputs r cfg) in
+        let out =
+          Interp.run_program (Bigbird.program cfg) (Bigbird.bindings inp)
+        in
+        checkb "equal" true (Fractal.equal_approx out (Bigbird.reference cfg inp)));
+    Alcotest.test_case "missing program input is reported" `Quick (fun () ->
+        let cfg = Stacked_rnn.default in
+        checkb "raises" true
+          (try
+             ignore (Interp.run_program (Stacked_rnn.program cfg) []);
+             false
+           with Interp.Runtime_error _ -> true));
+  ]
+
+let interp_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:20 ~name:"stacked RNN interp = reference (random configs)"
+         QCheck2.Gen.(quad (int_range 1 3) (int_range 1 4) (int_range 1 5) (int_range 1 6))
+         (fun (batch, depth, seq_len, hidden) ->
+           let cfg = { Stacked_rnn.batch; depth; seq_len; hidden } in
+           let inp = Stacked_rnn.gen_inputs (Rng.create (batch + depth)) cfg in
+           let out =
+             Interp.run_program (Stacked_rnn.program cfg)
+               (Stacked_rnn.bindings inp)
+           in
+           Fractal.equal_approx out (Stacked_rnn.reference cfg inp)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:20 ~name:"grid wavefront legal (random configs)"
+         QCheck2.Gen.(quad (int_range 1 2) (int_range 1 3) (int_range 1 4) (int_range 1 4))
+         (fun (batch, depth, rows, cols) ->
+           let cfg = { Grid_rnn.batch; depth; rows; cols; hidden = 4 } in
+           let inp = Grid_rnn.gen_inputs (Rng.create 99) cfg in
+           Fractal.equal_approx (Grid_rnn.wavefront cfg inp)
+             (Grid_rnn.reference cfg inp)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:15 ~name:"FlashAttention = exact (random blocking)"
+         QCheck2.Gen.(triple (int_range 1 3) (int_range 1 5) (int_range 2 6))
+         (fun (heads, qb, kvb) ->
+           let cfg =
+             { Flash_attention.batch = 1; heads; q_blocks = qb; kv_blocks = kvb;
+               block = 3; head_dim = 5 }
+           in
+           let inp = Flash_attention.gen_inputs (Rng.create (qb * kvb)) cfg in
+           let out =
+             Interp.run_program
+               (Flash_attention.program cfg)
+               (Flash_attention.bindings inp)
+           in
+           Fractal.equal_approx out (Flash_attention.reference cfg inp)));
+  ]
+
+let suites =
+  [
+    ("typecheck", typecheck_tests @ free_vars_tests);
+    ("interp", interp_tests @ interp_props);
+  ]

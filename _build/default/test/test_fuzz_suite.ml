@@ -1,0 +1,205 @@
+(* Differential fuzzing of the compiler: random programs in the
+   supported fragment are built, compiled (Build → validate → Vm in
+   wavefront order) and executed; the result must equal the
+   interpreter's, which defines the semantics.  Any divergence is a
+   compiler bug: a wrong access map, region domain, result operand or
+   schedule. *)
+
+let checkb = Alcotest.(check bool)
+
+(* A random program family:
+
+     xss.map { |xs| xs.<access>.<agg>(zeros) { |s, x| <udf> } }
+
+   with a random batch/sequence extent, a random access operator on the
+   sequence, a random aggregate (or map) and a random elementwise UDF
+   over (s, x). *)
+
+type spec = {
+  batch : int;
+  seq : int;
+  width : int;
+  access : Expr.access option;
+  kind : Expr.soac_kind;
+  udf : int; (* selects a body *)
+}
+
+let gen_spec =
+  QCheck2.Gen.(
+    let* batch = int_range 1 3 in
+    let* seq = int_range 2 8 in
+    let* width = int_range 1 5 in
+    let* access =
+      oneof
+        [
+          return None;
+          (let* shift = int_range 0 (seq - 1) in
+           return (Some (Expr.Linear { shift; reverse = false })));
+          (let* step = int_range 1 3 in
+           return (Some (Expr.Strided { start = 0; step })));
+          (let* lo = int_range 0 (seq - 1) in
+           let* hi = int_range (lo + 1) seq in
+           return (Some (Expr.Slice { lo; hi })));
+        ]
+    in
+    let* kind =
+      oneofl
+        [ Expr.Map; Expr.Scanl; Expr.Foldl; Expr.Reduce; Expr.Scanr;
+          Expr.Foldr ]
+    in
+    let* udf = int_range 0 4 in
+    return { batch; seq; width; access; kind; udf })
+
+let build_program spec =
+  let token = Shape.of_array [| 1; spec.width |] in
+  let open Expr in
+  let seq_expr =
+    match spec.access with
+    | None -> Var "xs"
+    | Some a -> Access (a, Var "xs")
+  in
+  let body s x =
+    match spec.udf with
+    | 0 -> Add @@@ [ s; x ]
+    | 1 -> Add @@@ [ Mul @@@ [ s; x ]; x ]
+    | 2 -> Maximum @@@ [ s; Tanh @@@ [ x ] ]
+    | 3 -> Add @@@ [ Scale 0.5 @@@ [ s ]; Sigmoid @@@ [ x ] ]
+    | _ -> Sub @@@ [ Mul @@@ [ s; Lit (Tensor.full token 0.9) ]; Neg @@@ [ x ] ]
+  in
+  let inner =
+    match spec.kind with
+    | Map -> map_e ~params:[ "x" ] ~body:(body (Lit (Tensor.ones token)) (Var "x")) seq_expr
+    | kind ->
+        Soac
+          {
+            kind;
+            fn = { params = [ "s"; "x" ]; body = body (Var "s") (Var "x") };
+            init = Some (Lit (Tensor.zeros token));
+            xs = seq_expr;
+          }
+  in
+  {
+    name = "fuzz";
+    inputs = [ ("xss", List_ty (spec.batch, List_ty (spec.seq, Tensor_ty token))) ];
+    body = map_e ~params:[ "xs" ] ~body:inner (Var "xss");
+  }
+
+(* Project the VM's output (which materialises fold/reduce accumulator
+   history as a trailing dimension) down to the interpreter's view. *)
+let vm_view spec out =
+  match spec.kind with
+  | Expr.Map | Expr.Scanl | Expr.Scanr -> out
+  | Expr.Foldl | Expr.Reduce ->
+      Soac.map
+        (fun per_n -> Fractal.get per_n (Fractal.length per_n - 1))
+        out
+  | Expr.Foldr ->
+      (* a right fold finishes at storage index 0 *)
+      Soac.map (fun per_n -> Fractal.get per_n 0) out
+
+let interp_view spec out =
+  ignore spec;
+  out
+
+let fuzz_test =
+  QCheck2.Test.make ~count:300 ~name:"compiled VM = interpreter (random programs)"
+    gen_spec (fun spec ->
+      (* reject specs whose access leaves an empty sequence *)
+      let ok =
+        match spec.access with
+        | Some (Expr.Slice { lo; hi }) -> hi - lo >= 1
+        | _ -> true
+      in
+      QCheck2.assume ok;
+      let p = build_program spec in
+      match Typecheck.check_program p with
+      | exception Typecheck.Type_error _ -> QCheck2.assume_fail ()
+      | _ -> (
+          let rng = Rng.create (spec.batch + (31 * spec.seq) + (977 * spec.udf)) in
+          let token = Shape.of_array [| 1; spec.width |] in
+          let xss =
+            Fractal.tabulate spec.batch (fun _ ->
+                Fractal.tabulate spec.seq (fun _ ->
+                    Fractal.Leaf (Tensor.scale 0.5 (Tensor.rand rng token))))
+          in
+          let reference = Interp.run_program p [ ("xss", xss) ] in
+          match Build.build p with
+          | exception Build.Unsupported _ -> QCheck2.assume_fail ()
+          | g -> (
+              (match Ir.validate g with
+              | Ok () -> ()
+              | Error es ->
+                  QCheck2.Test.fail_reportf "invalid graph: %s"
+                    (String.concat "; " es));
+              match Vm.run g [ ("xss", xss) ] with
+              | exception Vm.Execution_error m ->
+                  QCheck2.Test.fail_reportf "vm error: %s" m
+              | outs ->
+                  let got = vm_view spec (Vm.output outs "fuzz") in
+                  Fractal.equal_approx ~eps:1e-4 got (interp_view spec reference))))
+
+(* A second family: two-aggregate nests (the running example's shape)
+   with random extents, checking region splitting end to end. *)
+let nest_test =
+  QCheck2.Test.make ~count:60 ~name:"compiled VM = interpreter (2-aggregate nests)"
+    QCheck2.Gen.(triple (int_range 1 3) (int_range 1 4) (int_range 1 5))
+    (fun (n, d, l) ->
+      let cfg = { Stacked_rnn.batch = n; depth = d; seq_len = l; hidden = 3 } in
+      let p = Stacked_rnn.program cfg in
+      let inp = Stacked_rnn.gen_inputs (Rng.create (n + d + l)) cfg in
+      let outs = Vm.run (Build.build p) (Stacked_rnn.bindings inp) in
+      Fractal.equal_approx
+        (Vm.output outs "stacked_rnn")
+        (Interp.run_program p (Stacked_rnn.bindings inp)))
+
+(* Regression for the bug this fuzzer originally found: scanr compiled
+   with left-directional regions and state offsets. *)
+let scanr_regression =
+  Alcotest.test_case "scanr compiles right-to-left (fuzzer regression)" `Quick
+    (fun () ->
+      let spec =
+        { batch = 2; seq = 8; width = 3;
+          access = Some (Expr.Strided { start = 0; step = 2 });
+          kind = Expr.Scanr; udf = 0 }
+      in
+      let p = build_program spec in
+      let token = Shape.of_array [| 1; 3 |] in
+      let rng = Rng.create 9 in
+      let xss =
+        Fractal.tabulate 2 (fun _ ->
+            Fractal.tabulate 8 (fun _ ->
+                Fractal.Leaf (Tensor.scale 0.5 (Tensor.rand rng token))))
+      in
+      let g = Build.build p in
+      (* the state self-edge must read the *next* storage index *)
+      let rest =
+        List.find
+          (fun b ->
+            match Domain.rect_extents b.Ir.blk_domain with
+            | Some ext -> snd ext.(1) - fst ext.(1) > 1
+            | None -> false)
+          g.Ir.g_blocks
+      in
+      let self =
+        List.find
+          (fun e ->
+            e.Ir.e_dir = Ir.Read
+            && List.exists
+                 (fun w -> w.Ir.e_dir = Ir.Write && w.Ir.e_buffer = e.Ir.e_buffer)
+                 rest.Ir.blk_edges)
+          rest.Ir.blk_edges
+      in
+      checkb "positive state offset" true
+        (Array.exists (fun o -> o > 0) self.Ir.e_access.Access_map.offset);
+      let outs = Vm.run g [ ("xss", xss) ] in
+      checkb "values" true
+        (Fractal.equal_approx ~eps:1e-5 (Vm.output outs "fuzz")
+           (Interp.run_program p [ ("xss", xss) ])))
+
+let suites =
+  [
+    ( "fuzz",
+      [ QCheck_alcotest.to_alcotest fuzz_test;
+        QCheck_alcotest.to_alcotest nest_test;
+        scanr_regression ] );
+  ]

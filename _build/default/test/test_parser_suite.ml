@@ -1,0 +1,226 @@
+(* Tests for the concrete syntax: lexer, expressions, programs, error
+   positions, and agreement with the OCaml-constructed programs. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let ty_of env src = Typecheck.infer env (Parse.expr src)
+let vec n = Expr.Tensor_ty (Shape.of_array [| 1; n |])
+
+let syntax_error src =
+  match Parse.program src with
+  | exception Parse.Syntax_error e -> Some (e.line, e.col)
+  | _ -> None
+
+let expr_tests =
+  [
+    Alcotest.test_case "operator precedence: @ binds tighter than +" `Quick
+      (fun () ->
+        match Parse.expr "x @ w + s" with
+        | Expr.Prim (Expr.Add, [ Expr.Prim (Expr.Matmul, _); Expr.Var "s" ]) ->
+            ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    Alcotest.test_case "* binds tighter than -, @ tighter than *" `Quick
+      (fun () ->
+        match Parse.expr "a - b * c @ d" with
+        | Expr.Prim
+            ( Expr.Sub,
+              [ Expr.Var "a";
+                Expr.Prim (Expr.Mul, [ Expr.Var "b"; Expr.Prim (Expr.Matmul, _) ])
+              ] ) ->
+            ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    Alcotest.test_case "@T parses as transposed matmul" `Quick (fun () ->
+        match Parse.expr "q @T k" with
+        | Expr.Prim (Expr.Matmul_t, [ Expr.Var "q"; Expr.Var "k" ]) -> ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    Alcotest.test_case "left associativity" `Quick (fun () ->
+        match Parse.expr "a + b + c" with
+        | Expr.Prim (Expr.Add, [ Expr.Prim (Expr.Add, _); Expr.Var "c" ]) -> ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    Alcotest.test_case "indexing and projection chains" `Quick (fun () ->
+        match Parse.expr "ws[0]" with
+        | Expr.Index (Expr.Var "ws", [ 0 ]) -> ()
+        | _ -> Alcotest.fail "index");
+    Alcotest.test_case "negative literal in full" `Quick (fun () ->
+        match Parse.expr "full[2,1](-1e30)" with
+        | Expr.Lit t ->
+            checkb "value" true (Tensor.get1 t 0 = -1e30)
+        | _ -> Alcotest.fail "literal");
+    Alcotest.test_case "subtraction is not a negative literal" `Quick
+      (fun () ->
+        match Parse.expr "a -1" with
+        | Expr.Prim (Expr.Sub, _) -> ()
+        | _ -> Alcotest.fail "should parse as subtraction");
+    Alcotest.test_case "tuples and parenthesised expressions" `Quick (fun () ->
+        (match Parse.expr "(a, b, c)" with
+        | Expr.Tuple [ _; _; _ ] -> ()
+        | _ -> Alcotest.fail "tuple");
+        match Parse.expr "(a)" with
+        | Expr.Var "a" -> ()
+        | _ -> Alcotest.fail "paren");
+    Alcotest.test_case "access operators parse with their arities" `Quick
+      (fun () ->
+        (match Parse.expr "xs.slice(2, -2)" with
+        | Expr.Access (Expr.Slice { lo = 2; hi = -2 }, _) -> ()
+        | _ -> Alcotest.fail "slice");
+        (match Parse.expr "xs.window(3, 1, 2)" with
+        | Expr.Access (Expr.Windowed { size = 3; stride = 1; dilation = 2 }, _)
+          ->
+            ()
+        | _ -> Alcotest.fail "window");
+        match Parse.expr "xs.interleave(4)" with
+        | Expr.Access (Expr.Interleave { phases = 4 }, _) -> ()
+        | _ -> Alcotest.fail "interleave");
+    Alcotest.test_case "soacs with and without seeds" `Quick (fun () ->
+        (match Parse.expr "xs.map { |x| tanh(x) }" with
+        | Expr.Soac { kind = Expr.Map; init = None; fn = { params = [ "x" ]; _ }; _ }
+          ->
+            ()
+        | _ -> Alcotest.fail "map");
+        match Parse.expr "xs.scanl(zeros[1,4]) { |s, x| s + x }" with
+        | Expr.Soac
+            { kind = Expr.Scanl; init = Some (Expr.Lit _);
+              fn = { params = [ "s"; "x" ]; _ }; _ } ->
+            ()
+        | _ -> Alcotest.fail "scanl");
+    Alcotest.test_case "parsed expressions type-check" `Quick (fun () ->
+        let env = [ ("xs", Expr.List_ty (5, vec 4)) ] in
+        checkb "map type" true
+          (ty_of env "xs.map { |x| tanh(x) }" = Expr.List_ty (5, vec 4));
+        checkb "fold type" true
+          (ty_of env "xs.foldl(zeros[1,4]) { |s, x| s + x }" = vec 4));
+    Alcotest.test_case "comments are skipped" `Quick (fun () ->
+        match Parse.expr "a # trailing\n + b" with
+        | Expr.Prim (Expr.Add, _) -> ()
+        | _ -> Alcotest.fail "comment handling");
+  ]
+
+let listing1 =
+  {|
+program stacked_rnn
+input xss: [2][4]f32[1,8]
+input ws:  [3]f32[8,8]
+return xss.map { |xs|
+  ws.scanl(xs) { |sbar, w|
+    sbar.scanl(zeros[1,8]) { |s, x|
+      x @ w + s } } }
+|}
+
+let program_tests =
+  [
+    Alcotest.test_case "Listing 1 parses, types, and matches the library"
+      `Quick (fun () ->
+        let p = Parse.program listing1 in
+        checks "name" "stacked_rnn" p.Expr.name;
+        checks "type" "[2][3][4]float32[1,8]"
+          (Expr.ty_to_string (Typecheck.check_program p));
+        let cfg = Stacked_rnn.default in
+        let inp = Stacked_rnn.gen_inputs (Rng.create 5) cfg in
+        let a = Interp.run_program p (Stacked_rnn.bindings inp) in
+        checkb "same values" true
+          (Fractal.equal_approx a (Stacked_rnn.reference cfg inp)));
+    Alcotest.test_case "parsed Listing 1 builds the same ETDG shape" `Quick
+      (fun () ->
+        let g = Build.build (Parse.program listing1) in
+        checki "blocks" 4 (List.length g.Ir.g_blocks);
+        checkb "valid" true (Ir.validate g = Ok ()));
+    Alcotest.test_case "the shipped .ft examples parse and verify" `Quick
+      (fun () ->
+        List.iter
+          (fun path ->
+            let p = Parse.program_file path in
+            ignore (Typecheck.check_program p);
+            let g = Build.build p in
+            checkb (path ^ " valid") true (Ir.validate g = Ok ()))
+          [
+            "../../../examples/programs/stacked_rnn.ft";
+            "../../../examples/programs/attention_block.ft";
+            "../../../examples/programs/conv1d.ft";
+          ]);
+    Alcotest.test_case "parsed attention block = exact attention" `Quick
+      (fun () ->
+        let p =
+          Parse.program_file "../../../examples/programs/attention_block.ft"
+        in
+        let rng = Rng.create 77 in
+        let tile = Shape.of_array [| 16; 32 |] in
+        let blocked n =
+          Fractal.tabulate n (fun _ ->
+              Fractal.Leaf (Tensor.scale 0.3 (Tensor.rand rng tile)))
+        in
+        let qs = blocked 8 and ks = blocked 12 and vs = blocked 12 in
+        let out =
+          Interp.run_program p [ ("qs", qs); ("ks", ks); ("vs", vs) ]
+        in
+        let gather f n =
+          Tensor.concat_rows
+            (List.init n (fun i -> Fractal.as_leaf (Fractal.get f i)))
+        in
+        let exact =
+          Kernels.attention ~q:(gather qs 8) ~k:(gather ks 12) ~v:(gather vs 12)
+        in
+        let got =
+          Tensor.concat_rows
+            (List.map Fractal.as_leaf (Fractal.to_list out))
+        in
+        checkb "equal" true (Tensor.equal_approx ~eps:1e-4 got exact));
+    Alcotest.test_case "error positions point at the problem" `Quick (fun () ->
+        checkb "missing colon" true
+          (syntax_error "program x\ninput a [3]f32[2]\nreturn a" = Some (2, 9));
+        checkb "bad character" true
+          (syntax_error "program x\nreturn $" = Some (2, 8));
+        checkb "map with a seed" true
+          (Option.is_some
+             (syntax_error
+                "program x\ninput a: [3]f32[2]\nreturn a.map(a) { |y| y }")));
+    Alcotest.test_case "trailing garbage rejected" `Quick (fun () ->
+        checkb "trailing" true
+          (Option.is_some
+             (syntax_error
+                "program x\ninput a: [3]f32[2]\nreturn a extra")));
+  ]
+
+let roundtrip_tests =
+  let rt name p =
+    Alcotest.test_case (name ^ " round-trips") `Quick (fun () ->
+        let text = Unparse.program p in
+        checkb "structural equality" true (Parse.program text = p))
+  in
+  [
+    rt "stacked_rnn" (Stacked_rnn.program Stacked_rnn.default);
+    rt "stacked_lstm" (Stacked_lstm.program Stacked_lstm.default);
+    rt "grid_rnn" (Grid_rnn.program Grid_rnn.default);
+    rt "dilated_rnn" (Dilated_rnn.program Dilated_rnn.default);
+    rt "b2b_gemm" (B2b_gemm.program B2b_gemm.default);
+    rt "flash_attention" (Flash_attention.program Flash_attention.default);
+    rt "bigbird" (Bigbird.program Bigbird.default);
+    rt "selective_scan" (Selective_scan.program Selective_scan.default);
+    rt "conv1d" (Conv1d.program Conv1d.default);
+    Alcotest.test_case "non-uniform literals are rejected, not corrupted"
+      `Quick (fun () ->
+        checkb "raises" true
+          (try
+             ignore (Unparse.program (Retention.program Retention.default));
+             false
+           with Unparse.Unprintable _ -> true));
+    Alcotest.test_case "expression round trip preserves precedence" `Quick
+      (fun () ->
+        List.iter
+          (fun src ->
+            let e = Parse.expr src in
+            checkb src true (Parse.expr (Unparse.expr e) = e))
+          [
+            "a + b * c";
+            "(a + b) * c";
+            "a @ w + h @ u + bvec";
+            "q @T k";
+            "a - (b - c)";
+            "xs.map { |x| tanh(x) + 1 }";
+            "let t = a @ b in t / rowsum(t)";
+          ]);
+  ]
+
+let suites =
+  [ ("parser", expr_tests @ program_tests); ("unparse", roundtrip_tests) ]

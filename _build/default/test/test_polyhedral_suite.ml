@@ -1,0 +1,283 @@
+(* Tests for the exact linear algebra, iteration domains
+   (Fourier–Motzkin) and quasi-affine access maps underlying the ETDG
+   analyses. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* -------------------- rationals -------------------- *)
+
+let q_gen =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Linalg.Q.make n d)
+      (int_range (-50) 50)
+      (int_range 1 50))
+
+let q_tests =
+  [
+    Alcotest.test_case "normalisation" `Quick (fun () ->
+        let q = Linalg.Q.make 4 (-8) in
+        checki "num" (-1) (Linalg.Q.num q);
+        checki "den" 2 (Linalg.Q.den q));
+    Alcotest.test_case "division by zero" `Quick (fun () ->
+        checkb "raises" true
+          (try
+             ignore (Linalg.Q.div Linalg.Q.one Linalg.Q.zero);
+             false
+           with Division_by_zero -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"addition commutes"
+         QCheck2.Gen.(pair q_gen q_gen)
+         (fun (a, b) -> Linalg.Q.(equal (add a b) (add b a))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"multiplication distributes"
+         QCheck2.Gen.(triple q_gen q_gen q_gen)
+         (fun (a, b, c) ->
+           Linalg.Q.(equal (mul a (add b c)) (add (mul a b) (mul a c)))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"a - a = 0"
+         q_gen
+         (fun a -> Linalg.Q.(is_zero (sub a a))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"a / a = 1 for a <> 0" q_gen (fun a ->
+           QCheck2.assume (not (Linalg.Q.is_zero a));
+           Linalg.Q.(equal (div a a) one)));
+  ]
+
+(* -------------------- matrices -------------------- *)
+
+let small_mat_gen n =
+  QCheck2.Gen.(
+    array_size (pure n) (array_size (pure n) (int_range (-3) 3)))
+
+(* random unimodular matrix: product of elementary row operations *)
+let unimodular_gen n =
+  QCheck2.Gen.(
+    let* ops = list_size (int_range 1 6) (triple (int_bound (n - 1)) (int_bound (n - 1)) (int_range (-2) 2)) in
+    let m = Linalg.identity n in
+    List.iter
+      (fun (i, j, k) ->
+        if i <> j then
+          for c = 0 to n - 1 do
+            m.(i).(c) <- m.(i).(c) + (k * m.(j).(c))
+          done)
+      ops;
+    return m)
+
+let mat_tests =
+  [
+    Alcotest.test_case "determinant of known matrix" `Quick (fun () ->
+        let d = Linalg.determinant [| [| 2; 0 |]; [| 1; 3 |] |] in
+        checkb "6" true (Linalg.Q.equal d (Linalg.Q.of_int 6)));
+    Alcotest.test_case "Fig 6 transformation matrix is unimodular" `Quick
+      (fun () ->
+        let t =
+          [| [| 0; 1; 1; 0 |]; [| 0; 1; 0; 0 |]; [| 1; 0; 0; 0 |]; [| 0; 0; 0; 1 |] |]
+        in
+        checkb "unimodular" true (Linalg.is_unimodular t));
+    Alcotest.test_case "null space of the running example's weight map" `Quick
+      (fun () ->
+        (* paper §5.2: M14 = [0 1 0 0] has reuse along every other dim *)
+        let ns = Linalg.null_space [| [| 0; 1; 0; 0 |] |] in
+        checki "basis size" 3 (Array.length ns);
+        Array.iter
+          (fun v -> checki "orthogonal" 0 v.(1))
+          ns);
+    Alcotest.test_case "rank" `Quick (fun () ->
+        checki "full" 2 (Linalg.rank [| [| 1; 0 |]; [| 0; 1 |] |]);
+        checki "deficient" 1 (Linalg.rank [| [| 1; 2 |]; [| 2; 4 |] |]));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"unimodular inverse roundtrips"
+         (unimodular_gen 4)
+         (fun m ->
+           let inv = Linalg.inverse_unimodular m in
+           Linalg.matmul m inv = Linalg.identity 4));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"null-space vectors satisfy Mx = 0"
+         (small_mat_gen 3)
+         (fun m ->
+           Array.for_all
+             (fun x -> Array.for_all (( = ) 0) (Linalg.mat_vec m x))
+             (Linalg.null_space m)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"rank + nullity = columns"
+         (small_mat_gen 3)
+         (fun m ->
+           Linalg.rank m + Array.length (Linalg.null_space m) = 3));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"det(AB) = det(A)det(B)"
+         QCheck2.Gen.(pair (small_mat_gen 3) (small_mat_gen 3))
+         (fun (a, b) ->
+           Linalg.Q.equal
+             (Linalg.determinant (Linalg.matmul a b))
+             (Linalg.Q.mul (Linalg.determinant a) (Linalg.determinant b))));
+  ]
+
+(* -------------------- domains / Fourier-Motzkin -------------------- *)
+
+let box_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 3) (pair (int_range (-3) 3) (int_range 1 4))
+    |> map (fun dims ->
+           let lo = Array.of_list (List.map fst dims) in
+           let hi = Array.of_list (List.map (fun (l, e) -> l + e) dims) in
+           Domain.rect ~lo ~hi))
+
+let domain_tests =
+  [
+    Alcotest.test_case "rect enumeration" `Quick (fun () ->
+        let d = Domain.rect ~lo:[| 0; 1 |] ~hi:[| 2; 3 |] in
+        checki "card" 4 (Domain.card d);
+        checkb "mem" true (Domain.mem d [| 1; 2 |]);
+        checkb "not mem" false (Domain.mem d [| 2; 2 |]));
+    Alcotest.test_case "empty region detected" `Quick (fun () ->
+        let d =
+          Domain.add_constraint
+            (Domain.of_extents [| 3 |])
+            { Domain.coeffs = [| 1 |]; const = -5 }
+        in
+        checkb "empty" true (Domain.is_empty d));
+    Alcotest.test_case "wavefront bounds match Table 5" `Quick (fun () ->
+        (* transformed domain of region3 with D=3, L=4: j0 = d + l,
+           d in [1,3), l in [1,4): j0 in [2, 6) *)
+        let d = Domain.rect ~lo:[| 1; 1 |] ~hi:[| 3; 4 |] in
+        let t = [| [| 1; 1 |]; [| 0; 1 |] |] in
+        let d' = Domain.transform t d in
+        (match Domain.bounds d' 0 ~outer:[||] with
+        | Some (lo, hi) ->
+            checki "lo" 2 lo;
+            checki "hi" 5 hi
+        | None -> Alcotest.fail "no bounds");
+        (* at wavefront j0 = 3: l in [max(1, 3-2), min(3, 3)] *)
+        match Domain.bounds d' 1 ~outer:[| 3 |] with
+        | Some (lo, hi) ->
+            checki "inner lo" 1 lo;
+            checki "inner hi" 2 hi
+        | None -> Alcotest.fail "no inner bounds");
+    Alcotest.test_case "extend appends dimensions" `Quick (fun () ->
+        let d = Domain.extend (Domain.of_extents [| 2 |]) [| 3 |] in
+        checki "card" 6 (Domain.card d));
+    Alcotest.test_case "rect_extents recovers a box" `Quick (fun () ->
+        match Domain.rect_extents (Domain.rect ~lo:[| 1; 0 |] ~hi:[| 4; 2 |]) with
+        | Some ext ->
+            checkb "values" true (ext = [| (1, 4); (0, 2) |])
+        | None -> Alcotest.fail "expected a box");
+    Alcotest.test_case "rect_extents rejects skewed domains" `Quick (fun () ->
+        let d =
+          Domain.add_constraint
+            (Domain.of_extents [| 3; 3 |])
+            { Domain.coeffs = [| 1; -1 |]; const = 0 }
+        in
+        checkb "none" true (Domain.rect_extents d = None));
+  ]
+
+let domain_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"FM elimination is sound" box_gen
+         (fun d ->
+           if d.Domain.dim < 2 then true
+           else
+             let k = d.Domain.dim - 1 in
+             let projected = Domain.eliminate d k in
+             List.for_all
+               (fun p -> Domain.mem projected p)
+               (Domain.enumerate d)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100
+         ~name:"enumerate agrees with membership on the bounding box" box_gen
+         (fun d ->
+           let pts = Domain.enumerate d in
+           List.for_all (Domain.mem d) pts));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60
+         ~name:"transform preserves cardinality (unimodular)"
+         QCheck2.Gen.(pair box_gen (unimodular_gen 2))
+         (fun (d, t) ->
+           QCheck2.assume (d.Domain.dim = 2);
+           Domain.card d = Domain.card (Domain.transform t d)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60
+         ~name:"transform image = pointwise image"
+         QCheck2.Gen.(pair box_gen (unimodular_gen 2))
+         (fun (d, t) ->
+           QCheck2.assume (d.Domain.dim = 2);
+           let image =
+             List.sort compare
+               (List.map (fun p -> Linalg.mat_vec t p) (Domain.enumerate d))
+           in
+           let direct = List.sort compare (Domain.enumerate (Domain.transform t d)) in
+           image = direct));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"translate shifts membership"
+         QCheck2.Gen.(pair box_gen (int_range (-3) 3))
+         (fun (d, s) ->
+           let o = Array.make d.Domain.dim s in
+           let d' = Domain.translate d o in
+           List.for_all
+             (fun p -> Domain.mem d' (Array.map (( + ) s) p))
+             (Domain.enumerate d)));
+  ]
+
+(* -------------------- access maps -------------------- *)
+
+let access_map_tests =
+  [
+    Alcotest.test_case "apply" `Quick (fun () ->
+        let a =
+          Access_map.make [| [| 1; 0 |]; [| 0; 2 |] |] [| 0; -1 |]
+        in
+        checkb "value" true (Access_map.apply a [| 3; 4 |] = [| 3; 7 |]));
+    Alcotest.test_case "identity" `Quick (fun () ->
+        checkb "value" true
+          (Access_map.apply (Access_map.identity 3) [| 1; 2; 3 |] = [| 1; 2; 3 |]));
+    Alcotest.test_case "select builds 0/1 matrices" `Quick (fun () ->
+        let a = Access_map.select ~m:1 ~pairs:[ (0, 1) ] () in
+        checkb "value" true (Access_map.apply a [| 7; 9 |] = [| 9 |]));
+    Alcotest.test_case "row-less maps need explicit arity" `Quick (fun () ->
+        let a = Access_map.make ~in_dim:3 [||] [||] in
+        checki "in_dim" 3 (Access_map.in_dim a);
+        checki "out_dim" 0 (Access_map.out_dim a));
+    Alcotest.test_case "reuse directions of the state read are empty" `Quick
+      (fun () ->
+        (* e13 reads ysss[n][d][l-1]: the identity access has no reuse *)
+        let a = Access_map.make (Linalg.identity 3) [| 0; 0; -1 |] in
+        checki "no reuse" 0 (Array.length (Access_map.reuse_directions a)));
+  ]
+
+let access_map_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100
+         ~name:"compose f g applies g then f"
+         QCheck2.Gen.(pair (small_mat_gen 3) (small_mat_gen 3))
+         (fun (m1, m2) ->
+           let f = Access_map.make m1 [| 1; 2; 3 |] in
+           let g = Access_map.make m2 [| -1; 0; 1 |] in
+           let composed = Access_map.compose f g in
+           List.for_all
+             (fun t ->
+               Access_map.apply composed t
+               = Access_map.apply f (Access_map.apply g t))
+             [ [| 0; 0; 0 |]; [| 1; 2; 3 |]; [| -2; 5; 1 |] ]));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100
+         ~name:"after_transform A T gives A(T^-1 j)"
+         (unimodular_gen 3)
+         (fun t ->
+           let a = Access_map.make [| [| 1; 2; 0 |]; [| 0; 1; -1 |] |] [| 3; -2 |] in
+           let a' = Access_map.after_transform a t in
+           List.for_all
+             (fun p ->
+               let j = Linalg.mat_vec t p in
+               Access_map.apply a' j = Access_map.apply a p)
+             [ [| 0; 0; 0 |]; [| 1; 0; 2 |]; [| -1; 3; 1 |] ]));
+  ]
+
+let suites =
+  [
+    ("linalg", q_tests @ mat_tests);
+    ("domain", domain_tests @ domain_props);
+    ("access-map", access_map_tests @ access_map_props);
+  ]

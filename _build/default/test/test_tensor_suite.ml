@@ -1,0 +1,265 @@
+(* Unit and property tests for the tensor substrate:
+   Shape, Rng, Tensor, Kernels. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let shape_tests =
+  [
+    Alcotest.test_case "numel and rank" `Quick (fun () ->
+        let s = Shape.of_array [| 2; 3; 4 |] in
+        checki "rank" 3 (Shape.rank s);
+        checki "numel" 24 (Shape.numel s);
+        checki "dim" 3 (Shape.dim s 1));
+    Alcotest.test_case "scalar" `Quick (fun () ->
+        checki "numel" 1 (Shape.numel Shape.scalar);
+        checki "rank" 0 (Shape.rank Shape.scalar));
+    Alcotest.test_case "strides are row-major" `Quick (fun () ->
+        check
+          Alcotest.(array int)
+          "strides" [| 12; 4; 1 |]
+          (Shape.strides (Shape.of_array [| 2; 3; 4 |])));
+    Alcotest.test_case "ravel matches strides" `Quick (fun () ->
+        let s = Shape.of_array [| 2; 3; 4 |] in
+        checki "ravel" 23 (Shape.ravel s [| 1; 2; 3 |]));
+    Alcotest.test_case "rejects non-positive extents" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument
+          "Shape.of_array: axis 1 has non-positive extent 0")
+          (fun () -> ignore (Shape.of_array [| 2; 0 |])));
+    Alcotest.test_case "concat/drop outer" `Quick (fun () ->
+        let s = Shape.of_array [| 3; 4 |] in
+        checkb "concat" true
+          (Shape.equal (Shape.concat_outer 2 s) (Shape.of_array [| 2; 3; 4 |]));
+        checkb "drop" true
+          (Shape.equal (Shape.drop_outer s) (Shape.of_array [| 4 |])));
+    Alcotest.test_case "broadcastable" `Quick (fun () ->
+        let s = Shape.of_array [| 3; 4 |] in
+        checkb "same" true (Shape.broadcastable s s);
+        checkb "scalar" true (Shape.broadcastable s Shape.scalar);
+        checkb "mismatch" false
+          (Shape.broadcastable s (Shape.of_array [| 4; 3 |])));
+  ]
+
+let shape_props =
+  let small_shape =
+    QCheck2.Gen.(list_size (int_range 1 4) (int_range 1 5))
+    |> QCheck2.Gen.map Shape.of_list
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"unravel inverts ravel" small_shape
+         (fun s ->
+           let n = Shape.numel s in
+           List.for_all
+             (fun off -> Shape.ravel s (Shape.unravel s off) = off)
+             (List.init (Stdlib.min n 50) (fun i -> i * Stdlib.max 1 (n / 50)))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"numel = product of dims" small_shape
+         (fun s -> Shape.numel s = Array.fold_left ( * ) 1 (Shape.dims s)));
+  ]
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let a = Rng.create 42 and b = Rng.create 42 in
+        for _ = 1 to 100 do
+          checkf "same stream" (Rng.float a) (Rng.float b)
+        done);
+    Alcotest.test_case "split is independent" `Quick (fun () ->
+        let a = Rng.create 7 in
+        let c = Rng.split a in
+        checkb "diverges" true (Rng.float a <> Rng.float c));
+    Alcotest.test_case "float in [0,1)" `Quick (fun () ->
+        let r = Rng.create 1 in
+        for _ = 1 to 1000 do
+          let v = Rng.float r in
+          checkb "range" true (v >= 0.0 && v < 1.0)
+        done);
+    Alcotest.test_case "int in range" `Quick (fun () ->
+        let r = Rng.create 2 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 7 in
+          checkb "range" true (v >= 0 && v < 7)
+        done);
+    Alcotest.test_case "normal has roughly zero mean" `Quick (fun () ->
+        let r = Rng.create 3 in
+        let n = 20000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          sum := !sum +. Rng.normal r
+        done;
+        checkb "mean" true (Float.abs (!sum /. float_of_int n) < 0.05));
+  ]
+
+let t22 data = Tensor.create (Shape.of_array [| 2; 2 |]) data
+
+let tensor_tests =
+  [
+    Alcotest.test_case "create validates size" `Quick (fun () ->
+        Alcotest.check_raises "short"
+          (Invalid_argument "Tensor.create: 3 elements for shape [2,2]")
+          (fun () -> ignore (t22 [| 1.; 2.; 3. |])));
+    Alcotest.test_case "matmul 2x2" `Quick (fun () ->
+        let a = t22 [| 1.; 2.; 3.; 4. |] and b = t22 [| 5.; 6.; 7.; 8. |] in
+        let c = Tensor.matmul a b in
+        check
+          Alcotest.(array (float 1e-9))
+          "values" [| 19.; 22.; 43.; 50. |] (Tensor.data c));
+    Alcotest.test_case "matmul rejects dim mismatch" `Quick (fun () ->
+        let a = Tensor.zeros (Shape.of_array [| 2; 3 |]) in
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Tensor.matmul: inner dims 3 and 2 differ")
+          (fun () -> ignore (Tensor.matmul a a)));
+    Alcotest.test_case "transpose" `Quick (fun () ->
+        let a =
+          Tensor.create (Shape.of_array [| 2; 3 |]) [| 1.; 2.; 3.; 4.; 5.; 6. |]
+        in
+        check
+          Alcotest.(array (float 1e-9))
+          "values" [| 1.; 4.; 2.; 5.; 3.; 6. |]
+          (Tensor.data (Tensor.transpose a)));
+    Alcotest.test_case "broadcast column vector" `Quick (fun () ->
+        let a = t22 [| 1.; 2.; 3.; 4. |] in
+        let col = Tensor.create (Shape.of_array [| 2; 1 |]) [| 10.; 20. |] in
+        check
+          Alcotest.(array (float 1e-9))
+          "a - col" [| -9.; -8.; -17.; -16. |]
+          (Tensor.data (Tensor.sub a col)));
+    Alcotest.test_case "broadcast row vector" `Quick (fun () ->
+        let a = t22 [| 1.; 2.; 3.; 4. |] in
+        let row = Tensor.create (Shape.of_array [| 1; 2 |]) [| 10.; 20. |] in
+        check
+          Alcotest.(array (float 1e-9))
+          "a + row" [| 11.; 22.; 13.; 24. |]
+          (Tensor.data (Tensor.add a row)));
+    Alcotest.test_case "softmax rows sum to one" `Quick (fun () ->
+        let rng = Rng.create 5 in
+        let a = Tensor.rand rng (Shape.of_array [| 4; 9 |]) in
+        let s = Tensor.softmax a in
+        let sums = Tensor.row_sum s in
+        for i = 0 to 3 do
+          checkb "row sum" true
+            (Float.abs (Tensor.get s [| i; 0 |] *. 0. +. Tensor.get sums [| i; 0 |] -. 1.0)
+             < 1e-6)
+        done);
+    Alcotest.test_case "softmax is shift invariant" `Quick (fun () ->
+        let rng = Rng.create 6 in
+        let a = Tensor.rand rng (Shape.of_array [| 3; 5 |]) in
+        let shifted = Tensor.map (fun x -> x +. 100.0) a in
+        checkb "equal" true
+          (Tensor.equal_approx ~eps:1e-5 (Tensor.softmax a)
+             (Tensor.softmax shifted)));
+    Alcotest.test_case "slice and concat rows roundtrip" `Quick (fun () ->
+        let rng = Rng.create 7 in
+        let a = Tensor.rand rng (Shape.of_array [| 6; 3 |]) in
+        let parts =
+          [ Tensor.slice_rows a 0 2; Tensor.slice_rows a 2 5; Tensor.slice_rows a 5 6 ]
+        in
+        checkb "roundtrip" true
+          (Tensor.equal_approx a (Tensor.concat_rows parts)));
+    Alcotest.test_case "slice and concat cols roundtrip" `Quick (fun () ->
+        let rng = Rng.create 8 in
+        let a = Tensor.rand rng (Shape.of_array [| 3; 6 |]) in
+        let parts =
+          [ Tensor.slice_cols a 0 1; Tensor.slice_cols a 1 4; Tensor.slice_cols a 4 6 ]
+        in
+        checkb "roundtrip" true
+          (Tensor.equal_approx a (Tensor.concat_cols parts)));
+    Alcotest.test_case "row_max / row_sum" `Quick (fun () ->
+        let a =
+          Tensor.create (Shape.of_array [| 2; 3 |]) [| 1.; 5.; 2.; -1.; -7.; 0. |]
+        in
+        check
+          Alcotest.(array (float 1e-9))
+          "max" [| 5.; 0. |]
+          (Tensor.data (Tensor.row_max a));
+        check
+          Alcotest.(array (float 1e-9))
+          "sum" [| 8.; -8. |]
+          (Tensor.data (Tensor.row_sum a)));
+    Alcotest.test_case "reshape shares elements" `Quick (fun () ->
+        let a = t22 [| 1.; 2.; 3.; 4. |] in
+        let b = Tensor.reshape a (Shape.of_array [| 4 |]) in
+        checkf "elem" 3.0 (Tensor.get1 b 2));
+  ]
+
+let square n = Shape.of_array [| n; n |]
+
+let tensor_props =
+  let mat n rng_seed = Tensor.rand (Rng.create rng_seed) (square n) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:50 ~name:"matmul is associative"
+         QCheck2.Gen.(triple (int_range 1 6) (int_bound 1000) (int_bound 1000))
+         (fun (n, s1, s2) ->
+           let a = mat n s1 and b = mat n s2 and c = mat n (s1 + s2 + 1) in
+           Tensor.equal_approx ~eps:1e-4
+             (Tensor.matmul (Tensor.matmul a b) c)
+             (Tensor.matmul a (Tensor.matmul b c))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:50 ~name:"transpose is an involution"
+         QCheck2.Gen.(pair (int_range 1 8) (int_range 1 8))
+         (fun (m, n) ->
+           let a = Tensor.rand (Rng.create (m + (13 * n))) (Shape.of_array [| m; n |]) in
+           Tensor.equal_approx a (Tensor.transpose (Tensor.transpose a))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:50 ~name:"(AB)^T = B^T A^T"
+         QCheck2.Gen.(int_range 1 6)
+         (fun n ->
+           let a = mat n 11 and b = mat n 12 in
+           Tensor.equal_approx ~eps:1e-4
+             (Tensor.transpose (Tensor.matmul a b))
+             (Tensor.matmul (Tensor.transpose b) (Tensor.transpose a))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"add commutes"
+         QCheck2.Gen.(int_range 1 8)
+         (fun n ->
+           let a = mat n 21 and b = mat n 22 in
+           Tensor.equal_approx (Tensor.add a b) (Tensor.add b a)));
+  ]
+
+let kernels_tests =
+  [
+    Alcotest.test_case "gemm defaults accumulate c" `Quick (fun () ->
+        let a = t22 [| 1.; 0.; 0.; 1. |] in
+        let b = t22 [| 2.; 0.; 0.; 2. |] in
+        let c = t22 [| 1.; 1.; 1.; 1. |] in
+        check
+          Alcotest.(array (float 1e-9))
+          "values" [| 3.; 1.; 1.; 3. |]
+          (Tensor.data (Kernels.gemm ~c a b)));
+    Alcotest.test_case "attention equals manual computation" `Quick (fun () ->
+        let rng = Rng.create 30 in
+        let q = Tensor.rand rng (Shape.of_array [| 3; 4 |]) in
+        let k = Tensor.rand rng (Shape.of_array [| 5; 4 |]) in
+        let v = Tensor.rand rng (Shape.of_array [| 5; 4 |]) in
+        let manual =
+          Tensor.matmul (Tensor.softmax (Tensor.matmul q (Tensor.transpose k))) v
+        in
+        checkb "equal" true
+          (Tensor.equal_approx manual (Kernels.attention ~q ~k ~v)));
+    Alcotest.test_case "lstm_cell gate maths" `Quick (fun () ->
+        (* with identity-free zero weights the cell must be all zeros *)
+        let h = Shape.of_array [| 1; 4 |] in
+        let w = Shape.of_array [| 4; 4 |] in
+        let zeros4 () = Array.init 4 (fun _ -> Tensor.zeros w) in
+        let zb () = Array.init 4 (fun _ -> Tensor.zeros h) in
+        let c', h' =
+          Kernels.lstm_cell ~x:(Tensor.ones h) ~h:(Tensor.zeros h)
+            ~c:(Tensor.zeros h) ~ws:(zeros4 ()) ~us:(zeros4 ()) ~bs:(zb ())
+        in
+        checkb "c'" true (Tensor.equal_approx c' (Tensor.zeros h));
+        checkb "h'" true (Tensor.equal_approx h' (Tensor.zeros h)));
+    Alcotest.test_case "matmul_flops" `Quick (fun () ->
+        checki "flops" 24 (Kernels.matmul_flops ~m:2 ~n:3 ~k:2));
+  ]
+
+let suites =
+  [
+    ("shape", shape_tests @ shape_props);
+    ("rng", rng_tests);
+    ("tensor", tensor_tests @ tensor_props);
+    ("kernels", kernels_tests);
+  ]

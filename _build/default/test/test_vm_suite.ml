@@ -1,0 +1,171 @@
+(* The functional executor: for every workload the compiled ETDG,
+   executed point by point in wavefront order (with adversarial
+   intra-front shuffling), must compute the same values as the
+   imperative reference — and an illegal order must be *detected*, not
+   silently mis-computed. *)
+
+let checkb = Alcotest.(check bool)
+
+let run ?order program bindings = Vm.run ?order (Build.build program) bindings
+
+let vm_tests =
+  [
+    Alcotest.test_case "stacked RNN: wavefront and sequential agree with ref"
+      `Quick (fun () ->
+        let cfg = Stacked_rnn.default in
+        let inp = Stacked_rnn.gen_inputs (Rng.create 3) cfg in
+        let r = Stacked_rnn.reference cfg inp in
+        List.iter
+          (fun order ->
+            let outs =
+              run ~order (Stacked_rnn.program cfg) (Stacked_rnn.bindings inp)
+            in
+            checkb "equal" true
+              (Fractal.equal_approx (Vm.output outs "stacked_rnn") r))
+          [ Vm.Sequential; Vm.Wavefront ]);
+    Alcotest.test_case "stacked LSTM: full (c, h) history matches" `Quick
+      (fun () ->
+        let cfg = Stacked_lstm.default in
+        let inp = Stacked_lstm.gen_inputs (Rng.create 3) cfg in
+        let csss, hsss = Stacked_lstm.reference cfg inp in
+        let outs =
+          run (Stacked_lstm.program cfg) (Stacked_lstm.bindings inp)
+        in
+        checkb "c" true (Fractal.equal_approx (Vm.output outs "stacked_lstm.0") csss);
+        checkb "h" true (Fractal.equal_approx (Vm.output outs "stacked_lstm.1") hsss));
+    Alcotest.test_case "grid RNN: 3-D wavefront executes correctly" `Quick
+      (fun () ->
+        let cfg = Grid_rnn.default in
+        let inp = Grid_rnn.gen_inputs (Rng.create 3) cfg in
+        let outs = run (Grid_rnn.program cfg) (Grid_rnn.bindings inp) in
+        checkb "equal" true
+          (Fractal.equal_approx (Vm.output outs "grid_rnn")
+             (Grid_rnn.reference cfg inp)));
+    Alcotest.test_case "dilated RNN through interleaved access maps" `Quick
+      (fun () ->
+        let cfg = Dilated_rnn.default in
+        let inp = Dilated_rnn.gen_inputs (Rng.create 3) cfg in
+        let outs = run (Dilated_rnn.program cfg) (Dilated_rnn.bindings inp) in
+        checkb "equal" true
+          (Fractal.equal_approx
+             (Dilated_rnn.flatten_output cfg (Vm.output outs "dilated_rnn"))
+             (Dilated_rnn.reference cfg inp)));
+    Alcotest.test_case "b2b GEMM with rank-0 operand buffers" `Quick (fun () ->
+        let cfg = B2b_gemm.default in
+        let inp = B2b_gemm.gen_inputs (Rng.create 3) cfg in
+        let outs = run (B2b_gemm.program cfg) (B2b_gemm.bindings inp) in
+        checkb "equal" true
+          (Fractal.equal_approx (Vm.output outs "b2b_gemm")
+             (B2b_gemm.reference cfg inp)));
+    Alcotest.test_case "FlashAttention: register state + normalisation" `Quick
+      (fun () ->
+        let cfg = Flash_attention.default in
+        let inp = Flash_attention.gen_inputs (Rng.create 3) cfg in
+        let outs =
+          run (Flash_attention.program cfg) (Flash_attention.bindings inp)
+        in
+        checkb "equal" true
+          (Fractal.equal_approx
+             (Vm.output outs "flash_attention")
+             (Flash_attention.reference cfg inp)));
+    Alcotest.test_case "BigBird: window maps and component blocks" `Quick
+      (fun () ->
+        let cfg = Bigbird.default in
+        let inp = Bigbird.gen_inputs (Rng.create 3) cfg in
+        let outs = run (Bigbird.program cfg) (Bigbird.bindings inp) in
+        checkb "equal" true
+          (Fractal.equal_approx (Vm.output outs "bigbird")
+             (Bigbird.reference cfg inp)));
+    Alcotest.test_case "selective scan and retention (§7 extensions)" `Quick
+      (fun () ->
+        let cfg = Selective_scan.default in
+        let inp = Selective_scan.gen_inputs (Rng.create 3) cfg in
+        let outs =
+          run (Selective_scan.program cfg) (Selective_scan.bindings inp)
+        in
+        checkb "selective scan" true
+          (Fractal.equal_approx
+             (Vm.output outs "selective_scan")
+             (Selective_scan.reference cfg inp));
+        let cfg = Retention.default in
+        let inp = Retention.gen_inputs (Rng.create 3) cfg in
+        let outs = run (Retention.program cfg) (Retention.bindings inp) in
+        checkb "retention" true
+          (Fractal.equal_approx ~eps:1e-4 (Vm.output outs "retention")
+             (Retention.reference cfg inp)));
+    Alcotest.test_case "conv1d: final accumulator slice is the convolution"
+      `Quick (fun () ->
+        let cfg = Conv1d.default in
+        let inp = Conv1d.gen_inputs (Rng.create 3) cfg in
+        let outs = run (Conv1d.program cfg) (Conv1d.bindings inp) in
+        let final =
+          Soac.map
+            (fun per_n ->
+              Soac.map
+                (fun per_pos -> Fractal.get per_pos (cfg.Conv1d.taps - 1))
+                per_n)
+            (Vm.output outs "conv1d")
+        in
+        checkb "equal" true (Fractal.equal_approx final (Conv1d.reference cfg inp)));
+    Alcotest.test_case "an illegal order is detected, not mis-computed" `Quick
+      (fun () ->
+        let cfg = Stacked_rnn.default in
+        let inp = Stacked_rnn.gen_inputs (Rng.create 3) cfg in
+        checkb "raises" true
+          (try
+             ignore
+               (run ~order:Vm.Reverse (Stacked_rnn.program cfg)
+                  (Stacked_rnn.bindings inp));
+             false
+           with Vm.Execution_error _ -> true));
+    Alcotest.test_case "missing inputs are reported" `Quick (fun () ->
+        checkb "raises" true
+          (try
+             ignore (run (Stacked_rnn.program Stacked_rnn.default) []);
+             false
+           with Vm.Execution_error _ -> true));
+  ]
+
+let vm_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:10
+         ~name:"VM wavefront = reference on random RNN configs"
+         QCheck2.Gen.(quad (int_range 1 3) (int_range 1 4) (int_range 1 5)
+                        (int_range 1 5))
+         (fun (batch, depth, seq_len, hidden) ->
+           let cfg = { Stacked_rnn.batch; depth; seq_len; hidden } in
+           let inp = Stacked_rnn.gen_inputs (Rng.create (depth * seq_len)) cfg in
+           let outs =
+             run (Stacked_rnn.program cfg) (Stacked_rnn.bindings inp)
+           in
+           Fractal.equal_approx (Vm.output outs "stacked_rnn")
+             (Stacked_rnn.reference cfg inp)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:8
+         ~name:"VM wavefront = reference on random grid configs"
+         QCheck2.Gen.(triple (int_range 1 3) (int_range 1 3) (int_range 1 4))
+         (fun (depth, rows, cols) ->
+           let cfg = { Grid_rnn.batch = 2; depth; rows; cols; hidden = 4 } in
+           let inp = Grid_rnn.gen_inputs (Rng.create (rows * cols)) cfg in
+           let outs = run (Grid_rnn.program cfg) (Grid_rnn.bindings inp) in
+           Fractal.equal_approx (Vm.output outs "grid_rnn")
+             (Grid_rnn.reference cfg inp)));
+  ]
+
+let dot_tests =
+  [
+    Alcotest.test_case "dot export names every node and edge" `Quick (fun () ->
+        let g = Build.build (Stacked_rnn.program Stacked_rnn.default) in
+        let dot = Dot.graph g in
+        List.iter
+          (fun needle ->
+            checkb needle true
+              (Str.string_match
+                 (Str.regexp (".*" ^ Str.quote needle ^ ".*"))
+                 (Str.global_replace (Str.regexp "\n") " " dot)
+                 0))
+          [ "digraph"; "buf0"; "blk0"; "stacked_rnn.region3"; "p = [map,scanl,scanl]" ]);
+  ]
+
+let suites = [ ("vm", vm_tests @ vm_props); ("dot", dot_tests) ]
