@@ -281,34 +281,72 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc:"Dump the ETDG after a pipeline stage")
     Term.(const run $ workload_arg $ pass_arg $ format_arg)
 
-let compile_cmd =
-  let run name =
-    let w = find_workload name in
-    let g = Build.build (w.w_program ()) in
-    Format.printf "parsed: %d blocks, depth %d, dimension %d@."
-      (List.length g.Ir.g_blocks) (Ir.depth g) (Ir.dimension g);
-    (match Ir.validate g with
-    | Ok () -> Format.printf "invariants: ok@."
-    | Error es -> List.iter (Format.printf "invariant violated: %s@.") es);
-    let merged = Coarsen.merge_only (Coarsen.group_regions g) in
-    Format.printf "after grouping and width-wise merging: %d blocks@."
-      (List.length merged.Ir.g_blocks);
+let verify_flag =
+  Arg.(
+    value
+    & opt ~vopt:true bool true
+    & info [ "verify" ] ~docv:"BOOL"
+        ~doc:
+          "Run the static verifier on every intermediate ETDG (after \
+           build, coarsening and reordering).  On by default; \
+           --verify=false disables it.")
+
+let compile_one verify failed w =
+  let g = Build.build (w.w_program ()) in
+  Format.printf "parsed: %d blocks, depth %d, dimension %d@."
+    (List.length g.Ir.g_blocks) (Ir.depth g) (Ir.dimension g);
+  (match Ir.validate g with
+  | Ok () -> Format.printf "invariants: ok@."
+  | Error es -> List.iter (Format.printf "invariant violated: %s@.") es);
+  let merged = Coarsen.merge_only (Coarsen.group_regions g) in
+  Format.printf "after grouping and width-wise merging: %d blocks@."
+    (List.length merged.Ir.g_blocks);
+  List.iter
+    (fun b ->
+      let r = Reorder.apply b in
+      Format.printf "  %-40s p=[%s]%s@." b.Ir.blk_name
+        (String.concat ","
+           (Array.to_list (Array.map Expr.soac_kind_name b.Ir.blk_ops)))
+        (if r.Reorder.wavefront then
+           Printf.sprintf " wavefront, %d steps" (Reorder.sequential_steps r)
+         else " fully parallel"))
+    merged.Ir.g_blocks;
+  if verify then
     List.iter
-      (fun b ->
-        let r = Reorder.apply b in
-        Format.printf "  %-40s p=[%s]%s@." b.Ir.blk_name
-          (String.concat ","
-             (Array.to_list (Array.map Expr.soac_kind_name b.Ir.blk_ops)))
-          (if r.Reorder.wavefront then
-             Printf.sprintf " wavefront, %d steps" (Reorder.sequential_steps r)
-           else " fully parallel"))
-      merged.Ir.g_blocks;
-    let plan = Emit.fractaltensor_plan g in
-    Format.printf "emitted plan: %d kernels@." (Plan.total_kernels plan);
-    Format.printf "simulated: %a@." Engine.pp_metrics (Exec.run plan)
+      (fun (stage, ds) ->
+        if ds = [] then Format.printf "verify[%s]: ok@." stage
+        else begin
+          Format.printf "verify[%s]: %d findings@." stage (List.length ds);
+          List.iter (fun d -> Format.printf "  %a@." (Diagnostic.pp ?path:None) d) ds;
+          if List.exists Diagnostic.is_error ds then failed := true
+        end)
+      (Verify.pipeline (w.w_program ()));
+  let plan = Emit.fractaltensor_plan ~verify g in
+  Format.printf "emitted plan: %d kernels@." (Plan.total_kernels plan);
+  Format.printf "simulated: %a@." Engine.pp_metrics (Exec.run plan)
+
+let compile_cmd =
+  let run name verify =
+    let targets =
+      match name with
+      | Some n -> [ find_workload n ]
+      | None -> workloads
+    in
+    let failed = ref false in
+    List.iter
+      (fun w ->
+        if List.length targets > 1 then Format.printf "== %s ==@." w.w_name;
+        compile_one verify failed w)
+      targets;
+    if !failed then exit 1
   in
-  Cmd.v (Cmd.info "compile" ~doc:"Run the full compilation pipeline")
-    Term.(const run $ workload_arg)
+  let arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Run the full compilation pipeline (all workloads when none is \
+          named), statically verifying every stage")
+    Term.(const run $ arg $ verify_flag)
 
 let device_arg =
   Arg.(
@@ -377,6 +415,31 @@ let run_cmd =
        ~doc:"Parse, type-check, interpret and compile a .ft program file")
     Term.(const run $ file)
 
+let lint_cmd =
+  let run path format =
+    let ds = Lint.file path in
+    (match format with
+    | `Text -> Format.printf "%a" (Diagnostic.pp_list ~path) ds
+    | `Json -> print_endline (Diagnostic.list_to_json ~path ds));
+    if List.exists Diagnostic.is_error ds then exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or json")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check a .ft program: syntax, scoping (unused/shadowed \
+          bindings), shape and depth inference, and operator-nest \
+          composability — without executing anything")
+    Term.(const run $ file $ fmt)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -386,4 +449,4 @@ let () =
   exit
     (Cmd.eval (Cmd.group ~default info
                  [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
-                   run_cmd ]))
+                   run_cmd; lint_cmd ]))

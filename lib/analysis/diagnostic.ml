@@ -1,0 +1,112 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  span : (int * int) option;
+  context : string option;
+}
+
+let make ?span ?context severity code message =
+  { severity; code; message; span; context }
+
+let error ?span ?context code message = make ?span ?context Error code message
+let warning ?span ?context code message =
+  make ?span ?context Warning code message
+let info ?span ?context code message = make ?span ?context Info code message
+
+let errorf ?span ?context code fmt =
+  Format.kasprintf (fun s -> error ?span ?context code s) fmt
+
+let warningf ?span ?context code fmt =
+  Format.kasprintf (fun s -> warning ?span ?context code s) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = d.severity = Error
+let count_errors ds = List.length (List.filter is_error ds)
+let count_warnings ds =
+  List.length (List.filter (fun d -> d.severity = Warning) ds)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match (a.span, b.span) with
+      | Some (la, ca), Some (lb, cb) ->
+          if la <> lb then compare la lb
+          else if ca <> cb then compare ca cb
+          else compare (severity_rank a.severity) (severity_rank b.severity)
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | None, None ->
+          compare (severity_rank a.severity) (severity_rank b.severity))
+    ds
+
+let pp ?path fmt d =
+  let prefix =
+    match (path, d.span) with
+    | Some p, Some (l, c) -> Printf.sprintf "%s:%d:%d: " p l c
+    | Some p, None -> Printf.sprintf "%s: " p
+    | None, Some (l, c) -> Printf.sprintf "%d:%d: " l c
+    | None, None -> ""
+  in
+  let ctx = match d.context with Some c -> " (" ^ c ^ ")" | None -> "" in
+  Format.fprintf fmt "%s%s[%s]: %s%s" prefix
+    (severity_name d.severity)
+    d.code d.message ctx
+
+let pp_list ?path fmt ds =
+  let ds = sort ds in
+  List.iter (fun d -> Format.fprintf fmt "%a@." (pp ?path) d) ds;
+  Format.fprintf fmt "%d errors, %d warnings@." (count_errors ds)
+    (count_warnings ds)
+
+(* ------------------------------ JSON ------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let fields =
+    [ Printf.sprintf "\"severity\":\"%s\"" (severity_name d.severity);
+      Printf.sprintf "\"code\":%S" d.code ]
+    @ (match d.span with
+      | Some (l, c) ->
+          [ Printf.sprintf "\"line\":%d" l; Printf.sprintf "\"col\":%d" c ]
+      | None -> [])
+    @ (match d.context with
+      | Some c -> [ Printf.sprintf "\"context\":\"%s\"" (json_escape c) ]
+      | None -> [])
+    @ [ Printf.sprintf "\"message\":\"%s\"" (json_escape d.message) ]
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let list_to_json ?path ds =
+  let ds = sort ds in
+  let file =
+    match path with
+    | Some p -> Printf.sprintf "\"file\":\"%s\"," (json_escape p)
+    | None -> ""
+  in
+  Printf.sprintf "{%s\"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d}" file
+    (String.concat "," (List.map to_json ds))
+    (count_errors ds) (count_warnings ds)

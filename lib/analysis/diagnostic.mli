@@ -1,0 +1,64 @@
+(** Structured diagnostics shared by the ETDG verifier and the [.ft]
+    linter.
+
+    Every finding carries a stable machine-readable code (V0xx/V1xx:
+    structural / access-map verifier, V2xx: schedule legality, Lxxx:
+    linter), a severity, an optional source span (for linter findings)
+    and an optional context string (the pipeline stage or block the
+    verifier was looking at).  Diagnostics render both as
+    [file:line:col: severity[code]: message] text and as JSON for
+    tooling. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  span : (int * int) option;  (** (line, column), 1-based *)
+  context : string option;    (** pipeline stage / block name *)
+}
+
+val make :
+  ?span:int * int -> ?context:string -> severity -> string -> string -> t
+(** [make sev code message]. *)
+
+val error : ?span:int * int -> ?context:string -> string -> string -> t
+val warning : ?span:int * int -> ?context:string -> string -> string -> t
+val info : ?span:int * int -> ?context:string -> string -> string -> t
+
+val errorf :
+  ?span:int * int ->
+  ?context:string ->
+  string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [errorf code fmt …]: formatted error constructor. *)
+
+val warningf :
+  ?span:int * int ->
+  ?context:string ->
+  string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_name : severity -> string
+val is_error : t -> bool
+val count_errors : t list -> int
+val count_warnings : t list -> int
+
+val sort : t list -> t list
+(** Stable order: by source position (span-less findings last), then
+    severity (errors first). *)
+
+val pp : ?path:string -> Format.formatter -> t -> unit
+(** One finding as a human-readable line. *)
+
+val pp_list : ?path:string -> Format.formatter -> t list -> unit
+(** Sorted findings, one per line, followed by an [N errors, M
+    warnings] summary line. *)
+
+val to_json : t -> string
+val list_to_json : ?path:string -> t list -> string
+(** [{"file":…,"diagnostics":[…],"errors":N,"warnings":M}] — the
+    machine-readable output of [ftc lint --format json]. *)

@@ -1,0 +1,27 @@
+(** Static linter for [.ft] programs.
+
+    Runs entirely on the frontend — parse, scope analysis, shape/depth
+    inference, compiled-fragment classification — and never executes
+    the program or the simulator.  Findings:
+
+    - L001 (error): syntax error, with the parser's position;
+    - L100 (error): unbound variable;
+    - L101 (warning): unused [let] binding or lambda parameter
+      (names starting with ['_'] are exempt);
+    - L102 (warning): a binder shadows an input or an enclosing
+      binding;
+    - L103 (warning): directly nested compute operators whose
+      directions conflict under the Table-3 composition rules
+      (e.g. [scanl] over [scanr]) — coarsening will not merge them;
+    - L110 (warning): a declared input is never used;
+    - L200 (error): shape/depth error from {!Typecheck}, located at the
+      innermost offending expression;
+    - L300 (info): the program type-checks but uses constructs outside
+      the compiled fragment ({!Build.Unsupported}) — it will run on the
+      interpreter only. *)
+
+val source : ?path:string -> string -> Diagnostic.t list
+(** Lint program text.  [path] is only used in rendered messages. *)
+
+val file : string -> Diagnostic.t list
+(** Lint a [.ft] file. @raise Sys_error on IO failure. *)

@@ -1,0 +1,75 @@
+(** ETDG schedule-legality and well-formedness verifier.
+
+    The compiler's passes (§5.1–§5.3: build → coarsen → reorder →
+    emit) each rewrite the ETDG; nothing in the passes themselves
+    proves the rewrite legal.  This module makes legality a static
+    check that runs between every stage, in the spirit of polyhedral
+    systems that validate every schedule against the dependence
+    relation before emitting code:
+
+    - {b structural invariants} (V0xx): the five {!Ir.validate}
+      conditions, operation-node arity and operand resolution,
+      write-edge/result agreement, buffer-table sanity;
+    - {b access-map well-formedness} (V1xx): quasi-affine maps of the
+      right arity, non-empty Fourier–Motzkin iteration domains, and
+      in-bounds image of every access map over its block's domain
+      (decided exactly on box corners for rectangular domains, by
+      enumeration for small polyhedra);
+    - {b schedule legality} (V2xx): every {!Reorder} transformation
+      matrix must be unimodular ({!Linalg.is_unimodular}) and map every
+      Table-4 dependence distance vector to a lexicographically
+      positive vector; a non-identity transform's first row must
+      satisfy Lamport's hyperplane condition [π · d ≥ 1].
+
+    Checks whose exact decision would require enumerating a full-size
+    iteration space are bounded: beyond a small-volume threshold they
+    degrade to corner/box arguments or are skipped, so the verifier is
+    cheap enough to run inside every compilation, test and benchmark. *)
+
+exception Verification_failed of string * Diagnostic.t list
+(** Stage name and the diagnostics (at least one error) of a fatal
+    verification failure. *)
+
+val structure : ?stage:string -> Ir.graph -> Diagnostic.t list
+(** Structural invariants (V001–V006). *)
+
+val access_maps : ?stage:string -> Ir.graph -> Diagnostic.t list
+(** Domain non-emptiness and access-map checks (V010–V012). *)
+
+val schedules : ?stage:string -> Ir.graph -> Diagnostic.t list
+(** Schedule legality of every top-level block's reordering transform,
+    as computed by {!Reorder.transform_matrix} (V020–V023). *)
+
+val schedule :
+  ?stage:string ->
+  ?dvs:int array list ->
+  Ir.block ->
+  int array array ->
+  Diagnostic.t list
+(** Legality of an explicit transformation matrix for a block: square,
+    unimodular (V020), dependence-preserving (V021), hyperplane
+    condition (V022), arity (V023).  [dvs] overrides the distance
+    vectors derived from the block — the fault-injection entry point. *)
+
+val graph :
+  ?stage:string -> ?check_schedules:bool -> Ir.graph -> Diagnostic.t list
+(** All of the above.  [check_schedules] defaults to [true]; pass
+    [false] for graphs whose blocks are already reordered (their access
+    maps are expressed in transformed coordinates, so recomputing a
+    transform for them is meaningless). *)
+
+val graph_exn : ?stage:string -> ?check_schedules:bool -> Ir.graph -> unit
+(** @raise Verification_failed when {!graph} reports any error. *)
+
+val pipeline : Expr.program -> (string * Diagnostic.t list) list
+(** Compile [p] through the production pipeline — build,
+    region-grouping, width-wise merging, reordering — verifying every
+    intermediate graph and every per-block transform; returns the
+    diagnostics per stage (all empty on a legal program). *)
+
+val install : ?fatal:bool -> unit -> unit
+(** Register the verifier on {!Verify_hook} so that every subsequent
+    pass run in the process is checked.  With [fatal] (default), any
+    error raises {!Verification_failed} out of the offending pass. *)
+
+val uninstall : unit -> unit

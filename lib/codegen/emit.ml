@@ -265,9 +265,11 @@ let block_kernels ?(others = []) ?(collapse_reuse = true) g (b : Ir.block) =
 
 let block_plan g b = block_kernels g b
 
-let fractaltensor_plan ?(collapse_reuse = true) (g : Ir.graph) =
+let fractaltensor_plan ?(verify = true) ?(collapse_reuse = true)
+    (g : Ir.graph) =
   let g = Coarsen.group_regions g in
   let g = Coarsen.merge_only g in
+  if verify then Verify.graph_exn ~stage:"emit" g;
   let blocks = Ir.dataflow_order g in
   {
     Plan.plan_name = "FractalTensor";

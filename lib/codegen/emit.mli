@@ -24,12 +24,16 @@ val block_point_flops : Ir.block -> float
 
 val domain_size : Domain.t -> int
 
-val fractaltensor_plan : ?collapse_reuse:bool -> Ir.graph -> Plan.t
+val fractaltensor_plan :
+  ?verify:bool -> ?collapse_reuse:bool -> Ir.graph -> Plan.t
 (** Compile-and-emit: reorders every block of the (parsed) graph and
     emits the FractalTensor execution plan.  [collapse_reuse:false]
     disables the null-space reuse analysis (every access materialises
     per iteration) — the ablation knob for §5.2's deferred
-    materialization. *)
+    materialization.  [verify] (default on) runs the {!Verify} checks
+    on the merged graph before emission and raises
+    {!Verify.Verification_failed} on any violation, so every test and
+    benchmark that emits a plan is statically checked. *)
 
 val block_plan : Ir.graph -> Ir.block -> Plan.kernel_spec list
 (** Kernels for a single block (exposed for tests and ablations). *)

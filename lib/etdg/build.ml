@@ -787,5 +787,9 @@ let build (p : Expr.program) : Ir.graph =
     | e -> e
   in
   let _bufs, _levels = walk ctx env tyenv [] ~name:p.name ~role:Ir.Output body in
-  { Ir.g_name = p.name; g_buffers = List.rev ctx.buffers;
-    g_blocks = List.rev ctx.blocks }
+  let g =
+    { Ir.g_name = p.name; g_buffers = List.rev ctx.buffers;
+      g_blocks = List.rev ctx.blocks }
+  in
+  Verify_hook.fire ~stage:"build" g;
+  g

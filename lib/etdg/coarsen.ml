@@ -210,9 +210,13 @@ let lower_block (g : Ir.graph) (b : Ir.block) : Ir.block =
 
 let lower (g : Ir.graph) : Ir.graph =
   let lowered_blocks = List.map (lower_block g) g.Ir.g_blocks in
-  { g with
-    Ir.g_buffers = List.map promote_buffer g.Ir.g_buffers;
-    g_blocks = lowered_blocks }
+  let g =
+    { g with
+      Ir.g_buffers = List.map promote_buffer g.Ir.g_buffers;
+      g_blocks = lowered_blocks }
+  in
+  Verify_hook.fire ~stage:"coarsen.lower" g;
+  g
 
 (* ------------------------------------------------------------------ *)
 (* Width-wise merging                                                  *)
@@ -244,20 +248,49 @@ let shift_ops offset body =
             o.Ir.operands })
     body
 
-let dedup_edges edges =
+(* Merging concatenates edge lists, but [blk_results] must stay aligned
+   with the surviving write edges: pair every write edge with its
+   result before deduplication, so a deduplicated write takes its
+   result with it.  [shift] renumbers [O_op] operands of a block whose
+   body is appended after [shift] earlier operation nodes. *)
+let pair_results shift (b : Ir.block) edges =
+  let shift_result = function
+    | Ir.O_op k -> Ir.O_op (k + shift)
+    | other -> other
+  in
+  let rs = ref (List.map shift_result b.Ir.blk_results) in
+  List.map
+    (fun (e : Ir.edge) ->
+      if e.Ir.e_dir = Ir.Write then
+        match !rs with
+        | r :: tl ->
+            rs := tl;
+            (e, Some r)
+        | [] -> (e, None)
+      else (e, None))
+    edges
+
+let dedup_pairs pairs =
   List.fold_left
-    (fun acc e ->
+    (fun acc (((e : Ir.edge), _) as p) ->
       if
         List.exists
-          (fun e' ->
+          (fun ((e' : Ir.edge), _) ->
             e'.Ir.e_buffer = e.Ir.e_buffer
             && e'.Ir.e_dir = e.Ir.e_dir
             && Access_map.equal e'.Ir.e_access e.Ir.e_access)
           acc
       then acc
-      else e :: acc)
-    [] edges
+      else p :: acc)
+    [] pairs
   |> List.rev
+
+let pairs_edges pairs = List.map fst pairs
+
+let pairs_results pairs =
+  List.filter_map
+    (fun ((e : Ir.edge), r) -> if e.Ir.e_dir = Ir.Write then r else None)
+    pairs
 
 let merge_horizontal b1 b2 =
   if
@@ -265,14 +298,19 @@ let merge_horizontal b1 b2 =
     && domain_equal b1.Ir.blk_domain b2.Ir.blk_domain
     && not (dataflow_between b1 b2)
   then
+    let shift = List.length b1.Ir.blk_body in
+    let pairs =
+      dedup_pairs
+        (pair_results 0 b1 b1.Ir.blk_edges @ pair_results shift b2 b2.Ir.blk_edges)
+    in
     Some
       {
         b1 with
         Ir.blk_name = b1.Ir.blk_name ^ "+" ^ b2.Ir.blk_name;
-        blk_edges = dedup_edges (b1.Ir.blk_edges @ b2.Ir.blk_edges);
+        blk_edges = pairs_edges pairs;
+        blk_results = pairs_results pairs;
         blk_children = b1.Ir.blk_children @ b2.Ir.blk_children;
-        blk_body =
-          b1.Ir.blk_body @ shift_ops (List.length b1.Ir.blk_body) b2.Ir.blk_body;
+        blk_body = b1.Ir.blk_body @ shift_ops shift b2.Ir.blk_body;
       }
   else None
 
@@ -321,17 +359,20 @@ let merge_vertical b1 b2 =
     with
     | Some e1, Some e2
       when Array.sub e1 0 d2 = e2 ->
+        let shift = List.length b1.Ir.blk_body in
+        let pairs =
+          dedup_pairs
+            (pair_results 0 b1 b1.Ir.blk_edges
+            @ pair_results shift b2 (List.map (widen_edge d1) b2.Ir.blk_edges))
+        in
         Some
           {
             b1 with
             Ir.blk_name = b1.Ir.blk_name ^ ">" ^ b2.Ir.blk_name;
-            blk_edges =
-              dedup_edges
-                (b1.Ir.blk_edges @ List.map (widen_edge d1) b2.Ir.blk_edges);
+            blk_edges = pairs_edges pairs;
+            blk_results = pairs_results pairs;
             blk_children = b1.Ir.blk_children @ b2.Ir.blk_children;
-            blk_body =
-              b1.Ir.blk_body
-              @ shift_ops (List.length b1.Ir.blk_body) b2.Ir.blk_body;
+            blk_body = b1.Ir.blk_body @ shift_ops shift b2.Ir.blk_body;
           }
     | _ -> None
   end
@@ -346,16 +387,21 @@ let merge_vertical b1 b2 =
         b1.Ir.blk_ops b2.Ir.blk_ops
     in
     if Array.for_all Option.is_some composed then
+      let shift = List.length b1.Ir.blk_body in
+      let pairs =
+        dedup_pairs
+          (pair_results 0 b1 b1.Ir.blk_edges
+          @ pair_results shift b2 b2.Ir.blk_edges)
+      in
       Some
         {
           b1 with
           Ir.blk_name = b1.Ir.blk_name ^ ">" ^ b2.Ir.blk_name;
           blk_ops = Array.map Option.get composed;
-          blk_edges = dedup_edges (b1.Ir.blk_edges @ b2.Ir.blk_edges);
+          blk_edges = pairs_edges pairs;
+          blk_results = pairs_results pairs;
           blk_children = b1.Ir.blk_children @ b2.Ir.blk_children;
-          blk_body =
-            b1.Ir.blk_body
-            @ shift_ops (List.length b1.Ir.blk_body) b2.Ir.blk_body;
+          blk_body = b1.Ir.blk_body @ shift_ops shift b2.Ir.blk_body;
         }
     else None
   else None
@@ -598,7 +644,9 @@ let fuse_access_maps (g : Ir.graph) : Ir.graph =
   }
 
 let merge_only (g : Ir.graph) : Ir.graph =
-  { g with Ir.g_blocks = merge_fixpoint g.Ir.g_blocks }
+  let g = { g with Ir.g_blocks = merge_fixpoint g.Ir.g_blocks } in
+  Verify_hook.fire ~stage:"coarsen.merge" g;
+  g
 
 (* The 2^a region blocks of one operator nest partition a rectangular
    iteration space; the emitter schedules them as a single predicated
@@ -647,16 +695,26 @@ let group_regions (g : Ir.graph) : Ir.graph =
             Domain.rect ~lo ~hi
           end
         in
+        (* Regions share a body (the group keeps [first]'s), so results
+           pair with each region's own write edges without shifting. *)
+        let pairs =
+          dedup_pairs (List.concat_map (fun b -> pair_results 0 b b.Ir.blk_edges) bs)
+        in
         {
           first with
           Ir.blk_name = key;
           blk_domain = hull;
-          blk_edges = dedup_edges (List.concat_map (fun b -> b.Ir.blk_edges) bs);
+          blk_edges = pairs_edges pairs;
+          blk_results = pairs_results pairs;
         }
   in
-  { g with Ir.g_blocks = List.rev_map fuse !order }
+  let g = { g with Ir.g_blocks = List.rev_map fuse !order } in
+  Verify_hook.fire ~stage:"coarsen.group" g;
+  g
 
 let coarsen (g : Ir.graph) : Ir.graph =
   let g = fuse_access_maps g in
   let g = lower g in
-  { g with Ir.g_blocks = merge_fixpoint g.Ir.g_blocks }
+  let g = { g with Ir.g_blocks = merge_fixpoint g.Ir.g_blocks } in
+  Verify_hook.fire ~stage:"coarsen" g;
+  g

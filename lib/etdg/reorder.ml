@@ -110,7 +110,9 @@ let apply (b : Ir.block) : result =
 let reorder (g : Ir.graph) =
   let results = List.map (fun b -> (b.Ir.blk_name, apply b)) g.Ir.g_blocks in
   let blocks = List.map (fun (_, r) -> r.block) results in
-  (results, { g with Ir.g_blocks = blocks })
+  let g' = { g with Ir.g_blocks = blocks } in
+  Verify_hook.fire ~stage:"reorder" g';
+  (results, g')
 
 let sequential_steps r =
   if not r.wavefront then 1 else sequential_extent r.block.Ir.blk_domain

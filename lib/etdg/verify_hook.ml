@@ -1,0 +1,7 @@
+type t = stage:string -> Ir.graph -> unit
+
+let hooks : t list ref = ref []
+let register f = hooks := f :: !hooks
+let clear () = hooks := []
+let active () = !hooks <> []
+let fire ~stage g = List.iter (fun f -> f ~stage g) !hooks

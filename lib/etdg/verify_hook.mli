@@ -1,0 +1,23 @@
+(** Observation points between compiler passes.
+
+    Each ETDG-producing pass ({!Build.build}, the {!Coarsen} entry
+    points, {!Reorder.reorder}) announces its output graph here, tagged
+    with a stage name ("build", "coarsen.group", "reorder", …).  The
+    static verifier in [lib/analysis] registers itself to check every
+    intermediate graph of every compilation, without [lib/etdg]
+    depending on the analysis library.
+
+    Hooks are global and deliberately simple: registration is
+    process-wide and a hook that raises aborts the pass — which is the
+    point when the hook is a fatal verifier. *)
+
+type t = stage:string -> Ir.graph -> unit
+
+val register : t -> unit
+val clear : unit -> unit
+
+val active : unit -> bool
+(** True when at least one hook is registered. *)
+
+val fire : stage:string -> Ir.graph -> unit
+(** Called by the passes on their output. *)

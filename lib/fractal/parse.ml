@@ -1,5 +1,34 @@
 exception Syntax_error of { line : int; col : int; message : string }
 
+type span = { sp_line : int; sp_col : int }
+
+(* Spans are keyed by physical identity: every AST node the parser
+   constructs is a distinct heap block, so [==] identifies its
+   construction site without threading locations through [Expr.t]. *)
+type spans = {
+  mutable sp_exprs : (Expr.t * span) list;
+  mutable sp_binders : (Expr.t * (string * span) list) list;
+  mutable sp_inputs : (string * span) list;
+}
+
+let spans_empty () = { sp_exprs = []; sp_binders = []; sp_inputs = [] }
+
+let input_spans sp = List.rev sp.sp_inputs
+
+let expr_span sp e =
+  List.find_map
+    (fun (e', s) -> if e' == e then Some s else None)
+    sp.sp_exprs
+
+let binder_spans sp e =
+  match
+    List.find_map
+      (fun (e', bs) -> if e' == e then Some bs else None)
+      sp.sp_binders
+  with
+  | Some bs -> bs
+  | None -> []
+
 (* ------------------------------ lexer ------------------------------ *)
 
 type token =
@@ -109,10 +138,23 @@ let lex src =
 
 (* ------------------------------ parser ----------------------------- *)
 
-type state = { toks : lexeme array; mutable pos : int }
+type state = { toks : lexeme array; mutable pos : int; sp : spans }
 
 let peek st = st.toks.(st.pos)
 let advance st = st.pos <- st.pos + 1
+
+let span_here st =
+  let { l_line; l_col; _ } = peek st in
+  { sp_line = l_line; sp_col = l_col }
+
+(* Record [e]'s source span unless an inner production already did
+   (a parenthesised expression keeps its own, tighter position). *)
+let note st span e =
+  if not (List.exists (fun (e', _) -> e' == e) st.sp.sp_exprs) then
+    st.sp.sp_exprs <- (e, span) :: st.sp.sp_exprs;
+  e
+
+let note_binders st e bs = st.sp.sp_binders <- (e, bs) :: st.sp.sp_binders
 
 let fail st msg =
   let { l_line; l_col; _ } = peek st in
@@ -202,78 +244,87 @@ let soac_kind = function
 let rec parse_expr st : Expr.t =
   match (peek st).tok with
   | IDENT "let" ->
+      let start = span_here st in
       advance st;
+      let xsp = span_here st in
       let x = ident st in
       expect st EQUALS "'='";
       let e1 = parse_expr st in
       (match (peek st).tok with
       | IDENT "in" -> advance st
       | _ -> fail st "expected 'in'");
-      Expr.Let (x, e1, parse_expr st)
+      let e = Expr.Let (x, e1, parse_expr st) in
+      note_binders st e [ (x, xsp) ];
+      note st start e
   | _ -> parse_sum st
 
 and parse_sum st =
+  let start = span_here st in
   let lhs = parse_product st in
   let rec go lhs =
     match (peek st).tok with
     | PLUS ->
         advance st;
-        go Expr.(Add @@@ [ lhs; parse_product st ])
+        go (note st start Expr.(Add @@@ [ lhs; parse_product st ]))
     | MINUS ->
         advance st;
-        go Expr.(Sub @@@ [ lhs; parse_product st ])
+        go (note st start Expr.(Sub @@@ [ lhs; parse_product st ]))
     | _ -> lhs
   in
   go lhs
 
 and parse_product st =
+  let start = span_here st in
   let lhs = parse_matmul st in
   let rec go lhs =
     match (peek st).tok with
     | STAR ->
         advance st;
-        go Expr.(Mul @@@ [ lhs; parse_matmul st ])
+        go (note st start Expr.(Mul @@@ [ lhs; parse_matmul st ]))
     | SLASH ->
         advance st;
-        go Expr.(Div @@@ [ lhs; parse_matmul st ])
+        go (note st start Expr.(Div @@@ [ lhs; parse_matmul st ]))
     | _ -> lhs
   in
   go lhs
 
 and parse_matmul st =
+  let start = span_here st in
   let lhs = parse_postfix st in
   let rec go lhs =
     match (peek st).tok with
     | AT ->
         advance st;
-        go Expr.(Matmul @@@ [ lhs; parse_postfix st ])
+        go (note st start Expr.(Matmul @@@ [ lhs; parse_postfix st ]))
     | ATT ->
         advance st;
-        go Expr.(Matmul_t @@@ [ lhs; parse_postfix st ])
+        go (note st start Expr.(Matmul_t @@@ [ lhs; parse_postfix st ]))
     | _ -> lhs
   in
   go lhs
 
 and parse_postfix st =
-  let e = parse_atom st in
+  let start = span_here st in
+  let e = note st start (parse_atom st) in
   let rec go e =
     match (peek st).tok with
     | LBRACKET ->
         advance st;
         let i = int_lit st in
         expect st RBRACKET "']'";
-        go (Expr.Index (e, [ i ]))
+        go (note st start (Expr.Index (e, [ i ])))
     | DOT -> (
         advance st;
         match (peek st).tok with
         | INT i ->
             advance st;
-            go (Expr.Proj (e, i))
+            go (note st start (Expr.Proj (e, i)))
         | IDENT name -> (
+            let opsp = span_here st in
             advance st;
             match soac_kind name with
-            | Some kind -> go (parse_soac st kind e)
-            | None -> go (parse_access st name e))
+            | Some kind -> go (note st opsp (parse_soac st kind e))
+            | None -> go (note st opsp (parse_access st name e)))
         | _ -> fail st "expected a method name or projection index")
     | _ -> e
   in
@@ -293,12 +344,13 @@ and parse_soac st kind xs =
   expect st LBRACE "'{'";
   expect st PIPE "'|'";
   let rec params acc =
+    let psp = span_here st in
     let p = ident st in
     if (peek st).tok = COMMA then begin
       advance st;
-      params (p :: acc)
+      params ((p, psp) :: acc)
     end
-    else List.rev (p :: acc)
+    else List.rev ((p, psp) :: acc)
   in
   let ps = params [] in
   expect st PIPE "'|'";
@@ -307,7 +359,11 @@ and parse_soac st kind xs =
   (match (kind, init) with
   | Expr.Map, Some _ -> fail st "map takes no seed"
   | _ -> ());
-  Expr.Soac { kind; fn = { params = ps; body }; init; xs }
+  let e =
+    Expr.Soac { kind; fn = { params = List.map fst ps; body }; init; xs }
+  in
+  note_binders st e ps;
+  e
 
 and parse_access st name e =
   let args () =
@@ -466,7 +522,9 @@ let parse_program st : Expr.program =
     match (peek st).tok with
     | IDENT "input" ->
         advance st;
+        let xsp = span_here st in
         let x = ident st in
+        st.sp.sp_inputs <- (x, xsp) :: st.sp.sp_inputs;
         expect st COLON "':'";
         let ty = parse_type st in
         inputs ((x, ty) :: acc)
@@ -482,18 +540,27 @@ let parse_program st : Expr.program =
   | _ -> fail st "trailing input after the program body");
   { Expr.name; inputs = ins; body }
 
-let program src = parse_program { toks = lex src; pos = 0 }
+let program src =
+  parse_program { toks = lex src; pos = 0; sp = spans_empty () }
+
+let program_spanned src =
+  let st = { toks = lex src; pos = 0; sp = spans_empty () } in
+  let p = parse_program st in
+  (p, st.sp)
 
 let expr src =
-  let st = { toks = lex src; pos = 0 } in
+  let st = { toks = lex src; pos = 0; sp = spans_empty () } in
   let e = parse_expr st in
   match (peek st).tok with
   | EOF -> e
   | _ -> fail st "trailing input after the expression"
 
-let program_file path =
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  program src
+  src
+
+let program_file path = program (read_file path)
+let program_file_spanned path = program_spanned (read_file path)

@@ -50,3 +50,31 @@ val expr : string -> Expr.t
 
 val program_file : string -> Expr.program
 (** Parse from a file path. @raise Sys_error on IO failure. *)
+
+(** {1 Source spans}
+
+    The linter needs source positions without burdening [Expr.t] with
+    location fields, so the spanned entry points additionally return a
+    side table keyed by {e physical identity} of the freshly parsed
+    nodes: the table is only meaningful for the AST returned alongside
+    it. *)
+
+type span = { sp_line : int; sp_col : int }
+
+type spans
+
+val expr_span : spans -> Expr.t -> span option
+(** Source position of a node of the parsed AST (physical identity). *)
+
+val binder_spans : spans -> Expr.t -> (string * span) list
+(** For a [Let] or [Soac] node: the positions of the names it binds
+    ([let x = …] / lambda parameters), in declaration order. *)
+
+val input_spans : spans -> (string * span) list
+(** Positions of the program's [input] declarations, in order. *)
+
+val program_spanned : string -> Expr.program * spans
+(** As {!program}, with the span table. *)
+
+val program_file_spanned : string -> Expr.program * spans
+(** As {!program_file}, with the span table. *)

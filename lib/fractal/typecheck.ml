@@ -131,7 +131,15 @@ let bind_elem_params env params (elem : Expr.ty) =
         (List.length ps)
         (Expr.ty_to_string elem)
 
+(* Internal: a [Type_error] annotated with the innermost expression
+   being checked when it was raised.  Never escapes this module's plain
+   entry points; the [_located] variants surface it for diagnostics. *)
+exception Located of Expr.t * string
+
 let rec infer env (e : Expr.t) : Expr.ty =
+  try infer_node env e with Type_error msg -> raise (Located (e, msg))
+
+and infer_node env (e : Expr.t) : Expr.ty =
   match e with
   | Expr.Var v -> (
       match List.assoc_opt v env with
@@ -222,4 +230,15 @@ and infer_soac env { Expr.kind; fn; init; xs } =
           | Expr.Reduce | Expr.Foldl | Expr.Foldr -> state_ty
           | Expr.Map -> assert false))
 
+let infer_located env e =
+  match infer env e with
+  | ty -> Ok ty
+  | exception Located (at, msg) -> Error (Some at, msg)
+  | exception Type_error msg -> Error (None, msg)
+
+let infer env e =
+  try infer env e with Located (_, msg) -> raise (Type_error msg)
+
 let check_program (p : Expr.program) = infer p.inputs p.body
+
+let check_program_located (p : Expr.program) = infer_located p.inputs p.body

@@ -18,6 +18,16 @@ val check_program : Expr.program -> Expr.ty
 (** Infer the result type of a whole program.
     @raise Type_error as {!infer}. *)
 
+val infer_located :
+  (string * Expr.ty) list -> Expr.t -> (Expr.ty, Expr.t option * string) result
+(** Exception-free inference for diagnostics: on failure, the innermost
+    sub-expression being checked when the error arose (matchable against
+    a {!Parse.spans} table by physical identity) and the message. *)
+
+val check_program_located :
+  Expr.program -> (Expr.ty, Expr.t option * string) result
+(** As {!infer_located}, over a whole program. *)
+
 val prim_result_shape : Expr.prim -> Shape.t list -> Shape.t
 (** Output shape of a primitive applied to operand shapes — shared with
     the compiler's operation-node lowering.

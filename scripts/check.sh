@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point: full build, the complete test suite,
+# and the static linter over every example .ft program.
+#
+#   scripts/check.sh
+#
+# Exits non-zero on any build failure, test failure, or lint error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+for f in examples/programs/*.ft; do
+  echo "lint $f"
+  dune exec --no-build bin/ftc.exe -- lint "$f"
+done
+
+echo "check.sh: all green"
