@@ -10,7 +10,39 @@
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
-let time_of plan = (Exec.run plan).Engine.time_ms
+(* --json OUT: every measurement that feeds a printed table is also
+   recorded and dumped as a JSON array at exit, one record per
+   (experiment, workload, plan, device) with the full metrics. *)
+let json_path : string option ref = ref None
+let records : Jsonw.t list ref = ref []
+let cur_experiment = ref ""
+let cur_title = ref ""
+let set_title t = cur_title := t
+
+let record device (p : Plan.t) (m : Engine.metrics) =
+  if !json_path <> None then
+    records :=
+      Jsonw.Obj
+        [
+          ("experiment", Jsonw.String !cur_experiment);
+          ("workload", Jsonw.String !cur_title);
+          ("plan", Jsonw.String p.Plan.plan_name);
+          ("device", Jsonw.String device.Device.name);
+          ("time_ms", Jsonw.Float m.Engine.time_ms);
+          ("dram_gb", Jsonw.Float m.Engine.dram_gb);
+          ("l2_gb", Jsonw.Float m.Engine.l2_gb);
+          ("l1_gb", Jsonw.Float m.Engine.l1_gb);
+          ("kernels", Jsonw.Int m.Engine.kernels);
+          ("total_flops", Jsonw.Float m.Engine.total_flops);
+        ]
+      :: !records
+
+let measure ?(device = Device.a100) plan =
+  let m = Exec.metrics ~device plan in
+  record device plan m;
+  m
+
+let time_of plan = (measure plan).Engine.time_ms
 
 let print_row label values =
   Format.printf "%-28s" label;
@@ -24,6 +56,7 @@ let ms v = Printf.sprintf "%.3f" v
 (* ------------------------------------------------------------------ *)
 
 let fig2 () =
+  cur_experiment := "fig2";
   section "Figure 2: stacked RNN time (ms) vs depth (batch 256, hidden 256, len 64)";
   let depths = [ 1; 4; 8; 12; 16; 20; 24; 28; 32 ] in
   let header = List.map string_of_int depths in
@@ -38,13 +71,17 @@ let fig2 () =
         let cfg =
           { Stacked_rnn.batch = 256; depth = d; seq_len = 64; hidden = 256 }
         in
-        Suites.stacked_rnn cfg)
+        (d, Suites.stacked_rnn cfg))
       depths
   in
   List.iter
     (fun name ->
       let row =
-        List.map (fun plans -> ms (time_of (Suites.find plans name))) columns
+        List.map
+          (fun (d, plans) ->
+            set_title (Printf.sprintf "stacked RNN depth %d" d);
+            ms (time_of (Suites.find plans name)))
+          columns
       in
       print_row name row)
     names
@@ -54,6 +91,7 @@ let fig2 () =
 (* ------------------------------------------------------------------ *)
 
 let run_suite label plans =
+  set_title label;
   Format.printf "@.%s@." label;
   let best_baseline =
     List.fold_left
@@ -75,6 +113,7 @@ let run_suite label plans =
     plans
 
 let fig7 () =
+  cur_experiment := "fig7";
   section "Figure 7: end-to-end execution time per DNN workload";
   run_suite "stacked LSTM (batch 256, depth 32, len 64, hidden 256)"
     (Suites.stacked_lstm Stacked_lstm.paper);
@@ -105,33 +144,28 @@ let fig7 () =
 (* Figure 8: RNN scaling with depth and sequence length                *)
 (* ------------------------------------------------------------------ *)
 
-let fig8_model name mk_suite depths =
-  Format.printf "@.%s — time (ms) vs depth@." name;
-  print_row "depth" (List.map string_of_int depths);
-  let columns = List.map mk_suite depths in
+let fig8_sweep name axis mk_suite points =
+  Format.printf "@.%s — time (ms) vs %s@." name axis;
+  print_row axis (List.map string_of_int points);
+  let columns = List.map (fun p -> (p, mk_suite p)) points in
   let names =
-    List.map (fun (p : Plan.t) -> p.Plan.plan_name) (List.hd columns)
+    List.map (fun (p : Plan.t) -> p.Plan.plan_name) (snd (List.hd columns))
   in
   List.iter
     (fun n ->
       print_row n
-        (List.map (fun plans -> ms (time_of (Suites.find plans n))) columns))
+        (List.map
+           (fun (pt, plans) ->
+             set_title (Printf.sprintf "%s, %s %d" name axis pt);
+             ms (time_of (Suites.find plans n)))
+           columns))
     names
 
-let fig8_seq name mk_suite lens =
-  Format.printf "@.%s — time (ms) vs sequence length@." name;
-  print_row "seq len" (List.map string_of_int lens);
-  let columns = List.map mk_suite lens in
-  let names =
-    List.map (fun (p : Plan.t) -> p.Plan.plan_name) (List.hd columns)
-  in
-  List.iter
-    (fun n ->
-      print_row n
-        (List.map (fun plans -> ms (time_of (Suites.find plans n))) columns))
-    names
+let fig8_model name mk_suite depths = fig8_sweep name "depth" mk_suite depths
+let fig8_seq name mk_suite lens = fig8_sweep name "seq len" mk_suite lens
 
 let fig8 () =
+  cur_experiment := "fig8";
   section "Figure 8: RNN scaling (middle = batch 256 hidden 256; large = hidden 1024)";
   let depths = [ 4; 8; 12; 16; 20; 24; 28; 32 ] in
   List.iter
@@ -167,11 +201,12 @@ let fig8 () =
 (* ------------------------------------------------------------------ *)
 
 let table7_block title plans =
+  set_title title;
   Format.printf "@.%s@." title;
   print_row "methodology" [ "DRAM (GB)"; "L1 (GB)"; "L2 (GB)" ];
   List.iter
     (fun (p : Plan.t) ->
-      let m = Exec.run p in
+      let m = measure p in
       print_row p.Plan.plan_name
         [
           Printf.sprintf "%.2f" m.Engine.dram_gb;
@@ -181,6 +216,7 @@ let table7_block title plans =
     plans
 
 let table7 () =
+  cur_experiment := "table7";
   section "Table 7: bytes of access to GPU DRAM / L1 / L2";
   table7_block "(1) FlashAttention"
     (Suites.flash_attention Flash_attention.paper);
@@ -191,10 +227,12 @@ let table7 () =
 (* ------------------------------------------------------------------ *)
 
 let ablation () =
+  cur_experiment := "ablation";
   section "Ablation: what the coarsening pass buys (DESIGN.md)";
   let show title g =
+    set_title title;
     Format.printf "@.%s@." title;
-    let full = Emit.fractaltensor_plan g in
+    let full = Pipeline.plan_of_graph g in
     (* no region grouping / width-wise merging: emit each parsed block
        separately — intermediates materialise, regions re-read inputs *)
     let unmerged =
@@ -204,10 +242,10 @@ let ablation () =
           List.concat_map (fun b -> Emit.block_plan g b) (Ir.dataflow_order g);
       }
     in
-    let no_reuse = Emit.fractaltensor_plan ~collapse_reuse:false g in
+    let no_reuse = Pipeline.plan_of_graph ~collapse_reuse:false g in
     List.iter
       (fun (label, p) ->
-        let m = Exec.run p in
+        let m = measure p in
         Format.printf "  %-24s %a@." label Engine.pp_metrics m)
       [ ("full pipeline", full); ("without coarsening", unmerged);
         ("without reuse collapse", { no_reuse with Plan.plan_name = "nr" }) ]
@@ -228,30 +266,26 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let devices () =
+  cur_experiment := "devices";
   section "Portability: FractalTensor plans across device models (§7)";
   let targets = [ Device.v100; Device.a100; Device.h100 ] in
   Format.printf "%-18s" "workload";
   List.iter (fun d -> Format.printf " %16s" d.Device.name) targets;
   Format.printf "   (time, ms)@.";
   let row name plan =
+    set_title name;
     Format.printf "%-18s" name;
     List.iter
-      (fun d ->
-        Format.printf " %16.3f" (Exec.run ~device:d plan).Engine.time_ms)
+      (fun d -> Format.printf " %16.3f" (measure ~device:d plan).Engine.time_ms)
       targets;
     Format.printf "@."
   in
-  row "stacked LSTM"
-    (Emit.fractaltensor_plan (Build.build (Stacked_lstm.program Stacked_lstm.paper)));
+  row "stacked LSTM" (Pipeline.plan (Stacked_lstm.program Stacked_lstm.paper));
   row "flash attention"
-    (Emit.fractaltensor_plan
-       (Build.build (Flash_attention.program Flash_attention.paper)));
-  row "bigbird"
-    (Emit.fractaltensor_plan (Build.build (Bigbird.program Bigbird.paper)));
-  row "retention"
-    (Emit.fractaltensor_plan (Build.build (Retention.program Retention.large)));
-  row "conv1d"
-    (Emit.fractaltensor_plan (Build.build (Conv1d.program Conv1d.large)))
+    (Pipeline.plan (Flash_attention.program Flash_attention.paper));
+  row "bigbird" (Pipeline.plan (Bigbird.program Bigbird.paper));
+  row "retention" (Pipeline.plan (Retention.program Retention.large));
+  row "conv1d" (Pipeline.plan (Conv1d.program Conv1d.large))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (real wall clock of this implementation)  *)
@@ -284,10 +318,10 @@ let micro () =
         Test.make ~name:"compile.reorder"
           (Staged.stage (fun () -> ignore (Reorder.apply region3)));
         Test.make ~name:"compile.emit-plan"
-          (Staged.stage (fun () -> ignore (Emit.fractaltensor_plan g)));
+          (Staged.stage (fun () -> ignore (Pipeline.plan_of_graph g)));
         Test.make ~name:"simulate.exec-plan"
           (Staged.stage (fun () ->
-               ignore (Exec.run (Emit.fractaltensor_plan g))));
+               ignore (Exec.run (Pipeline.plan_of_graph g))));
       ]
   in
   let benchmark () =
@@ -312,11 +346,25 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* argv: [--json OUT] [EXPERIMENT] in either order *)
+  let which = ref "all" in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | "--json" :: [] ->
+        prerr_endline "--json requires an output path";
+        exit 1
+    | arg :: rest ->
+        which := arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   Format.printf
     "FractalTensor reproduction benchmarks (simulated %s)@."
     Device.a100.Device.name;
-  (match which with
+  (match !which with
   | "fig2" -> fig2 ()
   | "fig7" -> fig7 ()
   | "fig8" -> fig8 ()
@@ -335,4 +383,12 @@ let () =
   | other ->
       Format.printf "unknown experiment %s (fig2|fig7|fig8|table7|ablation|devices|micro|all)@." other;
       exit 1);
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Jsonw.to_string (Jsonw.List (List.rev !records)));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %d records to %s@." (List.length !records) path);
   Format.printf "@."

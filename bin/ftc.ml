@@ -1,11 +1,14 @@
 (* ftc — the FractalTensor compiler driver.
 
-     ftc list                     available workloads
-     ftc verify [WORKLOAD]        interpreter vs imperative reference
-     ftc show WORKLOAD [--pass P] dump the ETDG after a pipeline stage
-     ftc compile WORKLOAD         run the full pipeline, print the plan
-     ftc simulate WORKLOAD        execute every system's plan on the
-                                  simulated A100                         *)
+     ftc list                      available workloads
+     ftc verify [WORKLOAD]         interpreter vs imperative reference
+     ftc show WORKLOAD [--stage S] dump the ETDG after a pipeline stage
+     ftc compile WORKLOAD          run the full pipeline, print the plan
+     ftc simulate WORKLOAD         execute every system's plan on the
+                                   simulated A100
+     ftc run FILE.ft               parse, check, interpret, compile
+     ftc profile FILE.ft           compile + simulate with tracing;
+                                   text/json/chrome output              *)
 
 type workload = {
   w_name : string;
@@ -136,9 +139,7 @@ let workloads =
             Interp.run_program (Conv1d.program cfg) (Conv1d.bindings inp)
           in
           Fractal.equal_approx out (Conv1d.reference cfg inp));
-      w_suite =
-        (fun () ->
-          [ Emit.fractaltensor_plan (Build.build (Conv1d.program Conv1d.large)) ]);
+      w_suite = (fun () -> [ Pipeline.plan (Conv1d.program Conv1d.large) ]);
     };
     {
       w_name = "selective_scan";
@@ -158,9 +159,7 @@ let workloads =
                (Selective_scan.parallel_form cfg inp)
                r);
       w_suite =
-        (fun () ->
-          [ Emit.fractaltensor_plan
-              (Build.build (Selective_scan.program Selective_scan.large)) ]);
+        (fun () -> [ Pipeline.plan (Selective_scan.program Selective_scan.large) ]);
     };
     {
       w_name = "retention";
@@ -254,32 +253,39 @@ let format_arg =
     & opt (enum [ ("text", `Text); ("dot", `Dot) ]) `Text
     & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or dot")
 
-let pass_arg =
+(* The --stage vocabulary is Pipeline's: the same names label verifier
+   hooks, trace spans and these flags. *)
+let stage_arg =
   Arg.(
     value
-    & opt (enum [ ("parsed", `Parsed); ("lowered", `Lowered);
-                  ("grouped", `Grouped); ("merged", `Merged) ])
-        `Parsed
-    & info [ "pass" ] ~docv:"PASS"
-        ~doc:"Pipeline stage to dump: parsed, lowered, grouped or merged")
+    & opt
+        (enum
+           (List.map (fun s -> (Pipeline.stage_name s, s)) Pipeline.all_stages))
+        Pipeline.Build
+    & info [ "stage" ] ~docv:"STAGE"
+        ~doc:
+          "Pipeline stage to dump: build, coarsen.lower, coarsen.group, \
+           coarsen.merge or reorder")
 
 let show_cmd =
-  let run name pass format =
+  let run name stage format =
     let w = find_workload name in
-    let g = Build.build (w.w_program ()) in
+    let t =
+      Pipeline.compile ~verify:false
+        ~stages:(Pipeline.stages_until stage)
+        (w.w_program ())
+    in
     let g =
-      match pass with
-      | `Parsed -> g
-      | `Lowered -> Coarsen.lower g
-      | `Grouped -> Coarsen.group_regions g
-      | `Merged -> Coarsen.merge_only (Coarsen.group_regions g)
+      match Pipeline.stage_graph t stage with
+      | Some g -> g
+      | None -> t.Pipeline.p_emit_graph
     in
     match format with
     | `Text -> Format.printf "%a@." Ir.pp g
     | `Dot -> print_string (Dot.graph g)
   in
   Cmd.v (Cmd.info "show" ~doc:"Dump the ETDG after a pipeline stage")
-    Term.(const run $ workload_arg $ pass_arg $ format_arg)
+    Term.(const run $ workload_arg $ stage_arg $ format_arg)
 
 let verify_flag =
   Arg.(
@@ -292,24 +298,32 @@ let verify_flag =
            --verify=false disables it.")
 
 let compile_one verify failed w =
-  let g = Build.build (w.w_program ()) in
+  let t = Pipeline.compile ~verify ~fatal:false (w.w_program ()) in
+  let built =
+    match Pipeline.stage_graph t Pipeline.Build with
+    | Some g -> g
+    | None -> t.Pipeline.p_emit_graph
+  in
   Format.printf "parsed: %d blocks, depth %d, dimension %d@."
-    (List.length g.Ir.g_blocks) (Ir.depth g) (Ir.dimension g);
-  (match Ir.validate g with
+    (List.length built.Ir.g_blocks) (Ir.depth built) (Ir.dimension built);
+  (match Ir.validate built with
   | Ok () -> Format.printf "invariants: ok@."
   | Error es -> List.iter (Format.printf "invariant violated: %s@.") es);
-  let merged = Coarsen.merge_only (Coarsen.group_regions g) in
+  let merged = t.Pipeline.p_emit_graph in
   Format.printf "after grouping and width-wise merging: %d blocks@."
     (List.length merged.Ir.g_blocks);
   List.iter
     (fun b ->
-      let r = Reorder.apply b in
-      Format.printf "  %-40s p=[%s]%s@." b.Ir.blk_name
-        (String.concat ","
-           (Array.to_list (Array.map Expr.soac_kind_name b.Ir.blk_ops)))
-        (if r.Reorder.wavefront then
-           Printf.sprintf " wavefront, %d steps" (Reorder.sequential_steps r)
-         else " fully parallel"))
+      match List.assoc_opt b.Ir.blk_name t.Pipeline.p_reorder with
+      | None -> ()
+      | Some (r : Reorder.result) ->
+          Format.printf "  %-40s p=[%s]%s@." b.Ir.blk_name
+            (String.concat ","
+               (Array.to_list (Array.map Expr.soac_kind_name b.Ir.blk_ops)))
+            (if r.Reorder.wavefront then
+               Printf.sprintf " wavefront, %d steps"
+                 (Reorder.sequential_steps r)
+             else " fully parallel"))
     merged.Ir.g_blocks;
   if verify then
     List.iter
@@ -317,13 +331,16 @@ let compile_one verify failed w =
         if ds = [] then Format.printf "verify[%s]: ok@." stage
         else begin
           Format.printf "verify[%s]: %d findings@." stage (List.length ds);
-          List.iter (fun d -> Format.printf "  %a@." (Diagnostic.pp ?path:None) d) ds;
+          List.iter
+            (fun d -> Format.printf "  %a@." (Diagnostic.pp ?path:None) d)
+            ds;
           if List.exists Diagnostic.is_error ds then failed := true
         end)
-      (Verify.pipeline (w.w_program ()));
-  let plan = Emit.fractaltensor_plan ~verify g in
-  Format.printf "emitted plan: %d kernels@." (Plan.total_kernels plan);
-  Format.printf "simulated: %a@." Engine.pp_metrics (Exec.run plan)
+      (Pipeline.stage_diagnostics t
+      @ [ ("emit", Option.value t.Pipeline.p_emit_diagnostics ~default:[]) ]);
+  Format.printf "emitted plan: %d kernels@." (Plan.total_kernels t.Pipeline.p_plan);
+  Format.printf "simulated: %a@." Engine.pp_metrics
+    (Exec.metrics t.Pipeline.p_plan)
 
 let compile_cmd =
   let run name verify =
@@ -365,7 +382,7 @@ let simulate_cmd =
       "kernels" "DRAM(GB)" "L1(GB)" "L2(GB)";
     List.iter
       (fun (p : Plan.t) ->
-        let m = Exec.run ~device p in
+        let m = (Exec.run ~device p).Exec.r_metrics in
         Format.printf "%-18s %10.3f %8d %10.2f %10.2f %10.2f@."
           p.Plan.plan_name m.Engine.time_ms m.Engine.kernels m.Engine.dram_gb
           m.Engine.l1_gb m.Engine.l2_gb)
@@ -404,8 +421,8 @@ let run_cmd =
                   (List.length g.Ir.g_blocks)
             | Error es ->
                 List.iter (Format.eprintf "invariant violated: %s@.") es);
-            let plan = Emit.fractaltensor_plan g in
-            Format.printf "compiled: %a@." Engine.pp_metrics (Exec.run plan))
+            let plan = Pipeline.plan_of_graph g in
+            Format.printf "compiled: %a@." Engine.pp_metrics (Exec.metrics plan))
   in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ft")
@@ -414,6 +431,58 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Parse, type-check, interpret and compile a .ft program file")
     Term.(const run $ file)
+
+let profile_cmd =
+  let run path format device =
+    match Parse.program_file path with
+    | exception Parse.Syntax_error { line; col; message } ->
+        Format.eprintf "%s:%d:%d: %s@." path line col message;
+        exit 1
+    | p -> (
+        match Typecheck.check_program p with
+        | exception Typecheck.Type_error msg ->
+            Format.eprintf "%s: type error: %s@." path msg;
+            exit 1
+        | _ty ->
+            let sink = Trace.make () in
+            let t = Pipeline.compile ~trace:sink p in
+            ignore (Exec.run ~device ~trace:sink t.Pipeline.p_plan);
+            let prof = Exec.profile ~device t.Pipeline.p_plan in
+            (match format with
+            | `Text ->
+                print_string (Profile.to_text prof);
+                print_newline ();
+                print_string (Trace.to_text sink)
+            | `Json ->
+                print_endline
+                  (Jsonw.to_string
+                     (Jsonw.Obj
+                        [ ("profile", Profile.to_jsonv prof);
+                          ("trace", Trace.to_jsonv sink) ]))
+            | `Chrome -> print_endline (Trace.to_chrome sink)))
+  in
+  let file =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("chrome", `Chrome) ])
+          `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: text (profile report + trace listing), json \
+             (profile and trace in one document), or chrome (trace-event \
+             JSON for chrome://tracing / Perfetto)")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile a .ft program with tracing enabled, execute its plan on \
+          the simulated device, and report per-pass wall-clock, the \
+          simulated kernel timeline, and a per-kernel/per-block roofline \
+          profile")
+    Term.(const run $ file $ fmt $ device_arg)
 
 let lint_cmd =
   let run path format =
@@ -449,4 +518,4 @@ let () =
   exit
     (Cmd.eval (Cmd.group ~default info
                  [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
-                   run_cmd; lint_cmd ]))
+                   run_cmd; profile_cmd; lint_cmd ]))

@@ -31,7 +31,7 @@ let () =
     "L1(GB)" "L2(GB)";
   List.iter
     (fun (p : Plan.t) ->
-      let m = Exec.run p in
+      let m = Exec.metrics p in
       Format.printf "%-18s %10.3f %10.2f %10.2f %10.2f@." p.Plan.plan_name
         m.Engine.time_ms m.Engine.dram_gb m.Engine.l1_gb m.Engine.l2_gb)
     (Suites.flash_attention cfg);

@@ -24,7 +24,15 @@ let () =
   | Error es -> List.iter (Format.printf "invariant violated: %s@.") es);
 
   hr "after operation-node lowering (Fig 5)";
-  let lowered = Coarsen.lower g in
+  let lowered =
+    match
+      Pipeline.stage_graph
+        (Pipeline.compile ~verify:false ~stages:[ Pipeline.Lower ] program)
+        Pipeline.Lower
+    with
+    | Some g -> g
+    | None -> assert false
+  in
   Format.printf "depth %d -> %d, dimension %d -> %d@." (Ir.depth g)
     (Ir.depth lowered) (Ir.dimension g) (Ir.dimension lowered);
   let r3 =
@@ -69,8 +77,8 @@ let () =
        (Stacked_rnn.reference cfg inputs));
 
   hr "emitted plan on the simulated A100";
-  let plan = Emit.fractaltensor_plan g in
+  let plan = Pipeline.plan_of_graph g in
   Format.printf "%d kernels (one persistent chain of %d wavefront steps)@."
     (Plan.total_kernels plan)
     (cfg.depth + cfg.seq_len - 1);
-  Format.printf "%a@." Engine.pp_metrics (Exec.run plan)
+  Format.printf "%a@." Engine.pp_metrics (Exec.metrics plan)

@@ -54,7 +54,7 @@ let () =
     (List.length graph.Ir.g_blocks)
     (Ir.depth graph) (Ir.dimension graph);
 
-  let plan = Emit.fractaltensor_plan graph in
-  let metrics = Exec.run plan in
+  let plan = Pipeline.plan_of_graph graph in
+  let report = Exec.run plan in
   Format.printf "simulated on %s: %a@." Device.a100.Device.name
-    Engine.pp_metrics metrics
+    Engine.pp_metrics report.Exec.r_metrics

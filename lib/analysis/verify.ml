@@ -318,31 +318,6 @@ let graph_exn ?stage ?check_schedules g =
   if List.exists Diagnostic.is_error ds then
     raise (Verification_failed (Option.value stage ~default:"verify", ds))
 
-let pipeline (p : Expr.program) =
-  let g = Build.build p in
-  let s1 = graph ~stage:"build" g in
-  let grouped = Coarsen.group_regions g in
-  let s2 = graph ~stage:"coarsen.group" grouped in
-  let merged = Coarsen.merge_only grouped in
-  let s3 = graph ~stage:"coarsen.merge" merged in
-  let results, reordered = Reorder.reorder merged in
-  let s4 =
-    structure ~stage:"reorder" reordered
-    @ access_maps ~stage:"reorder" reordered
-    @ List.concat_map
-        (fun (name, (r : Reorder.result)) ->
-          match
-            List.find_opt
-              (fun b -> b.Ir.blk_name = name)
-              merged.Ir.g_blocks
-          with
-          | Some b -> schedule ~stage:"reorder" b r.Reorder.transform
-          | None -> [])
-        results
-  in
-  [ ("build", s1); ("coarsen.group", s2); ("coarsen.merge", s3);
-    ("reorder", s4) ]
-
 let install ?(fatal = true) () =
   Verify_hook.register (fun ~stage g ->
       (* Reordered graphs carry transformed access maps; recomputing a

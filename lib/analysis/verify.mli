@@ -61,12 +61,6 @@ val graph :
 val graph_exn : ?stage:string -> ?check_schedules:bool -> Ir.graph -> unit
 (** @raise Verification_failed when {!graph} reports any error. *)
 
-val pipeline : Expr.program -> (string * Diagnostic.t list) list
-(** Compile [p] through the production pipeline — build,
-    region-grouping, width-wise merging, reordering — verifying every
-    intermediate graph and every per-block transform; returns the
-    diagnostics per stage (all empty on a legal program). *)
-
 val install : ?fatal:bool -> unit -> unit
 (** Register the verifier on {!Verify_hook} so that every subsequent
     pass run in the process is checked.  With [fatal] (default), any

@@ -77,6 +77,6 @@ let cutlass_plan cfg =
 let all cfg =
   let ft =
     let g = Build.build (Flash_attention.program cfg) in
-    Emit.fractaltensor_plan g
+    Pipeline.plan_of_graph g
   in
   [ ft; triton_plan cfg; flash_attention2_plan cfg; cutlass_plan cfg ]

@@ -13,7 +13,7 @@
       materialises score tiles in shared memory for both GEMMs — its
       L1 traffic carries the full score matrix several times (the
       73 GB row of Table 7);
-    - FractalTensor's plan comes from {!Emit.fractaltensor_plan}. *)
+    - FractalTensor's plan comes from {!Pipeline.plan_of_graph}. *)
 
 val flash_attention2_plan : Flash_attention.config -> Plan.t
 val triton_plan : Flash_attention.config -> Plan.t

@@ -123,6 +123,6 @@ let triton_plan (cfg : Bigbird.config) =
 let all cfg =
   let ft =
     let g = Build.build (Bigbird.program cfg) in
-    Emit.fractaltensor_plan g
+    Pipeline.plan_of_graph g
   in
   [ ft; triton_plan cfg; pytorch_plan cfg; tvm_plan cfg ]

@@ -30,4 +30,4 @@ val cutlass : t
 val flash_attention2 : t
 val fractaltensor : t
 (** Used only for labelling; FractalTensor plans come from
-    {!Emit.fractaltensor_plan}. *)
+    {!Pipeline.plan_of_graph}. *)

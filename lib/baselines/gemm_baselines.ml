@@ -55,6 +55,6 @@ let cutlass_plan (cfg : B2b_gemm.config) =
 let all cfg =
   let ft =
     let g = Build.build (B2b_gemm.program cfg) in
-    Emit.fractaltensor_plan g
+    Pipeline.plan_of_graph g
   in
   [ ft; cublas_plan cfg; cutlass_plan cfg; pytorch_plan cfg ]

@@ -71,6 +71,6 @@ let triton_plan (cfg : Retention.config) =
 
 let all cfg =
   let ft =
-    Emit.fractaltensor_plan (Build.build (Retention.program cfg))
+    Pipeline.plan (Retention.program cfg)
   in
   [ ft; triton_plan cfg; pytorch_plan cfg ]

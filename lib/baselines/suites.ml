@@ -1,6 +1,4 @@
-let ft_plan program =
-  let g = Build.build program in
-  Emit.fractaltensor_plan g
+let ft_plan program = Pipeline.plan program
 
 let stacked_rnn (cfg : Stacked_rnn.config) =
   let open Stacked_rnn in

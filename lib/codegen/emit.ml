@@ -265,16 +265,16 @@ let block_kernels ?(others = []) ?(collapse_reuse = true) g (b : Ir.block) =
 
 let block_plan g b = block_kernels g b
 
-let fractaltensor_plan ?(verify = true) ?(collapse_reuse = true)
-    (g : Ir.graph) =
-  let g = Coarsen.group_regions g in
-  let g = Coarsen.merge_only g in
-  if verify then Verify.graph_exn ~stage:"emit" g;
-  let blocks = Ir.dataflow_order g in
-  {
-    Plan.plan_name = "FractalTensor";
-    kernels =
-      List.concat_map
-        (fun b -> block_kernels ~others:blocks ~collapse_reuse g b)
-        blocks;
-  }
+(* The plan for an already-coarsened graph.  Not a user entry point:
+   {!Pipeline.compile} is the one compile path and calls this after
+   running (and optionally verifying) the coarsening stages. *)
+let emit_plan ?(collapse_reuse = true) (g : Ir.graph) =
+  Trace.timed ~cat:"pass" "emit" (fun () ->
+      let blocks = Ir.dataflow_order g in
+      {
+        Plan.plan_name = "FractalTensor";
+        kernels =
+          List.concat_map
+            (fun b -> block_kernels ~others:blocks ~collapse_reuse g b)
+            blocks;
+      })

@@ -24,16 +24,17 @@ val block_point_flops : Ir.block -> float
 
 val domain_size : Domain.t -> int
 
-val fractaltensor_plan :
-  ?verify:bool -> ?collapse_reuse:bool -> Ir.graph -> Plan.t
-(** Compile-and-emit: reorders every block of the (parsed) graph and
-    emits the FractalTensor execution plan.  [collapse_reuse:false]
-    disables the null-space reuse analysis (every access materialises
-    per iteration) — the ablation knob for §5.2's deferred
-    materialization.  [verify] (default on) runs the {!Verify} checks
-    on the merged graph before emission and raises
-    {!Verify.Verification_failed} on any violation, so every test and
-    benchmark that emits a plan is statically checked. *)
+val emit_plan : ?collapse_reuse:bool -> Ir.graph -> Plan.t
+(** Emit the FractalTensor execution plan for an {e already coarsened}
+    graph: reorders every block and materialises access maps into
+    per-kernel traffic.  [collapse_reuse:false] disables the null-space
+    reuse analysis (every access materialises per iteration) — the
+    ablation knob for §5.2's deferred materialization.  Emission is
+    recorded as the ["emit"] span on installed trace sinks.
+
+    This is the back half of the compiler, not a user entry point:
+    call {!Pipeline.compile} (or {!Pipeline.plan}), which runs the
+    coarsening stages and the verifier before emitting. *)
 
 val block_plan : Ir.graph -> Ir.block -> Plan.kernel_spec list
 (** Kernels for a single block (exposed for tests and ablations). *)

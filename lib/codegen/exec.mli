@@ -9,7 +9,35 @@
     traffic only; misses and writes pass through L2 to DRAM.  Buffers
     larger than the cache never become resident. *)
 
-val run : ?device:Device.t -> Plan.t -> Engine.metrics
-(** Execute a plan (default device: {!Device.a100}). *)
+type kernel_run = {
+  kr_name : string;
+  kr_start_us : float;  (** issue time on the simulated stream, µs *)
+  kr_time_us : float;
+  kr_metrics : Engine.metrics;  (** this launch alone *)
+}
 
-val run_many : ?device:Device.t -> Plan.t list -> (string * Engine.metrics) list
+type report = {
+  r_plan : string;
+  r_device : Device.t;
+  r_metrics : Engine.metrics;  (** run aggregate *)
+  r_kernels : kernel_run list;  (** launch order; sums to [r_metrics] *)
+}
+
+val run : ?device:Device.t -> ?trace:Trace.sink -> Plan.t -> report
+(** Execute a plan (default device: {!Device.a100}).  [trace] installs
+    the sink for the duration, mirroring the simulated timeline as
+    ["gpu"]-track spans. *)
+
+val run_many :
+  ?device:Device.t -> ?trace:Trace.sink -> Plan.t list ->
+  (string * report) list
+
+val metrics : ?device:Device.t -> Plan.t -> Engine.metrics
+(** [(run p).r_metrics] — for call sites that only want aggregates. *)
+
+val time_ms : ?device:Device.t -> Plan.t -> float
+(** [(metrics p).time_ms] — the benchmark harness's shorthand. *)
+
+val profile : ?device:Device.t -> Plan.t -> Profile.t
+(** Execute and attribute: the per-kernel / per-block roofline report
+    over the same simulated timeline as {!run}. *)

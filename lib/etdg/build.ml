@@ -793,3 +793,8 @@ let build (p : Expr.program) : Ir.graph =
   in
   Verify_hook.fire ~stage:"build" g;
   g
+
+(* Observability: time the pass into any installed trace sink.  The
+   span name is the stage vocabulary shared with Verify_hook and
+   Pipeline. *)
+let build p = Trace.timed ~cat:"pass" "build" (fun () -> build p)

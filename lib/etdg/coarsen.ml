@@ -218,6 +218,8 @@ let lower (g : Ir.graph) : Ir.graph =
   Verify_hook.fire ~stage:"coarsen.lower" g;
   g
 
+let lower g = Trace.timed ~cat:"pass" "coarsen.lower" (fun () -> lower g)
+
 (* ------------------------------------------------------------------ *)
 (* Width-wise merging                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -648,6 +650,9 @@ let merge_only (g : Ir.graph) : Ir.graph =
   Verify_hook.fire ~stage:"coarsen.merge" g;
   g
 
+let merge_only g =
+  Trace.timed ~cat:"pass" "coarsen.merge" (fun () -> merge_only g)
+
 (* The 2^a region blocks of one operator nest partition a rectangular
    iteration space; the emitter schedules them as a single predicated
    persistent kernel, so for emission they regroup into one block over
@@ -712,9 +717,14 @@ let group_regions (g : Ir.graph) : Ir.graph =
   Verify_hook.fire ~stage:"coarsen.group" g;
   g
 
+let group_regions g =
+  Trace.timed ~cat:"pass" "coarsen.group" (fun () -> group_regions g)
+
 let coarsen (g : Ir.graph) : Ir.graph =
   let g = fuse_access_maps g in
   let g = lower g in
   let g = { g with Ir.g_blocks = merge_fixpoint g.Ir.g_blocks } in
   Verify_hook.fire ~stage:"coarsen" g;
   g
+
+let coarsen g = Trace.timed ~cat:"pass" "coarsen" (fun () -> coarsen g)

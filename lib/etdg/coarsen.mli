@@ -40,7 +40,12 @@ val lower_block : Ir.graph -> Ir.block -> Ir.block
 val lower : Ir.graph -> Ir.graph
 (** {!lower_block} over every top-level block, with every buffer's
     non-unit static axes promoted to programmable dimensions so the
-    extended access maps stay well-formed. *)
+    extended access maps stay well-formed.
+
+    Exported for targeted tests and graph surgery; production
+    compilation chains the coarsening stages through
+    [Pipeline.compile] (stage [Lower], span ["coarsen.lower"]) rather
+    than calling this directly. *)
 
 val merge_horizontal : Ir.block -> Ir.block -> Ir.block option
 (** Merge two independent sibling blocks (same operator vector, equal
@@ -71,13 +76,22 @@ val fuse_access_maps : Ir.graph -> Ir.graph
 val group_regions : Ir.graph -> Ir.graph
 (** Regroup the [2^a] region blocks of each operator nest into a single
     block over the hull of their domains — the emitter's view, where
-    the regions become predication inside one persistent kernel. *)
+    the regions become predication inside one persistent kernel.
+
+    Runs as [Pipeline] stage [Group] (span ["coarsen.group"]); don't
+    chain it by hand outside targeted tests. *)
 
 val merge_only : Ir.graph -> Ir.graph
 (** Width-wise merging to a fixed point without operation-node
     lowering — the form the code emitter consumes (lowered dimensions
-    are re-derived during tile materialisation). *)
+    are re-derived during tile materialisation).
+
+    Runs as [Pipeline] stage [Merge] (span ["coarsen.merge"]); don't
+    chain it by hand outside targeted tests. *)
 
 val coarsen : Ir.graph -> Ir.graph
 (** The full pass: {!lower}, then repeated horizontal and vertical
-    merging to a fixed point. *)
+    merging to a fixed point.  (The production pipeline reaches the
+    emitter through [Pipeline.compile]'s [Group]/[Merge] stages
+    instead; [coarsen] is the self-contained whole-pass entry used by
+    pass-level tests, traced as span ["coarsen"].) *)

@@ -114,6 +114,8 @@ let reorder (g : Ir.graph) =
   Verify_hook.fire ~stage:"reorder" g';
   (results, g')
 
+let reorder g = Trace.timed ~cat:"pass" "reorder" (fun () -> reorder g)
+
 let sequential_steps r =
   if not r.wavefront then 1 else sequential_extent r.block.Ir.blk_domain
 

@@ -7,28 +7,88 @@ type metrics = {
   total_flops : float;
 }
 
-let run dev kernels =
+type sample = {
+  s_kernel : Kernel.t;
+  s_start_us : float;
+  s_time_us : float;
+}
+
+let timeline dev kernels =
+  let cursor = ref 0.0 in
+  let samples =
+    List.map
+      (fun k ->
+        let t = Kernel.total_time_us dev k in
+        let s = { s_kernel = k; s_start_us = !cursor; s_time_us = t } in
+        cursor := !cursor +. t;
+        s)
+      kernels
+  in
+  (* Mirror the run onto any installed trace sinks: one gpu-track span
+     per kernel, placed after whatever the sink has already recorded so
+     that successive runs concatenate instead of overlapping. *)
+  if Trace.active () then
+    List.iter
+      (fun sink ->
+        let base = Trace.gpu_cursor sink in
+        List.iter
+          (fun s ->
+            let k = s.s_kernel in
+            Trace.add_span ~track:"gpu" ~cat:"kernel"
+              ~args:
+                [
+                  ("flops", Trace.Float k.Kernel.flops);
+                  ( "dram_bytes",
+                    Trace.Float (k.Kernel.dram_read +. k.Kernel.dram_write) );
+                  ("l2_bytes", Trace.Float k.Kernel.l2_bytes);
+                  ("l1_bytes", Trace.Float k.Kernel.l1_bytes);
+                  ("tasks", Trace.Int k.Kernel.parallel_tasks);
+                  ("bound", Trace.String (Kernel.bound_name dev k));
+                ]
+              sink k.Kernel.k_name
+              ~ts_us:(base +. s.s_start_us)
+              ~dur_us:s.s_time_us)
+          samples;
+        Trace.advance_gpu sink !cursor)
+      (Trace.installed ());
+  samples
+
+let metrics_of samples =
   let time_us = ref 0.0
   and dram = ref 0.0
   and l2 = ref 0.0
   and l1 = ref 0.0
   and flops = ref 0.0 in
   List.iter
-    (fun k ->
-      time_us := !time_us +. Kernel.total_time_us dev k;
+    (fun s ->
+      let k = s.s_kernel in
+      time_us := !time_us +. s.s_time_us;
       dram := !dram +. k.Kernel.dram_read +. k.Kernel.dram_write;
       l2 := !l2 +. k.Kernel.l2_bytes;
       l1 := !l1 +. k.Kernel.l1_bytes;
       flops := !flops +. k.Kernel.flops)
-    kernels;
+    samples;
   {
     time_ms = !time_us /. 1e3;
     dram_gb = !dram /. 1e9;
     l2_gb = !l2 /. 1e9;
     l1_gb = !l1 /. 1e9;
-    kernels = List.length kernels;
+    kernels = List.length samples;
     total_flops = !flops;
   }
+
+let sample_metrics s =
+  let k = s.s_kernel in
+  {
+    time_ms = s.s_time_us /. 1e3;
+    dram_gb = (k.Kernel.dram_read +. k.Kernel.dram_write) /. 1e9;
+    l2_gb = k.Kernel.l2_bytes /. 1e9;
+    l1_gb = k.Kernel.l1_bytes /. 1e9;
+    kernels = 1;
+    total_flops = k.Kernel.flops;
+  }
+
+let run dev kernels = metrics_of (timeline dev kernels)
 
 let pp_metrics fmt m =
   Format.fprintf fmt

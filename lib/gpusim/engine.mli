@@ -15,7 +15,26 @@ type metrics = {
   total_flops : float;
 }
 
+type sample = {
+  s_kernel : Kernel.t;
+  s_start_us : float;  (** issue time on the simulated stream *)
+  s_time_us : float;   (** [Kernel.total_time_us] for this launch *)
+}
+
+val timeline : Device.t -> Kernel.t list -> sample list
+(** Simulate the plan launch by launch, in order.  When trace sinks are
+    installed ({!Trace.install}) each kernel is mirrored as a span on
+    the ["gpu"] track, offset past the sink's previous runs. *)
+
+val metrics_of : sample list -> metrics
+(** Aggregate a timeline back into run totals. *)
+
+val sample_metrics : sample -> metrics
+(** Single-launch totals; summing these with {!add} over a timeline
+    equals {!metrics_of} of the same timeline. *)
+
 val run : Device.t -> Kernel.t list -> metrics
+(** [metrics_of (timeline dev kernels)]. *)
 
 val pp_metrics : Format.formatter -> metrics -> unit
 

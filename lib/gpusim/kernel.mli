@@ -38,6 +38,19 @@ val make :
   unit ->
   t
 
+type breakdown = {
+  bd_compute_us : float;  (** compute time at achievable occupancy *)
+  bd_dram_us : float;
+  bd_l2_us : float;
+  bd_l1_us : float;
+  bd_overhead_us : float;
+      (** launch/host cost actually paid (0 when launch-free) *)
+}
+
+val breakdown : Device.t -> t -> breakdown
+(** The individual roofline terms whose maximum is {!exec_time_us} —
+    the raw material of per-kernel profiles. *)
+
 val exec_time_us : Device.t -> t -> float
 (** Roofline execution time: the maximum of the compute time at the
     kernel's achievable occupancy and each memory level's transfer
@@ -47,3 +60,7 @@ val total_time_us : Device.t -> t -> float
 (** [exec_time_us] plus the larger of device launch latency and the
     issuing framework's host overhead (kernel launches pipeline behind
     host dispatch, so the two overlap). *)
+
+val bound_name : Device.t -> t -> string
+(** The dominant term: ["compute"], ["dram"], ["l2"], ["l1"], or
+    ["launch"] when overhead exceeds execution. *)

@@ -1,0 +1,35 @@
+(** Minimal JSON tree: writer with deterministic field ordering and a
+    validating reader.
+
+    The observability layer emits machine-readable reports (trace
+    files, profiles, bench records) without external dependencies.
+    Emission goes through a value tree so field ordering is exactly
+    construction order — golden tests compare rendered strings — and
+    the validator lets tests and tooling check that any produced
+    document is well-formed JSON without a third-party parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values render as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace).  Numbers render
+    deterministically: integral floats without a fraction, others with
+    ["%.9g"]. *)
+
+val float_string : float -> string
+(** The canonical number rendering used by {!to_string} — exposed so
+    hand-assembled writers stay consistent. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val validate : string -> (unit, string) result
+(** Check that a string is one well-formed JSON document (trailing
+    whitespace allowed).  [Error msg] describes the first offence with
+    its byte offset. *)

@@ -1,0 +1,191 @@
+type sample = {
+  s_name : string;
+  s_time_us : float;
+  s_flops : float;
+  s_dram_bytes : float;
+  s_l2_bytes : float;
+  s_l1_bytes : float;
+  s_tasks : int;
+  s_peak_gflops : float;
+  s_bound : string;
+}
+
+type row = {
+  r_name : string;
+  r_launches : int;
+  r_time_ms : float;
+  r_flops : float;
+  r_dram_gb : float;
+  r_l2_gb : float;
+  r_l1_gb : float;
+  r_compute_pct : float;
+  r_dram_pct : float;
+  r_bound : string;
+}
+
+type t = {
+  p_plan : string;
+  p_device : string;
+  p_peak_gflops : float;
+  p_peak_dram_gbs : float;
+  p_time_ms : float;
+  p_dram_gb : float;
+  p_l2_gb : float;
+  p_l1_gb : float;
+  p_flops : float;
+  p_kernels : int;
+  p_by_kernel : row list;
+  p_by_block : row list;
+}
+
+let block_of_kernel name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i ->
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      let l = String.length suffix in
+      if
+        l > 4
+        && String.sub suffix 0 4 = "wave"
+        &&
+        let ok = ref true in
+        String.iter
+          (function '0' .. '9' -> () | _ -> ok := false)
+          (String.sub suffix 4 (l - 4));
+        !ok
+      then String.sub name 0 i
+      else name
+
+let pct num den = if den <= 0.0 then 0.0 else 100.0 *. num /. den
+
+(* Fold samples sharing a key into one row, preserving first-appearance
+   order.  Utilization comes from the summed quantities; the row's
+   applicable compute peak is the largest member peak (a block mixing
+   tensor-core and FP32 steps is judged against the stronger one). *)
+let group ~key ~peak_dram_gbs samples =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let k = key s in
+      match Hashtbl.find_opt tbl k with
+      | None ->
+          order := k :: !order;
+          Hashtbl.add tbl k [ s ]
+      | Some ss -> Hashtbl.replace tbl k (s :: ss))
+    samples;
+  List.rev_map
+    (fun k ->
+      let ss = List.rev (Hashtbl.find tbl k) in
+      let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 ss in
+      let time_us = sum (fun s -> s.s_time_us) in
+      let flops = sum (fun s -> s.s_flops) in
+      let dram = sum (fun s -> s.s_dram_bytes) in
+      let peak =
+        List.fold_left (fun acc s -> Float.max acc s.s_peak_gflops) 0.0 ss
+      in
+      let worst =
+        List.fold_left
+          (fun (wt, wb) s ->
+            if s.s_time_us > wt then (s.s_time_us, s.s_bound) else (wt, wb))
+          (-1.0, "compute") ss
+      in
+      let time_s = time_us /. 1e6 in
+      {
+        r_name = k;
+        r_launches = List.length ss;
+        r_time_ms = time_us /. 1e3;
+        r_flops = flops;
+        r_dram_gb = dram /. 1e9;
+        r_l2_gb = sum (fun s -> s.s_l2_bytes) /. 1e9;
+        r_l1_gb = sum (fun s -> s.s_l1_bytes) /. 1e9;
+        r_compute_pct =
+          (if time_s <= 0.0 then 0.0 else pct (flops /. time_s /. 1e9) peak);
+        r_dram_pct =
+          (if time_s <= 0.0 then 0.0
+           else pct (dram /. time_s /. 1e9) peak_dram_gbs);
+        r_bound = snd worst;
+      })
+    !order
+
+let make ~plan ~device ~peak_gflops ~peak_dram_gbs samples =
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 samples in
+  {
+    p_plan = plan;
+    p_device = device;
+    p_peak_gflops = peak_gflops;
+    p_peak_dram_gbs = peak_dram_gbs;
+    p_time_ms = sum (fun s -> s.s_time_us) /. 1e3;
+    p_dram_gb = sum (fun s -> s.s_dram_bytes) /. 1e9;
+    p_l2_gb = sum (fun s -> s.s_l2_bytes) /. 1e9;
+    p_l1_gb = sum (fun s -> s.s_l1_bytes) /. 1e9;
+    p_flops = sum (fun s -> s.s_flops);
+    p_kernels = List.length samples;
+    p_by_kernel = group ~key:(fun s -> s.s_name) ~peak_dram_gbs samples;
+    p_by_block =
+      group ~key:(fun s -> block_of_kernel s.s_name) ~peak_dram_gbs samples;
+  }
+
+(* --------------------------- renderers ----------------------------- *)
+
+let row_to_text r =
+  Printf.sprintf "  %-32s %5d %10.3f %12.3g %8.2f %8.2f %8.2f %6.1f%% %6.1f%%  %s"
+    r.r_name r.r_launches r.r_time_ms r.r_flops r.r_dram_gb r.r_l2_gb r.r_l1_gb
+    r.r_compute_pct r.r_dram_pct r.r_bound
+
+let header =
+  Printf.sprintf "  %-32s %5s %10s %12s %8s %8s %8s %7s %7s  %s" "name"
+    "launch" "time(ms)" "flops" "DRAM(GB)" "L2(GB)" "L1(GB)" "comp%" "bw%"
+    "bound"
+
+let to_text p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "plan %s on %s: %.3f ms, %d kernels, %.2f GFLOP\n" p.p_plan
+       p.p_device p.p_time_ms p.p_kernels (p.p_flops /. 1e9));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "peaks: %.0f GFLOP/s FP32, %.0f GB/s DRAM; traffic: DRAM %.2f GB, L2 \
+        %.2f GB, L1 %.2f GB\n"
+       p.p_peak_gflops p.p_peak_dram_gbs p.p_dram_gb p.p_l2_gb p.p_l1_gb);
+  Buffer.add_string buf "per ETDG block:\n";
+  Buffer.add_string buf (header ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (row_to_text r ^ "\n")) p.p_by_block;
+  if List.length p.p_by_kernel <> List.length p.p_by_block then begin
+    Buffer.add_string buf "per kernel:\n";
+    Buffer.add_string buf (header ^ "\n");
+    List.iter
+      (fun r -> Buffer.add_string buf (row_to_text r ^ "\n"))
+      p.p_by_kernel
+  end;
+  Buffer.contents buf
+
+let row_to_json r =
+  Jsonw.Obj
+    [ ("name", Jsonw.String r.r_name);
+      ("launches", Jsonw.Int r.r_launches);
+      ("time_ms", Jsonw.Float r.r_time_ms);
+      ("flops", Jsonw.Float r.r_flops);
+      ("dram_gb", Jsonw.Float r.r_dram_gb);
+      ("l2_gb", Jsonw.Float r.r_l2_gb);
+      ("l1_gb", Jsonw.Float r.r_l1_gb);
+      ("compute_pct", Jsonw.Float r.r_compute_pct);
+      ("dram_pct", Jsonw.Float r.r_dram_pct);
+      ("bound", Jsonw.String r.r_bound) ]
+
+let to_jsonv p =
+  Jsonw.Obj
+    [ ("plan", Jsonw.String p.p_plan);
+      ("device", Jsonw.String p.p_device);
+      ("peak_gflops", Jsonw.Float p.p_peak_gflops);
+      ("peak_dram_gbs", Jsonw.Float p.p_peak_dram_gbs);
+      ("time_ms", Jsonw.Float p.p_time_ms);
+      ("dram_gb", Jsonw.Float p.p_dram_gb);
+      ("l2_gb", Jsonw.Float p.p_l2_gb);
+      ("l1_gb", Jsonw.Float p.p_l1_gb);
+      ("total_flops", Jsonw.Float p.p_flops);
+      ("kernels", Jsonw.Int p.p_kernels);
+      ("by_block", Jsonw.List (List.map row_to_json p.p_by_block));
+      ("by_kernel", Jsonw.List (List.map row_to_json p.p_by_kernel)) ]
+
+let to_json p = Jsonw.to_string (to_jsonv p)

@@ -16,4 +16,19 @@ for f in examples/programs/*.ft; do
   dune exec --no-build bin/ftc.exe -- lint "$f"
 done
 
+# Profile every example program and validate the emitted JSON (both the
+# profile document and the Chrome trace) with an independent parser.
+for f in examples/programs/*.ft; do
+  echo "profile $f"
+  dune exec --no-build bin/ftc.exe -- profile "$f" --format text > /dev/null
+  if command -v python3 > /dev/null 2>&1; then
+    dune exec --no-build bin/ftc.exe -- profile "$f" --format json \
+      | python3 -m json.tool > /dev/null
+    dune exec --no-build bin/ftc.exe -- profile "$f" --format chrome \
+      | python3 -m json.tool > /dev/null
+  else
+    echo "  (python3 not found; skipping JSON validation)"
+  fi
+done
+
 echo "check.sh: all green"

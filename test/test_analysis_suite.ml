@@ -27,7 +27,10 @@ let has_code code ds =
 
 (* The production pipeline up to (and excluding) reordering — the graph
    the fault-injection tests perturb. *)
-let merged_graph p = Coarsen.merge_only (Coarsen.group_regions (Build.build p))
+let merged_graph p =
+  (Pipeline.compile ~verify:false
+     ~stages:[ Pipeline.Group; Pipeline.Merge ] p)
+    .Pipeline.p_emit_graph
 
 let wavefront_block () =
   let g = merged_graph (Stacked_rnn.program Stacked_rnn.default) in
@@ -43,7 +46,7 @@ let verify_tests =
             (fun (stage, ds) ->
               if ds <> [] then
                 Alcotest.failf "%s %s:@.%s" name stage (render ds))
-            (Verify.pipeline (program ()))))
+            (Pipeline.verify_stages (program ()))))
     workload_programs
   @ [
       Alcotest.test_case "illegal distance vector is rejected (V021)" `Quick
