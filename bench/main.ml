@@ -5,7 +5,12 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe fig2       -- one experiment
-     (fig2 | fig7 | fig8 | table7 | ablation | micro)            *)
+     (fig2 | fig7 | fig8 | table7 | ablation | devices | vm | micro)
+
+   Flags: --json OUT      dump every measurement as a JSON array
+          --repeat N      timed runs per vm measurement (median-of-N)
+          --warmup N      untimed runs before timing (default 1)
+          --domains 1,2,4 pool sizes the vm experiment sweeps          *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -15,34 +20,44 @@ let section title =
    (experiment, workload, plan, device) with the full metrics. *)
 let json_path : string option ref = ref None
 let records : Jsonw.t list ref = ref []
+
+(* Table cells are measured across the domain pool, so appends race;
+   the globals below the mutex are only written between experiments. *)
+let records_m = Mutex.create ()
+
+let push_record r =
+  if !json_path <> None then
+    Mutex.protect records_m (fun () -> records := r :: !records)
+
 let cur_experiment = ref ""
 let cur_title = ref ""
 let set_title t = cur_title := t
 
-let record device (p : Plan.t) (m : Engine.metrics) =
-  if !json_path <> None then
-    records :=
-      Jsonw.Obj
-        [
-          ("experiment", Jsonw.String !cur_experiment);
-          ("workload", Jsonw.String !cur_title);
-          ("plan", Jsonw.String p.Plan.plan_name);
-          ("device", Jsonw.String device.Device.name);
-          ("time_ms", Jsonw.Float m.Engine.time_ms);
-          ("dram_gb", Jsonw.Float m.Engine.dram_gb);
-          ("l2_gb", Jsonw.Float m.Engine.l2_gb);
-          ("l1_gb", Jsonw.Float m.Engine.l1_gb);
-          ("kernels", Jsonw.Int m.Engine.kernels);
-          ("total_flops", Jsonw.Float m.Engine.total_flops);
-        ]
-      :: !records
+(* [title] must be passed explicitly from parallel cells — the
+   [cur_title] global is only meaningful on the sequential path. *)
+let record ?title device (p : Plan.t) (m : Engine.metrics) =
+  let title = match title with Some t -> t | None -> !cur_title in
+  push_record
+    (Jsonw.Obj
+       [
+         ("experiment", Jsonw.String !cur_experiment);
+         ("workload", Jsonw.String title);
+         ("plan", Jsonw.String p.Plan.plan_name);
+         ("device", Jsonw.String device.Device.name);
+         ("time_ms", Jsonw.Float m.Engine.time_ms);
+         ("dram_gb", Jsonw.Float m.Engine.dram_gb);
+         ("l2_gb", Jsonw.Float m.Engine.l2_gb);
+         ("l1_gb", Jsonw.Float m.Engine.l1_gb);
+         ("kernels", Jsonw.Int m.Engine.kernels);
+         ("total_flops", Jsonw.Float m.Engine.total_flops);
+       ])
 
-let measure ?(device = Device.a100) plan =
+let measure ?(device = Device.a100) ?title plan =
   let m = Exec.metrics ~device plan in
-  record device plan m;
+  record ?title device plan m;
   m
 
-let time_of plan = (measure plan).Engine.time_ms
+let time_of ?title plan = (measure ?title plan).Engine.time_ms
 
 let print_row label values =
   Format.printf "%-28s" label;
@@ -65,6 +80,9 @@ let fig2 () =
     [ "FractalTensor"; "cuDNN"; "Triton"; "PyTorch JIT"; "PyTorch"; "TVM";
       "TensorFlow" ]
   in
+  (* suites (graph construction) build sequentially — Build.build is
+     not re-entrant — then the independent table cells are simulated
+     across the domain pool *)
   let columns =
     List.map
       (fun d ->
@@ -74,16 +92,26 @@ let fig2 () =
         (d, Suites.stacked_rnn cfg))
       depths
   in
-  List.iter
-    (fun name ->
-      let row =
-        List.map
-          (fun (d, plans) ->
-            set_title (Printf.sprintf "stacked RNN depth %d" d);
-            ms (time_of (Suites.find plans name)))
-          columns
-      in
-      print_row name row)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun name ->
+           List.map
+             (fun (d, plans) ->
+               (Printf.sprintf "stacked RNN depth %d" d, Suites.find plans name))
+             columns)
+         names)
+  in
+  let times =
+    Domain_pool.map_array (Domain_pool.get ())
+      (fun (title, plan) -> time_of ~title plan)
+      cells
+  in
+  let ncols = List.length columns in
+  List.iteri
+    (fun i name ->
+      print_row name
+        (List.init ncols (fun j -> ms times.((i * ncols) + j))))
     names
 
 (* ------------------------------------------------------------------ *)
@@ -151,14 +179,25 @@ let fig8_sweep name axis mk_suite points =
   let names =
     List.map (fun (p : Plan.t) -> p.Plan.plan_name) (snd (List.hd columns))
   in
-  List.iter
-    (fun n ->
-      print_row n
-        (List.map
-           (fun (pt, plans) ->
-             set_title (Printf.sprintf "%s, %s %d" name axis pt);
-             ms (time_of (Suites.find plans n)))
-           columns))
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun n ->
+           List.map
+             (fun (pt, plans) ->
+               (Printf.sprintf "%s, %s %d" name axis pt, Suites.find plans n))
+             columns)
+         names)
+  in
+  let times =
+    Domain_pool.map_array (Domain_pool.get ())
+      (fun (title, plan) -> time_of ~title plan)
+      cells
+  in
+  let ncols = List.length columns in
+  List.iteri
+    (fun i n ->
+      print_row n (List.init ncols (fun j -> ms times.((i * ncols) + j))))
     names
 
 let fig8_model name mk_suite depths = fig8_sweep name "depth" mk_suite depths
@@ -280,12 +319,127 @@ let devices () =
       targets;
     Format.printf "@."
   in
-  row "stacked LSTM" (Pipeline.plan (Stacked_lstm.program Stacked_lstm.paper));
+  (* plan_cached: recompiles nothing when another experiment already
+     compiled the same program this run *)
+  row "stacked LSTM"
+    (Pipeline.plan_cached (Stacked_lstm.program Stacked_lstm.paper));
   row "flash attention"
-    (Pipeline.plan (Flash_attention.program Flash_attention.paper));
-  row "bigbird" (Pipeline.plan (Bigbird.program Bigbird.paper));
-  row "retention" (Pipeline.plan (Retention.program Retention.large));
-  row "conv1d" (Pipeline.plan (Conv1d.program Conv1d.large))
+    (Pipeline.plan_cached (Flash_attention.program Flash_attention.paper));
+  row "bigbird" (Pipeline.plan_cached (Bigbird.program Bigbird.paper));
+  row "retention" (Pipeline.plan_cached (Retention.program Retention.large));
+  row "conv1d" (Pipeline.plan_cached (Conv1d.program Conv1d.large))
+
+(* ------------------------------------------------------------------ *)
+(* VM: real wall clock of the parallel wavefront executor              *)
+(* ------------------------------------------------------------------ *)
+
+let repeat = ref 5
+let warmup = ref 1
+let domain_counts = ref [ 1; 2; 4 ]
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let record_vm ~workload ~order ~domains ~time_ms ~speedup ~bitwise =
+  push_record
+    (Jsonw.Obj
+       [
+         ("experiment", Jsonw.String "vm");
+         ("workload", Jsonw.String workload);
+         ("order", Jsonw.String order);
+         ("domains", Jsonw.Int domains);
+         ("time_ms", Jsonw.Float time_ms);
+         ("repeats", Jsonw.Int !repeat);
+         ("warmup", Jsonw.Int !warmup);
+         ("speedup_vs_sequential", Jsonw.Float speedup);
+         ("bitwise_equal", Jsonw.Bool bitwise);
+         ("hw_cores", Jsonw.Int (Stdlib.Domain.recommended_domain_count ()));
+       ])
+
+let vm () =
+  cur_experiment := "vm";
+  section "VM: wavefront wall clock vs domain count (real multicore execution)";
+  Format.printf "hardware cores available: %d@."
+    (Stdlib.Domain.recommended_domain_count ());
+  let workloads =
+    [
+      ( "stacked LSTM (batch 4, depth 4, len 24, hidden 96)",
+        fun () ->
+          let cfg =
+            { Stacked_lstm.batch = 4; depth = 4; seq_len = 24; hidden = 96 }
+          in
+          let inp = Stacked_lstm.gen_inputs (Rng.create 11) cfg in
+          ( Build.build (Stacked_lstm.program cfg),
+            Stacked_lstm.bindings inp ) );
+      ( "flash attention (default)",
+        fun () ->
+          let cfg = Flash_attention.default in
+          let inp = Flash_attention.gen_inputs (Rng.create 11) cfg in
+          ( Build.build (Flash_attention.program cfg),
+            Flash_attention.bindings inp ) );
+    ]
+  in
+  List.iter
+    (fun (wname, mk) ->
+      let g, binds = mk () in
+      Format.printf "@.%s@." wname;
+      List.iter
+        (fun (st : Vm.block_stats) ->
+          Format.printf
+            "  block %-28s points %4d  fronts %3d  max width %3d  parallelism %.1fx@."
+            st.Vm.bs_block st.Vm.bs_points st.Vm.bs_fronts st.Vm.bs_max_width
+            (Vm.parallelism st))
+        (Vm.wavefront_stats g);
+      (* one measurement: warmups, then median of [repeat] timed runs;
+         the last run's outputs feed the bitwise check *)
+      let bench order pool =
+        for _ = 1 to !warmup do
+          ignore (Vm.run ~order ?pool g binds)
+        done;
+        let outs = ref [] in
+        let ts =
+          List.init !repeat (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              outs := Vm.run ~order ?pool g binds;
+              (Unix.gettimeofday () -. t0) *. 1e3)
+        in
+        (median ts, !outs)
+      in
+      let seq_ms, seq_outs = bench Vm.Sequential None in
+      Format.printf "  %-34s %10.3f ms@." "sequential (baseline)" seq_ms;
+      record_vm ~workload:wname ~order:"sequential" ~domains:1 ~time_ms:seq_ms
+        ~speedup:1.0 ~bitwise:true;
+      List.iter
+        (fun d ->
+          let pool = Domain_pool.create ~domains:d in
+          let med, outs =
+            Fun.protect
+              ~finally:(fun () -> Domain_pool.shutdown pool)
+              (fun () -> bench Vm.Wavefront (Some pool))
+          in
+          let bitwise =
+            List.for_all2
+              (fun (n1, v1) (n2, v2) ->
+                n1 = n2 && Fractal.equal_exact v1 v2)
+              seq_outs outs
+          in
+          let speedup = seq_ms /. med in
+          Format.printf
+            "  wavefront, %d domain%s %*s %10.3f ms  (%.2fx vs sequential%s)@."
+            d
+            (if d = 1 then " " else "s")
+            (20 - String.length (string_of_int d))
+            "" med speedup
+            (if bitwise then ", bitwise equal" else ", OUTPUTS DIFFER");
+          if not bitwise then
+            Format.printf "  WARNING: parallel output differs from sequential@.";
+          record_vm ~workload:wname ~order:"wavefront" ~domains:d ~time_ms:med
+            ~speedup ~bitwise)
+        !domain_counts)
+    workloads
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (real wall clock of this implementation)  *)
@@ -346,15 +500,50 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* argv: [--json OUT] [EXPERIMENT] in either order *)
+  (* argv: flags and [EXPERIMENT] in any order *)
   let which = ref "all" in
+  let int_flag name v k rest parse =
+    match int_of_string_opt v with
+    | Some n when n > 0 ->
+        k n;
+        parse rest
+    | _ ->
+        prerr_endline (name ^ " requires a positive integer");
+        exit 1
+  in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
-    | "--json" :: [] ->
-        prerr_endline "--json requires an output path";
+    | "--repeat" :: v :: rest ->
+        int_flag "--repeat" v (fun n -> repeat := n) rest parse
+    | "--warmup" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 ->
+            warmup := n;
+            parse rest
+        | _ ->
+            prerr_endline "--warmup requires a non-negative integer";
+            exit 1)
+    | "--domains" :: v :: rest -> (
+        let parts = String.split_on_char ',' v in
+        match
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some n when n > 0 -> n
+              | _ -> raise Exit)
+            parts
+        with
+        | ds when ds <> [] ->
+            domain_counts := ds;
+            parse rest
+        | _ | (exception Exit) ->
+            prerr_endline "--domains requires a comma-separated list of positive integers";
+            exit 1)
+    | ("--json" | "--repeat" | "--warmup" | "--domains") :: [] ->
+        prerr_endline "flag requires an argument";
         exit 1
     | arg :: rest ->
         which := arg;
@@ -371,6 +560,7 @@ let () =
   | "table7" -> table7 ()
   | "ablation" -> ablation ()
   | "devices" -> devices ()
+  | "vm" -> vm ()
   | "micro" -> micro ()
   | "all" ->
       fig2 ();
@@ -379,9 +569,10 @@ let () =
       table7 ();
       ablation ();
       devices ();
+      vm ();
       micro ()
   | other ->
-      Format.printf "unknown experiment %s (fig2|fig7|fig8|table7|ablation|devices|micro|all)@." other;
+      Format.printf "unknown experiment %s (fig2|fig7|fig8|table7|ablation|devices|vm|micro|all)@." other;
       exit 1);
   (match !json_path with
   | None -> ()

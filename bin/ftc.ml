@@ -393,8 +393,19 @@ let simulate_cmd =
        ~doc:"Execute every system's schedule on a simulated device")
     Term.(const run $ workload_arg $ device_arg)
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool the wavefront executor runs on \
+           (default: \\$(b,FT_NUM_DOMAINS) when set, else the machine's \
+           recommended domain count)")
+
 let run_cmd =
-  let run path =
+  let run path domains =
+    Domain_pool.set_num_domains domains;
     match Parse.program_file path with
     | exception Parse.Syntax_error { line; col; message } ->
         Format.eprintf "%s:%d:%d: %s@." path line col message;
@@ -422,18 +433,45 @@ let run_cmd =
             | Error es ->
                 List.iter (Format.eprintf "invariant violated: %s@.") es);
             let plan = Pipeline.plan_of_graph g in
-            Format.printf "compiled: %a@." Engine.pp_metrics (Exec.metrics plan))
+            Format.printf "compiled: %a@." Engine.pp_metrics (Exec.metrics plan);
+            (* execute the compiled schedule for real, both orders, and
+               demand bitwise-identical outputs — the differential check
+               behind the wavefront executor's determinism guarantee *)
+            let seq = Vm.run ~order:Vm.Sequential g env in
+            let par = Vm.run ~order:Vm.Wavefront g env in
+            let bitwise =
+              List.length seq = List.length par
+              && List.for_all2
+                   (fun (n1, v1) (n2, v2) ->
+                     n1 = n2 && Fractal.equal_exact v1 v2)
+                   seq par
+            in
+            Format.printf "vm: wavefront over %d domain(s) %s sequential@."
+              (Domain_pool.num_domains ())
+              (if bitwise then "bitwise-matches" else "DIFFERS from");
+            List.iter
+              (fun (st : Vm.block_stats) ->
+                Format.printf
+                  "  %-40s %4d points in %3d fronts, max width %3d (%.1fx)@."
+                  st.Vm.bs_block st.Vm.bs_points st.Vm.bs_fronts
+                  st.Vm.bs_max_width (Vm.parallelism st))
+              (Vm.wavefront_stats g);
+            if not bitwise then exit 1)
   in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ft")
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Parse, type-check, interpret and compile a .ft program file")
-    Term.(const run $ file)
+       ~doc:
+         "Parse, type-check, interpret and compile a .ft program file, then \
+          execute its schedule sequentially and in parallel wavefront order \
+          and check the outputs are bitwise identical")
+    Term.(const run $ file $ domains_arg)
 
 let profile_cmd =
-  let run path format device =
+  let run path format device domains =
+    Domain_pool.set_num_domains domains;
     match Parse.program_file path with
     | exception Parse.Syntax_error { line; col; message } ->
         Format.eprintf "%s:%d:%d: %s@." path line col message;
@@ -445,11 +483,41 @@ let profile_cmd =
             exit 1
         | _ty ->
             let sink = Trace.make () in
-            let t = Pipeline.compile ~trace:sink p in
-            ignore (Exec.run ~device ~trace:sink t.Pipeline.p_plan);
-            let prof = Exec.profile ~device t.Pipeline.p_plan in
+            (* plan cache: a hit (in-memory or FT_PLAN_CACHE on disk)
+               skips the whole compile — the trace then has no compiler
+               spans, only simulation and vm ones *)
+            let src =
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            let key = Pipeline.source_key src in
+            let cached = Pipeline.Cache.mem key || Pipeline.Cache.on_disk key in
+            let plan =
+              if cached then Pipeline.plan_file path
+              else begin
+                let t = Pipeline.compile ~trace:sink p in
+                Pipeline.Cache.store key t.Pipeline.p_plan;
+                t.Pipeline.p_plan
+              end
+            in
+            ignore (Exec.run ~device ~trace:sink plan);
+            (* wavefront execution under the same sink: the "vm" track
+               records per-block and per-front spans with widths and
+               achieved parallelism *)
+            let r = Rng.create 7 in
+            let env =
+              List.map (fun (x, t) -> (x, random_value r t)) p.Expr.inputs
+            in
+            let g = Build.build p in
+            Trace.with_sink sink (fun () ->
+                ignore (Vm.run ~order:Vm.Wavefront g env));
+            let prof = Exec.profile ~device plan in
             (match format with
             | `Text ->
+                Format.printf "plan cache: %s@."
+                  (if cached then "hit" else "miss");
                 print_string (Profile.to_text prof);
                 print_newline ();
                 print_string (Trace.to_text sink)
@@ -457,7 +525,9 @@ let profile_cmd =
                 print_endline
                   (Jsonw.to_string
                      (Jsonw.Obj
-                        [ ("profile", Profile.to_jsonv prof);
+                        [ ("plan_cache",
+                           Jsonw.String (if cached then "hit" else "miss"));
+                          ("profile", Profile.to_jsonv prof);
                           ("trace", Trace.to_jsonv sink) ]))
             | `Chrome -> print_endline (Trace.to_chrome sink)))
   in
@@ -481,8 +551,11 @@ let profile_cmd =
          "Compile a .ft program with tracing enabled, execute its plan on \
           the simulated device, and report per-pass wall-clock, the \
           simulated kernel timeline, and a per-kernel/per-block roofline \
-          profile")
-    Term.(const run $ file $ fmt $ device_arg)
+          profile.  Compiled plans are cached (keyed on source contents; \
+          set \\$(b,FT_PLAN_CACHE) to a directory to persist across \
+          processes); the wavefront executor also runs under the trace, \
+          contributing a \"vm\" track of per-front spans")
+    Term.(const run $ file $ fmt $ device_arg $ domains_arg)
 
 let lint_cmd =
   let run path format =

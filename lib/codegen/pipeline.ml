@@ -169,6 +169,139 @@ let plan_of_graph ?(verify = true) ?(collapse_reuse = true) g =
 let plan ?(verify = true) ?(collapse_reuse = true) (p : Expr.program) =
   plan_of_graph ~verify ~collapse_reuse (Build.build p)
 
+(* ---------------------------- plan cache --------------------------- *)
+
+module Cache = struct
+  type stats = { hits : int; misses : int; disk_hits : int }
+
+  (* Bump when Plan.t (or anything reachable from it) changes layout:
+     stale disk entries then fail the version check and recompile. *)
+  let version = 1
+
+  let table : (string, Plan.t) Hashtbl.t = Hashtbl.create 16
+  let m = Mutex.create ()
+  let hits = ref 0
+  let misses = ref 0
+  let disk_hits = ref 0
+
+  let stats () =
+    Mutex.protect m (fun () ->
+        { hits = !hits; misses = !misses; disk_hits = !disk_hits })
+
+  let clear () =
+    Mutex.protect m (fun () ->
+        Hashtbl.reset table;
+        hits := 0;
+        misses := 0;
+        disk_hits := 0)
+
+  let dir () =
+    match Sys.getenv_opt "FT_PLAN_CACHE" with
+    | None | Some "" -> None
+    | d -> d
+  let disk_path d key = Filename.concat d ("ftplan-" ^ key ^ ".bin")
+
+  (* A disk entry is Marshal of (version, plan).  Any failure — missing
+     file, truncation, version skew, unmarshalable bytes — reads as a
+     miss; the cache never turns corruption into an error. *)
+  let disk_read key =
+    match dir () with
+    | None -> None
+    | Some d -> (
+        match open_in_bin (disk_path d key) with
+        | exception Sys_error _ -> None
+        | ic -> (
+            let r =
+              match Marshal.from_channel ic with
+              | exception _ -> None
+              | v, (plan : Plan.t) -> if v = version then Some plan else None
+            in
+            close_in_noerr ic;
+            r))
+
+  let disk_write key (plan : Plan.t) =
+    match dir () with
+    | None -> ()
+    | Some d -> (
+        try
+          if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+          let path = disk_path d key in
+          let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+          let oc = open_out_bin tmp in
+          Marshal.to_channel oc (version, plan) [];
+          close_out oc;
+          Sys.rename tmp path
+        with Sys_error _ | Unix.Unix_error _ -> ())
+
+  (* Shared hit/miss path.  [compute] runs outside the lock (compiles
+     can be slow and may themselves take other locks); a racing miss on
+     the same key just compiles twice and last-write-wins — both
+     results are equal by construction. *)
+  let find_or_compile key compute =
+    let cached =
+      Mutex.protect m (fun () -> Hashtbl.find_opt table key)
+    in
+    match cached with
+    | Some plan ->
+        Mutex.protect m (fun () -> incr hits);
+        plan
+    | None -> (
+        match disk_read key with
+        | Some plan ->
+            Mutex.protect m (fun () ->
+                incr disk_hits;
+                Hashtbl.replace table key plan);
+            plan
+        | None ->
+            Mutex.protect m (fun () -> incr misses);
+            let plan = compute () in
+            Mutex.protect m (fun () -> Hashtbl.replace table key plan);
+            disk_write key plan;
+            plan)
+
+  let mem key = Mutex.protect m (fun () -> Hashtbl.mem table key)
+
+  let store key (plan : Plan.t) =
+    Mutex.protect m (fun () -> Hashtbl.replace table key plan);
+    disk_write key plan
+
+  let on_disk key =
+    match dir () with
+    | None -> false
+    | Some d -> Sys.file_exists (disk_path d key)
+end
+
+(* Keys digest every compile input that changes the emitted plan:
+   program (or source text) plus the option set.  Expr.program is pure
+   data — no closures — so Marshal is deterministic; Bigarray literals
+   serialise dims + contents. *)
+let program_key ?(verify = true) ?(collapse_reuse = true) (p : Expr.program) =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string ("program", p, verify, collapse_reuse) []))
+
+let source_key ?(verify = true) ?(collapse_reuse = true) src =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string ("source", src, verify, collapse_reuse) []))
+
+let plan_cached ?(verify = true) ?(collapse_reuse = true) (p : Expr.program) =
+  Cache.find_or_compile
+    (program_key ~verify ~collapse_reuse p)
+    (fun () -> plan ~verify ~collapse_reuse p)
+
+let plan_file ?(verify = true) ?(collapse_reuse = true) path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let key = source_key ~verify ~collapse_reuse src in
+  Cache.find_or_compile key (fun () ->
+      let p = Parse.program src in
+      ignore (Typecheck.check_program p);
+      plan ~verify ~collapse_reuse p)
+
 let stage_graph t st =
   List.find_map
     (fun sr -> if sr.sr_stage = st then Some sr.sr_graph else None)

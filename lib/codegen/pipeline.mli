@@ -96,6 +96,59 @@ val plan : ?verify:bool -> ?collapse_reuse:bool -> Expr.program -> Plan.t
 val plan_of_graph : ?verify:bool -> ?collapse_reuse:bool -> Ir.graph -> Plan.t
 (** {!plan} for an already-built ETDG. *)
 
+(** {1 Compiled-plan cache}
+
+    Recompiling an unchanged [.ft] program re-runs build, coarsening
+    and emission for a result that is a pure function of the program
+    and the option set.  The cache keys a plan by a digest of its
+    compile inputs and reuses it across calls — and, when the
+    [FT_PLAN_CACHE] environment variable names a directory, across
+    processes.  Disk entries are versioned Marshal blobs written
+    atomically (temp + rename); any read failure — missing file,
+    version skew, corruption — counts as a miss and recompiles, so the
+    cache can only ever cost a compile, never an error. *)
+
+module Cache : sig
+  type stats = { hits : int; misses : int; disk_hits : int }
+  (** [hits]: served from memory; [disk_hits]: loaded from
+      [FT_PLAN_CACHE] (then kept in memory); [misses]: compiled. *)
+
+  val stats : unit -> stats
+  val clear : unit -> unit
+  (** Drop all in-memory entries and zero the counters (disk entries
+      are left alone). *)
+
+  val mem : string -> bool
+  (** Is this key in the in-memory table? *)
+
+  val on_disk : string -> bool
+  (** Does [FT_PLAN_CACHE] hold an entry file for this key? *)
+
+  val store : string -> Plan.t -> unit
+  (** Insert a plan under a key (memory, and disk when [FT_PLAN_CACHE]
+      is set) — for callers that compiled through another path (e.g.
+      [ftc profile]'s traced {!compile}) and want the result reused. *)
+end
+
+val program_key :
+  ?verify:bool -> ?collapse_reuse:bool -> Expr.program -> string
+(** The cache key {!plan_cached} uses: a hex digest of the marshalled
+    program and option set. *)
+
+val source_key : ?verify:bool -> ?collapse_reuse:bool -> string -> string
+(** The cache key {!plan_file} uses, over raw [.ft] source text. *)
+
+val plan_cached :
+  ?verify:bool -> ?collapse_reuse:bool -> Expr.program -> Plan.t
+(** {!plan} through the cache. *)
+
+val plan_file : ?verify:bool -> ?collapse_reuse:bool -> string -> Plan.t
+(** Compile a [.ft] file to a plan through the cache, keyed on the
+    file's {e contents} (not its path or mtime).  On a hit even the
+    parse is skipped.
+    @raise Parse.Syntax_error / [Typecheck.Type_error] on a miss with
+    an invalid program. *)
+
 val stage_graph : t -> stage -> Ir.graph option
 (** The graph after a given stage, when that stage ran. *)
 

@@ -6,6 +6,7 @@ let err fmt = Format.kasprintf (fun s -> raise (Execution_error s)) fmt
 
 type storage = {
   st_dims : int array;
+  st_strides : int array; (* computed once in [alloc], not per access *)
   st_cells : Tensor.t option array;
 }
 
@@ -17,20 +18,20 @@ let strides dims =
   done;
   st
 
-let ravel dims idx =
-  let st = strides dims in
+let ravel st idx =
   let off = ref 0 in
   Array.iteri
     (fun i v ->
-      if v < 0 || v >= dims.(i) then
-        err "buffer index %d out of extent %d (axis %d)" v dims.(i) i;
-      off := !off + (v * st.(i)))
+      if v < 0 || v >= st.st_dims.(i) then
+        err "buffer index %d out of extent %d (axis %d)" v st.st_dims.(i) i;
+      off := !off + (v * st.st_strides.(i)))
     idx;
   !off
 
 let alloc dims =
   {
     st_dims = dims;
+    st_strides = strides dims;
     st_cells = Array.make (Stdlib.max 1 (Array.fold_left ( * ) 1 dims)) None;
   }
 
@@ -68,16 +69,27 @@ let unload name st =
   in
   go 0
 
-(* Wavefront grouping: sort points by the hyperplane value over the
-   dependence dims, and reverse within each front — an adversarial
-   intra-front order that only a legal schedule survives. *)
+(* How a block's points run:
+   - [Ordered]: one strict sequence (the naive lexicographic order, or
+     its reverse for the illegal-schedule tests);
+   - [Fronts]: wavefront anti-chains in hyperplane order.  Points
+     inside one front are mutually independent whenever the schedule
+     is legal — the schedule-legality verifier (lib/analysis) is the
+     static safety net — so each front fans out across the domain
+     pool. *)
+type schedule =
+  | Ordered of int array list
+  | Fronts of (int * int array array) list
+
 let schedule order (b : Ir.block) points =
   match order with
-  | Sequential -> points
-  | Reverse -> List.rev points
+  | Sequential -> Ordered points
+  | Reverse -> Ordered (List.rev points)
   | Wavefront ->
       let dvs = Dependence.block_distance_vectors b in
-      if dvs = [] then List.rev points
+      if dvs = [] then
+        (* no dependence: the whole domain is one anti-chain *)
+        Fronts [ (0, Array.of_list points) ]
       else begin
         (* the hyperplane the reordering pass selects: its first row
            dotted with the point gives the front index *)
@@ -91,14 +103,56 @@ let schedule order (b : Ir.block) points =
         List.iter
           (fun p ->
             let k = key p in
-            Hashtbl.replace tbl k (p :: (try Hashtbl.find tbl k with Not_found -> [])))
+            Hashtbl.replace tbl k
+              (p :: (try Hashtbl.find tbl k with Not_found -> [])))
           points;
-        Hashtbl.fold (fun k ps acc -> (k, ps) :: acc) tbl []
+        Hashtbl.fold (fun k ps acc -> (k, Array.of_list ps) :: acc) tbl []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
-        |> List.concat_map snd
+        |> fun fs -> Fronts fs
       end
 
-let run ?(order = Wavefront) (g : Ir.graph) inputs =
+type block_stats = {
+  bs_block : string;
+  bs_points : int;
+  bs_fronts : int;
+  bs_max_width : int;
+}
+
+let stats_of_schedule name = function
+  | Ordered ps ->
+      let n = List.length ps in
+      { bs_block = name; bs_points = n; bs_fronts = n; bs_max_width = 1 }
+  | Fronts fs ->
+      List.fold_left
+        (fun acc (_, pts) ->
+          let w = Array.length pts in
+          {
+            acc with
+            bs_points = acc.bs_points + w;
+            bs_fronts = acc.bs_fronts + 1;
+            bs_max_width = Stdlib.max acc.bs_max_width w;
+          })
+        { bs_block = name; bs_points = 0; bs_fronts = 0; bs_max_width = 0 }
+        fs
+
+let parallelism st =
+  if st.bs_fronts = 0 then 1.0
+  else float_of_int st.bs_points /. float_of_int st.bs_fronts
+
+let wavefront_stats (g : Ir.graph) =
+  List.map
+    (fun (b : Ir.block) ->
+      stats_of_schedule b.Ir.blk_name
+        (schedule Wavefront b (Domain.enumerate b.Ir.blk_domain)))
+    (Ir.dataflow_order g)
+
+let run ?(order = Wavefront) ?pool (g : Ir.graph) inputs =
+  let pool =
+    match (pool, order) with
+    | (Some _ as p), _ -> p
+    | None, Wavefront -> Some (Domain_pool.get ())
+    | None, _ -> None
+  in
   let store = Hashtbl.create 16 in
   List.iter
     (fun (bf : Ir.buffer) ->
@@ -128,47 +182,93 @@ let run ?(order = Wavefront) (g : Ir.graph) inputs =
         err "block %s: partial read of buffer %d is not executable"
           b.Ir.blk_name e.Ir.e_buffer;
       let idx = Access_map.apply e.Ir.e_access point in
-      match st.st_cells.(ravel st.st_dims idx) with
+      match st.st_cells.(ravel st idx) with
       | Some t -> t
       | None ->
           err "block %s reads an unwritten cell of buffer %d — illegal order"
             b.Ir.blk_name e.Ir.e_buffer
     in
-    let points = schedule order b (Domain.enumerate b.Ir.blk_domain) in
-    List.iter
-      (fun point ->
-        let results = Array.make (List.length b.Ir.blk_body) (Tensor.scalar 0.) in
-        let operand point = function
-          | Ir.O_const t -> t
-          | Ir.O_op k -> results.(k)
-          | Ir.O_var tag -> (
-              match List.assoc_opt tag b.Ir.blk_consts with
-              | Some t -> t
-              | None -> (
-                  match Hashtbl.find_opt reads tag with
-                  | Some e -> read_cell point e
-                  | None ->
-                      err "block %s: operand %s has no edge or literal"
-                        b.Ir.blk_name tag))
+    (* One iteration point, self-contained: every mutable value it
+       touches is either point-local ([results]) or a distinct cell of
+       a shared buffer — which is what lets a front run in parallel. *)
+    let exec_point point =
+      let results = Array.make (List.length b.Ir.blk_body) (Tensor.scalar 0.) in
+      let operand point = function
+        | Ir.O_const t -> t
+        | Ir.O_op k -> results.(k)
+        | Ir.O_var tag -> (
+            match List.assoc_opt tag b.Ir.blk_consts with
+            | Some t -> t
+            | None -> (
+                match Hashtbl.find_opt reads tag with
+                | Some e -> read_cell point e
+                | None ->
+                    err "block %s: operand %s has no edge or literal"
+                      b.Ir.blk_name tag))
+      in
+      List.iteri
+        (fun i (o : Ir.op_node) ->
+          results.(i) <-
+            Interp.eval_prim o.Ir.op (List.map (operand point) o.Ir.operands))
+        b.Ir.blk_body;
+      List.iter2
+        (fun (w : Ir.edge) result ->
+          let st = Hashtbl.find store w.Ir.e_buffer in
+          let idx = Access_map.apply w.Ir.e_access point in
+          let off = ravel st idx in
+          (match st.st_cells.(off) with
+          | Some _ ->
+              err "block %s writes a cell twice — single assignment violated"
+                b.Ir.blk_name
+          | None -> ());
+          st.st_cells.(off) <- Some (operand point result))
+        writes b.Ir.blk_results
+    in
+    match schedule order b (Domain.enumerate b.Ir.blk_domain) with
+    | Ordered points -> List.iter exec_point points
+    | Fronts fronts ->
+        let run_fronts () =
+          List.iter
+            (fun (front, pts) ->
+              let width = Array.length pts in
+              let body () =
+                match pool with
+                | Some p when width > 1 ->
+                    Domain_pool.parallel_for p ~lo:0 ~hi:width (fun i ->
+                        exec_point pts.(i))
+                | _ -> Array.iter exec_point pts
+              in
+              if Trace.active () then
+                Trace.timed ~track:"vm" ~cat:"front"
+                  ~args:
+                    [
+                      ("block", Trace.String b.Ir.blk_name);
+                      ("front", Trace.Int front);
+                      ("width", Trace.Int width);
+                      ( "domains",
+                        Trace.Int
+                          (match pool with
+                          | Some p -> Domain_pool.size p
+                          | None -> 1) );
+                    ]
+                  "vm.front" body
+              else body ())
+            fronts
         in
-        List.iteri
-          (fun i (o : Ir.op_node) ->
-            results.(i) <-
-              Interp.eval_prim o.Ir.op (List.map (operand point) o.Ir.operands))
-          b.Ir.blk_body;
-        List.iter2
-          (fun (w : Ir.edge) result ->
-            let st = Hashtbl.find store w.Ir.e_buffer in
-            let idx = Access_map.apply w.Ir.e_access point in
-            let off = ravel st.st_dims idx in
-            (match st.st_cells.(off) with
-            | Some _ ->
-                err "block %s writes a cell twice — single assignment violated"
-                  b.Ir.blk_name
-            | None -> ());
-            st.st_cells.(off) <- Some (operand point result))
-          writes b.Ir.blk_results)
-      points
+        if Trace.active () then begin
+          let st = stats_of_schedule b.Ir.blk_name (Fronts fronts) in
+          Trace.timed ~track:"vm" ~cat:"block"
+            ~args:
+              [
+                ("block", Trace.String b.Ir.blk_name);
+                ("points", Trace.Int st.bs_points);
+                ("fronts", Trace.Int st.bs_fronts);
+                ("max_width", Trace.Int st.bs_max_width);
+                ("parallelism", Trace.Float (parallelism st));
+              ]
+            "vm.block" run_fronts
+        end
+        else run_fronts ()
   in
   List.iter exec_block (Ir.dataflow_order g);
   List.filter_map

@@ -9,34 +9,63 @@
     interpreter machine-checks, for every workload, that the compiled
     schedule computes the same values as the program's semantics.
 
-    Two orders are supported:
+    Three orders are supported:
     - [Sequential]: lexicographic over each block's original domain
-      (the naive order, always legal);
-    - [Wavefront]: points grouped by the hyperplane value
-      [Σ_{i ∈ dep} t_i] and {e shuffled within each front} — any
-      intra-front order must give the same result if the transform is
-      legal, so the shuffle is an adversarial legality check. *)
+      (the naive order, always legal), strictly single-threaded;
+    - [Wavefront]: points grouped into anti-chains by the hyperplane
+      value [Σ_{i ∈ dep} t_i]; fronts execute in hyperplane order and
+      the points {e within} each front fan out across a
+      {!Domain_pool}.  Points of one front are mutually independent
+      whenever the schedule is legal (the static verifier in
+      [lib/analysis] is the safety net), and each point writes a
+      distinct cell of the single-assignment buffers, so parallel
+      execution is race-free and — because each point's value does not
+      depend on the order its siblings run — bitwise identical to
+      [Sequential] for legal schedules;
+    - [Reverse]: reverse lexicographic — illegal for any
+      dependence-carrying block; used by tests to show the executor
+      detects bad schedules (reads of unwritten cells) instead of
+      silently producing garbage.
 
-type order =
-  | Sequential
-  | Wavefront
-  | Reverse
-      (** reverse lexicographic — illegal for any dependence-carrying
-          block; used by tests to show the executor detects bad
-          schedules (reads of unwritten cells) instead of silently
-          producing garbage *)
+    When a {!Trace} sink is installed, [Wavefront] runs emit spans on
+    track ["vm"]: one ["vm.block"] span per block (args: points,
+    fronts, max_width, parallelism = points/fronts) and one
+    ["vm.front"] span per anti-chain (args: block, front, width,
+    domains).  [ftc profile] surfaces these. *)
+
+type order = Sequential | Wavefront | Reverse
 
 exception Execution_error of string
 
+type block_stats = {
+  bs_block : string;  (** block name *)
+  bs_points : int;  (** total iteration points *)
+  bs_fronts : int;  (** number of anti-chains (= points when sequential) *)
+  bs_max_width : int;  (** widest anti-chain *)
+}
+(** Shape of a block's wavefront schedule, independent of execution. *)
+
+val wavefront_stats : Ir.graph -> block_stats list
+(** Per-block wavefront statistics in dataflow order: how many
+    anti-chains the hyperplane yields and how wide they get — the
+    available parallelism, before any pool is involved. *)
+
+val parallelism : block_stats -> float
+(** Mean front width, [points / fronts]: the speedup an unbounded
+    machine could extract from the wavefront schedule. *)
+
 val run :
   ?order:order ->
+  ?pool:Domain_pool.t ->
   Ir.graph ->
   (string * Fractal.t) list ->
   (string * Fractal.t) list
 (** [run g inputs] executes the graph over the named input
     FractalTensors and returns the contents of every [Output] buffer as
     a nested FractalTensor (in buffer order).  Default order:
-    [Wavefront].
+    [Wavefront], which executes each anti-chain across [pool]
+    (defaulting to the shared {!Domain_pool.get} pool; [Sequential] and
+    [Reverse] never touch a pool).
     @raise Execution_error on missing inputs or un-executable blocks. *)
 
 val output : (string * Fractal.t) list -> string -> Fractal.t

@@ -107,6 +107,13 @@ let rec equal_approx ?(eps = 1e-4) a b =
       && Array.for_all2 (fun x y -> equal_approx ~eps x y) xs ys
   | Leaf _, Node _ | Node _, Leaf _ -> false
 
+let rec equal_exact a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Tensor.equal_bits x y
+  | Node xs, Node ys ->
+      Array.length xs = Array.length ys && Array.for_all2 equal_exact xs ys
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
 let rec map_leaves f = function
   | Leaf t -> Leaf (f t)
   | Node elems -> Node (Array.map (map_leaves f) elems)

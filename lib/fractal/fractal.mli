@@ -73,6 +73,11 @@ val extents : t -> int list
 val equal_approx : ?eps:float -> t -> t -> bool
 (** Structural equality with {!Tensor.equal_approx} at the leaves. *)
 
+val equal_exact : t -> t -> bool
+(** Structural equality with {!Tensor.equal_bits} at the leaves —
+    the bitwise check behind the sequential-vs-parallel differential
+    tests: not "close enough", {e the same floats}. *)
+
 val map_leaves : (Tensor.t -> Tensor.t) -> t -> t
 
 val fold_leaves : ('a -> Tensor.t -> 'a) -> 'a -> t -> 'a

@@ -50,7 +50,7 @@ let emit_span ?track ?cat ?args name ~ts_us ~dur_us =
 let emit_counter ?track name ~ts_us ~value =
   List.iter (fun s -> add_counter ?track s name ~ts_us ~value) !sinks
 
-let timed ?(cat = "pass") ?(args = []) name f =
+let timed ?track ?(cat = "pass") ?(args = []) name f =
   if !sinks = [] then f ()
   else begin
     let start = now () in
@@ -58,7 +58,7 @@ let timed ?(cat = "pass") ?(args = []) name f =
       let stop = now () in
       List.iter
         (fun s ->
-          add_span ~cat ~args s name
+          add_span ?track ~cat ~args s name
             ~ts_us:((start -. s.t0) *. 1e6)
             ~dur_us:((stop -. start) *. 1e6))
         !sinks

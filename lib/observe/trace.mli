@@ -80,10 +80,17 @@ val with_sink : sink -> (unit -> 'a) -> 'a
 (** [with_sink s f] installs [s], runs [f], and uninstalls it again
     (also on exception). *)
 
-val timed : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
-(** [timed name f] runs [f], recording a wall-clock span on the
-    ["compiler"] track of every installed sink.  When no sink is
-    installed this is just [f ()]. *)
+val timed :
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [timed name f] runs [f], recording a wall-clock span on every
+    installed sink ([track] defaults to ["compiler"]; the reference
+    executor uses ["vm"]).  When no sink is installed this is just
+    [f ()]. *)
 
 val emit_span :
   ?track:string ->

@@ -1,0 +1,228 @@
+(* A generation-counted job board: the caller publishes one closure,
+   bumps the generation and wakes every worker; each worker runs the
+   closure to completion (the closure itself hands out chunks through
+   an atomic counter, so the board never sees individual indices).
+   Mutex + condition give the necessary happens-before edges: writes
+   made inside a loop body are visible to the caller once the last
+   worker checks in. *)
+
+type t = {
+  nworkers : int; (* spawned domains; size = nworkers + 1 *)
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  mutable gen : int;
+  mutable job : (unit -> unit) option;
+  mutable pending : int; (* workers still inside the current job *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Loops issued from inside a worker run inline: a worker blocking on
+   its own pool would deadlock it. *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop pool =
+  Domain.DLS.set in_worker_key true;
+  let my_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.m;
+    while pool.gen = !my_gen && not pool.stop do
+      Condition.wait pool.work_cv pool.m
+    done;
+    if pool.stop then Mutex.unlock pool.m
+    else begin
+      my_gen := pool.gen;
+      let job = pool.job in
+      Mutex.unlock pool.m;
+      (match job with Some f -> f () | None -> ());
+      Mutex.lock pool.m;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.done_cv;
+      Mutex.unlock pool.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  let n = Stdlib.max 1 domains in
+  let pool =
+    {
+      nworkers = n - 1;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      gen = 0;
+      job = None;
+      pending = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init pool.nworkers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.nworkers + 1
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  let ws = pool.workers in
+  pool.stop <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.m;
+  List.iter Domain.join ws
+
+(* Run [job] on every domain of the pool (caller included) and wait
+   until all of them return.  [job] must be idempotent with respect to
+   concurrent execution — in practice it is always a chunk-claiming
+   loop over an atomic counter. *)
+let run_job pool job =
+  Mutex.lock pool.m;
+  if pool.stop || pool.nworkers = 0 then begin
+    Mutex.unlock pool.m;
+    job ()
+  end
+  else begin
+    pool.job <- Some job;
+    pool.gen <- pool.gen + 1;
+    pool.pending <- pool.nworkers;
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.m;
+    job ();
+    Mutex.lock pool.m;
+    while pool.pending > 0 do
+      Condition.wait pool.done_cv pool.m
+    done;
+    pool.job <- None;
+    Mutex.unlock pool.m
+  end
+
+let reraise_first exn_slot =
+  match Atomic.get exn_slot with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let chunked_job ~lo ~chunk ~nchunks exn_slot run_chunk =
+  let next = Atomic.make 0 in
+  fun () ->
+    let continue = ref true in
+    while !continue do
+      let c = Atomic.fetch_and_add next 1 in
+      if c >= nchunks then continue := false
+      else if Atomic.get exn_slot = None then begin
+        let clo = lo + (c * chunk) in
+        try run_chunk c clo (clo + chunk)
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set exn_slot None (Some (e, bt)))
+      end
+    done
+
+let parallel_for ?chunk pool ~lo ~hi f =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else if size pool = 1 || n = 1 || Domain.DLS.get in_worker_key then
+    for i = lo to hi - 1 do
+      f i
+    done
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Domain_pool.parallel_for: chunk must be >= 1"
+      | None -> Stdlib.max 1 (n / (size pool * 4))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let exn_slot = Atomic.make None in
+    let job =
+      chunked_job ~lo ~chunk ~nchunks exn_slot (fun _ clo chi ->
+          for i = clo to Stdlib.min hi chi - 1 do
+            f i
+          done)
+    in
+    run_job pool job;
+    reraise_first exn_slot
+  end
+
+(* The default reduce chunk is a pure function of the range length so
+   that the chunk partials — and therefore the float association — are
+   identical at every domain count. *)
+let map_reduce ?chunk pool ~lo ~hi ~map ~combine ~init =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Domain_pool.map_reduce: chunk must be >= 1"
+      | None -> Stdlib.max 1 ((n + 63) / 64)
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let partials = Array.make nchunks init in
+    let fold_chunk c clo chi =
+      let acc = ref init in
+      for i = clo to Stdlib.min hi chi - 1 do
+        acc := combine !acc (map i)
+      done;
+      partials.(c) <- !acc
+    in
+    if size pool = 1 || nchunks = 1 || Domain.DLS.get in_worker_key then
+      for c = 0 to nchunks - 1 do
+        let clo = lo + (c * chunk) in
+        fold_chunk c clo (clo + chunk)
+      done
+    else begin
+      let exn_slot = Atomic.make None in
+      run_job pool (chunked_job ~lo ~chunk ~nchunks exn_slot fold_chunk);
+      reraise_first exn_slot
+    end;
+    Array.fold_left combine init partials
+  end
+
+let map_array pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    (* Seed the result with the first element (computed inline) so no
+       dummy value is ever observable. *)
+    let out = Array.make n (f a.(0)) in
+    parallel_for pool ~lo:1 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+(* ------------------------- the shared pool ------------------------- *)
+
+let default_num_domains () =
+  match Sys.getenv_opt "FT_NUM_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let override : int option ref = ref None
+let set_num_domains n = override := n
+
+let num_domains () =
+  match !override with Some n -> Stdlib.max 1 n | None -> default_num_domains ()
+
+let global : t option ref = ref None
+let global_m = Mutex.create ()
+
+let get () =
+  let want = num_domains () in
+  Mutex.lock global_m;
+  let pool =
+    match !global with
+    | Some p when size p = want -> p
+    | existing ->
+        (match existing with Some p -> shutdown p | None -> ());
+        let p = create ~domains:want in
+        global := Some p;
+        p
+  in
+  Mutex.unlock global_m;
+  pool

@@ -1,0 +1,86 @@
+(** A fixed pool of worker domains for data-parallel loops.
+
+    The reference executor ({!Vm}) computes wavefront anti-chains whose
+    points are independent by construction; this pool is how those
+    points (and the benchmark harness's table cells) actually run on
+    multiple cores.  Design constraints, in order:
+
+    - {b determinism}: [parallel_for] writes to disjoint indices, so
+      its result never depends on scheduling; [map_reduce] combines
+      fixed-size chunk partials in chunk-index order, so the same
+      [(lo, hi, chunk)] gives a bitwise-identical float result at any
+      domain count;
+    - {b fixed workers}: [size - 1] domains are spawned once at
+      {!create} and reused for every loop — no per-loop spawn cost;
+    - {b safe nesting}: a loop issued from inside a worker runs inline
+      on that worker instead of deadlocking the pool.
+
+    The global pool ({!get}) sizes itself from the [FT_NUM_DOMAINS]
+    environment variable (or {!set_num_domains}, the CLI's hook), so
+    [FT_NUM_DOMAINS=4 ftc run prog.ft] is the whole user interface. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool that runs loops over [max 1 domains] domains: the calling
+    domain plus [domains - 1] spawned workers.  [create ~domains:1]
+    spawns nothing and runs every loop inline. *)
+
+val size : t -> int
+(** The total parallelism, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent.  Loops submitted after
+    shutdown run inline on the caller. *)
+
+val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi],
+    split into contiguous chunks claimed by the pool's domains.  [f]
+    must be safe to call concurrently on distinct indices.  Empty
+    ranges ([hi <= lo]) are a no-op; ranges smaller than the pool run
+    on however many domains they fill.  [chunk] (default: a fraction
+    of [hi - lo] per domain) bounds each claim.  The first exception
+    raised by any [f i] is re-raised in the caller (with its
+    backtrace) after the loop quiesces. *)
+
+val map_reduce :
+  ?chunk:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  map:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** [map_reduce pool ~lo ~hi ~map ~combine ~init] is
+    [fold_left combine init (List.map map [lo..hi-1])] with a fixed,
+    scheduling-independent association: the range is split into chunks
+    of [chunk] (default: a pure function of [hi - lo], {e not} of the
+    pool size), each chunk folds its indices in ascending order
+    starting from [init], and the chunk partials are combined left to
+    right in chunk order.  With the same [chunk] the result is
+    bitwise-identical at any domain count, provided [init] is a
+    neutral element of [combine]. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f a] is [Array.map f a] with the elements computed
+    across the pool (element order preserved in the result). *)
+
+(** {1 The shared pool} *)
+
+val default_num_domains : unit -> int
+(** [FT_NUM_DOMAINS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val num_domains : unit -> int
+(** The size the global pool will have: the {!set_num_domains}
+    override when present, else {!default_num_domains}. *)
+
+val set_num_domains : int option -> unit
+(** Override (or clear the override of) the global pool size — the CLI
+    knob behind [--domains].  Takes effect on the next {!get}, which
+    recreates the pool if the size changed. *)
+
+val get : unit -> t
+(** The process-wide pool, created on first use with {!num_domains}
+    workers and transparently recreated when that number changes. *)

@@ -1,35 +1,105 @@
-let gemm ?(alpha = 1.0) ?(beta = 1.0) ~c a b =
-  let ab = Tensor.matmul a b in
-  let scaled = if alpha = 1.0 then ab else Tensor.scale alpha ab in
-  if beta = 0.0 then scaled else Tensor.add scaled (Tensor.scale beta c)
+let rows t = Shape.dim (Tensor.shape t) 0
+let cols t = Shape.dim (Tensor.shape t) 1
 
-let linear x w b = Tensor.add (Tensor.matmul x w) b
+(* dst <- x@w + h@u + b, accumulated in place: the only allocations a
+   cell step makes are the tensors it returns. [b] may be a [1,n] row
+   vector against an [m,n] pre-activation. *)
+let preact_into ~dst ~x ~w ~h ~u ~b =
+  Tensor.matmul_into ~beta:0.0 ~dst x w;
+  Tensor.matmul_into ~beta:1.0 ~dst h u;
+  Tensor.add_into dst b ~dst
+
+let gemm ?(alpha = 1.0) ?(beta = 1.0) ~c a b =
+  if
+    Shape.rank (Tensor.shape c) = 2
+    && rows c = rows a
+    && cols c = cols b
+  then begin
+    (* out starts as beta*c, then accumulates alpha*a@b — one
+       allocation for the whole kernel. *)
+    let out =
+      if beta = 0.0 then Tensor.zeros (Tensor.shape c)
+      else if beta = 1.0 then Tensor.copy c
+      else Tensor.scale beta c
+    in
+    Tensor.matmul_into ~alpha ~beta:1.0 ~dst:out a b;
+    out
+  end
+  else begin
+    (* c broadcasts against a@b (scalar / row / column): fall back to
+       the pure composition. *)
+    let ab = Tensor.matmul a b in
+    let scaled = if alpha = 1.0 then ab else Tensor.scale alpha ab in
+    if beta = 0.0 then scaled else Tensor.add scaled (Tensor.scale beta c)
+  end
+
+let linear x w b =
+  let out = Tensor.uninit (Shape.of_array [| rows x; cols w |]) in
+  Tensor.matmul_into ~beta:0.0 ~dst:out x w;
+  Tensor.add_into out b ~dst:out;
+  out
 
 let rnn_cell ~x ~h ~w ~u ~b =
-  Tensor.tanh (Tensor.add (Tensor.add (Tensor.matmul x w) (Tensor.matmul h u)) b)
+  let out = Tensor.uninit (Shape.of_array [| rows x; cols w |]) in
+  preact_into ~dst:out ~x ~w ~h ~u ~b;
+  Tensor.tanh_inplace out;
+  out
+
+let check_gates name ws us bs =
+  if Array.length ws <> 4 || Array.length us <> 4 || Array.length bs <> 4 then
+    invalid_arg (name ^ ": expected 4 weight sets")
 
 let lstm_gates ~x ~h ~ws ~us ~bs =
-  if Array.length ws <> 4 || Array.length us <> 4 || Array.length bs <> 4 then
-    invalid_arg "Kernels.lstm_gates: expected 4 weight sets";
+  check_gates "Kernels.lstm_gates" ws us bs;
   Array.init 4 (fun g ->
-      Tensor.add
-        (Tensor.add (Tensor.matmul x ws.(g)) (Tensor.matmul h us.(g)))
-        bs.(g))
+      let pre = Tensor.uninit (Shape.of_array [| rows x; cols ws.(g) |]) in
+      preact_into ~dst:pre ~x ~w:ws.(g) ~h ~u:us.(g) ~b:bs.(g);
+      pre)
 
+(* Gate order i, f, o, c~.  One scratch tensor cycles through the four
+   gate activations; only (c', h') and that scratch are allocated —
+   the float-array backend allocated a fresh tensor for every matmul,
+   add and activation (O(gates) intermediates per step). *)
 let lstm_cell ~x ~h ~c ~ws ~us ~bs =
-  let gs = lstm_gates ~x ~h ~ws ~us ~bs in
-  let i = Tensor.sigmoid gs.(0)
-  and f = Tensor.sigmoid gs.(1)
-  and o = Tensor.sigmoid gs.(2)
-  and c_hat = Tensor.tanh gs.(3) in
-  let c' = Tensor.add (Tensor.mul f c) (Tensor.mul i c_hat) in
-  let h' = Tensor.mul o (Tensor.tanh c') in
+  check_gates "Kernels.lstm_cell" ws us bs;
+  let out_shape = Shape.of_array [| rows x; cols ws.(0) |] in
+  let gate = Tensor.uninit out_shape in
+  let c' = Tensor.uninit out_shape in
+  let h' = Tensor.uninit out_shape in
+  let activated g act =
+    preact_into ~dst:gate ~x ~w:ws.(g) ~h ~u:us.(g) ~b:bs.(g);
+    act gate
+  in
+  activated 3 Tensor.tanh_inplace;
+  (* c~, parked in h' *)
+  Tensor.copy_into gate ~dst:h';
+  activated 0 Tensor.sigmoid_inplace;
+  (* i *)
+  Tensor.mul_into gate h' ~dst:c';
+  (* c' = i ⊙ c~ *)
+  activated 1 Tensor.sigmoid_inplace;
+  (* f *)
+  Tensor.mul_into gate c ~dst:gate;
+  Tensor.add_into c' gate ~dst:c';
+  (* c' += f ⊙ c *)
+  activated 2 Tensor.sigmoid_inplace;
+  (* o *)
+  Tensor.map_into Stdlib.tanh c' ~dst:h';
+  Tensor.mul_into gate h' ~dst:h';
+  (* h' = o ⊙ tanh c' *)
   (c', h')
 
-let attention_scores ~q ~k = Tensor.matmul q (Tensor.transpose k)
+let attention_scores ~q ~k =
+  let s = Tensor.uninit (Shape.of_array [| rows q; rows k |]) in
+  Tensor.matmul_into ~beta:0.0 ~transpose_b:true ~dst:s q k;
+  s
 
 let attention ~q ~k ~v =
-  Tensor.matmul (Tensor.softmax (attention_scores ~q ~k)) v
+  let s = attention_scores ~q ~k in
+  Tensor.softmax_inplace s;
+  let out = Tensor.uninit (Shape.of_array [| rows q; cols v |]) in
+  Tensor.matmul_into ~beta:0.0 ~dst:out s v;
+  out
 
 let matmul_flops ~m ~n ~k = 2 * m * n * k
 let elementwise_flops s = Shape.numel s

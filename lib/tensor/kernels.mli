@@ -4,7 +4,14 @@
     workload computes.  The cost side ([matmul_flops], …) is shared by
     the GPU simulator's roofline model: every scheduling policy — ours
     and every baseline — charges the same arithmetic for the same math,
-    so simulated differences come only from schedule structure. *)
+    so simulated differences come only from schedule structure.
+
+    The cell functions are destination-passing internally: gate
+    pre-activations accumulate in place through {!Tensor.matmul_into}
+    and activations apply in place, so a step allocates only the
+    tensors it returns plus one scratch — not an intermediate per
+    matmul/add/activation.  Results are unchanged (addition order per
+    element is preserved). *)
 
 (** {1 Functional kernels} *)
 

@@ -1,42 +1,93 @@
-type t = { shape : Shape.t; data : float array }
+module A = Bigarray.Array1
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) A.t
+
+type t = { shape : Shape.t; data : buffer }
+
+(* Bigarray payloads: the GC never scans tensor contents, and the
+   in-place kernels below can hand out sub-views without copying.
+   [A.create] leaves memory uninitialised — every constructor here
+   either fills or completely overwrites it. *)
+
+let alloc n : buffer = A.create Bigarray.Float64 Bigarray.C_layout n
+
+let uninit shape = { shape; data = alloc (Shape.numel shape) }
+
+let fill t v = A.fill t.data v
+
+let full shape v =
+  let t = uninit shape in
+  fill t v;
+  t
+
+let zeros shape = full shape 0.0
+let ones shape = full shape 1.0
+
+let scalar v =
+  let t = uninit Shape.scalar in
+  A.set t.data 0 v;
+  t
 
 let create shape data =
   if Array.length data <> Shape.numel shape then
     invalid_arg
       (Printf.sprintf "Tensor.create: %d elements for shape %s"
          (Array.length data) (Shape.to_string shape));
-  { shape; data }
+  let t = uninit shape in
+  Array.iteri (fun i v -> A.unsafe_set t.data i v) data;
+  t
 
-let full shape v = { shape; data = Array.make (Shape.numel shape) v }
-let zeros shape = full shape 0.0
-let ones shape = full shape 1.0
-let scalar v = { shape = Shape.scalar; data = [| v |] }
+let of_buffer shape data =
+  if A.dim data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.of_buffer: %d elements for shape %s" (A.dim data)
+         (Shape.to_string shape));
+  { shape; data }
 
 let init shape f =
-  let n = Shape.numel shape in
-  let data = Array.init n (fun i -> f (Shape.unravel shape i)) in
-  { shape; data }
+  let t = uninit shape in
+  for i = 0 to Shape.numel shape - 1 do
+    A.unsafe_set t.data i (f (Shape.unravel shape i))
+  done;
+  t
 
 let rand rng shape =
-  let n = Shape.numel shape in
-  { shape; data = Array.init n (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) }
+  let t = uninit shape in
+  for i = 0 to Shape.numel shape - 1 do
+    A.unsafe_set t.data i (Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+  done;
+  t
 
 let randn rng shape =
-  let n = Shape.numel shape in
-  { shape; data = Array.init n (fun _ -> Rng.normal rng) }
+  let t = uninit shape in
+  for i = 0 to Shape.numel shape - 1 do
+    A.unsafe_set t.data i (Rng.normal rng)
+  done;
+  t
 
 let shape t = t.shape
-let numel t = Array.length t.data
-let data t = t.data
-let get t idx = t.data.(Shape.ravel t.shape idx)
-let get1 t i = t.data.(i)
+let numel t = A.dim t.data
+let buffer t = t.data
+let data t = Array.init (numel t) (fun i -> A.unsafe_get t.data i)
+let get t idx = A.unsafe_get t.data (Shape.ravel t.shape idx)
+let get1 t i = A.get t.data i
 
 let to_scalar t =
-  if Array.length t.data <> 1 then
+  if numel t <> 1 then
     invalid_arg "Tensor.to_scalar: tensor is not a singleton";
-  t.data.(0)
+  A.get t.data 0
 
-let map f t = { t with data = Array.map f t.data }
+let map_into f src ~dst =
+  if not (Shape.equal src.shape dst.shape) then
+    invalid_arg "Tensor.map_into: shape mismatch";
+  for i = 0 to numel src - 1 do
+    A.unsafe_set dst.data i (f (A.unsafe_get src.data i))
+  done
+
+let map f t =
+  let out = uninit t.shape in
+  map_into f t ~dst:out;
+  out
 
 (* [m,1] against [m,n]: one value per row.  [1,n] against [m,n]: one
    value per column.  These are the only broadcasts DNN cell functions
@@ -51,35 +102,83 @@ let row_vector_against a b =
   && Shape.dim b.shape 0 = 1
   && Shape.dim a.shape 1 = Shape.dim b.shape 1
 
-let map2 f a b =
-  if Shape.equal a.shape b.shape then
-    { a with data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i)) }
-  else if Shape.rank b.shape = 0 then
-    let v = b.data.(0) in
-    { a with data = Array.map (fun x -> f x v) a.data }
-  else if Shape.rank a.shape = 0 then
-    let v = a.data.(0) in
-    { b with data = Array.map (fun x -> f v x) b.data }
-  else if col_vector_against a b then
+(* The shared broadcast dispatch: [dst] carries the full (non-broadcast)
+   shape and may alias the same-shape operand — every case reads index
+   [i] of that operand before writing index [i] of [dst]. *)
+let map2_into f a b ~dst =
+  let ad = a.data and bd = b.data and dd = dst.data in
+  let full t =
+    if not (Shape.equal t.shape dst.shape) then
+      invalid_arg "Tensor.map2_into: dst shape mismatch"
+  in
+  if Shape.equal a.shape b.shape then begin
+    full a;
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i (f (A.unsafe_get ad i) (A.unsafe_get bd i))
+    done
+  end
+  else if Shape.rank b.shape = 0 then begin
+    full a;
+    let v = A.get bd 0 in
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i (f (A.unsafe_get ad i) v)
+    done
+  end
+  else if Shape.rank a.shape = 0 then begin
+    full b;
+    let v = A.get ad 0 in
+    for i = 0 to numel b - 1 do
+      A.unsafe_set dd i (f v (A.unsafe_get bd i))
+    done
+  end
+  else if col_vector_against a b then begin
+    full a;
     let n = Shape.dim a.shape 1 in
-    { a with
-      data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i / n)) }
-  else if col_vector_against b a then
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i (f (A.unsafe_get ad i) (A.unsafe_get bd (i / n)))
+    done
+  end
+  else if col_vector_against b a then begin
+    full b;
     let n = Shape.dim b.shape 1 in
-    { b with
-      data = Array.init (numel b) (fun i -> f a.data.(i / n) b.data.(i)) }
-  else if row_vector_against a b then
+    for i = 0 to numel b - 1 do
+      A.unsafe_set dd i (f (A.unsafe_get ad (i / n)) (A.unsafe_get bd i))
+    done
+  end
+  else if row_vector_against a b then begin
+    full a;
     let n = Shape.dim a.shape 1 in
-    { a with
-      data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i mod n)) }
-  else if row_vector_against b a then
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i (f (A.unsafe_get ad i) (A.unsafe_get bd (i mod n)))
+    done
+  end
+  else if row_vector_against b a then begin
+    full b;
     let n = Shape.dim b.shape 1 in
-    { b with
-      data = Array.init (numel b) (fun i -> f a.data.(i mod n) b.data.(i)) }
+    for i = 0 to numel b - 1 do
+      A.unsafe_set dd i (f (A.unsafe_get ad (i mod n)) (A.unsafe_get bd i))
+    done
+  end
   else
     invalid_arg
       (Printf.sprintf "Tensor.map2: incompatible shapes %s and %s"
          (Shape.to_string a.shape) (Shape.to_string b.shape))
+
+let map2 f a b =
+  let out_shape =
+    if Shape.equal a.shape b.shape then a.shape
+    else if Shape.rank b.shape = 0 then a.shape
+    else if Shape.rank a.shape = 0 then b.shape
+    else if col_vector_against a b || row_vector_against a b then a.shape
+    else if col_vector_against b a || row_vector_against b a then b.shape
+    else
+      invalid_arg
+        (Printf.sprintf "Tensor.map2: incompatible shapes %s and %s"
+           (Shape.to_string a.shape) (Shape.to_string b.shape))
+  in
+  let out = uninit out_shape in
+  map2_into f a b ~dst:out;
+  out
 
 let maximum = map2 Float.max
 let add = map2 ( +. )
@@ -93,13 +192,84 @@ let tanh = map Stdlib.tanh
 let sigmoid = map (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
 let relu = map (fun x -> if x > 0.0 then x else 0.0)
 
+let add_into a b ~dst = map2_into ( +. ) a b ~dst
+let sub_into a b ~dst = map2_into ( -. ) a b ~dst
+let mul_into a b ~dst = map2_into ( *. ) a b ~dst
+
+let map_inplace f t = map_into f t ~dst:t
+let tanh_inplace t = map_inplace Stdlib.tanh t
+let sigmoid_inplace t = map_inplace (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x))) t
+
 let require_rank2 name t =
   if Shape.rank t.shape <> 2 then
     invalid_arg (name ^ ": expected a rank-2 tensor")
 
-(* Blocked i-k-j matmul: the k-major inner loop streams rows of [b],
-   which keeps the working set cache-resident for the shapes used in
-   this repository (hidden sizes up to 1024). *)
+(* Destination-passing GEMM core: dst = alpha * a @ b + beta * dst.
+   The k-major inner loop streams rows of [b] (cache-resident for the
+   hidden sizes used here); blocking the [p] loop bounds the [b]
+   working set for the larger shapes without changing the per-element
+   accumulation order (pp ascends, p within pp ascends — the same
+   order as the unblocked loop, so results are bit-identical). *)
+let matmul_into ?(alpha = 1.0) ?(beta = 1.0) ?(transpose_b = false) ~dst a b =
+  require_rank2 "Tensor.matmul_into" a;
+  require_rank2 "Tensor.matmul_into" b;
+  require_rank2 "Tensor.matmul_into" dst;
+  if dst.data == a.data || dst.data == b.data then
+    invalid_arg "Tensor.matmul_into: dst must not alias an operand";
+  let m = Shape.dim a.shape 0 and k = Shape.dim a.shape 1 in
+  let k', n =
+    if transpose_b then (Shape.dim b.shape 1, Shape.dim b.shape 0)
+    else (Shape.dim b.shape 0, Shape.dim b.shape 1)
+  in
+  if k <> k' then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul_into: inner dims %d and %d differ" k k');
+  if Shape.dim dst.shape 0 <> m || Shape.dim dst.shape 1 <> n then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul_into: dst shape %s, expected [%d,%d]"
+         (Shape.to_string dst.shape) m n);
+  let ad = a.data and bd = b.data and dd = dst.data in
+  if beta = 0.0 then A.fill dd 0.0
+  else if beta <> 1.0 then
+    for i = 0 to (m * n) - 1 do
+      A.unsafe_set dd i (beta *. A.unsafe_get dd i)
+    done;
+  if transpose_b then
+    (* dst[i,j] += alpha * <a row i, b row j>: both rows contiguous. *)
+    for i = 0 to m - 1 do
+      let arow = i * k and orow = i * n in
+      for j = 0 to n - 1 do
+        let brow = j * k in
+        let acc = ref 0.0 in
+        for p = 0 to k - 1 do
+          acc :=
+            !acc +. (A.unsafe_get ad (arow + p) *. A.unsafe_get bd (brow + p))
+        done;
+        A.unsafe_set dd (orow + j) (A.unsafe_get dd (orow + j) +. (alpha *. !acc))
+      done
+    done
+  else begin
+    let kc = 256 in
+    let pp = ref 0 in
+    while !pp < k do
+      let p_hi = Stdlib.min k (!pp + kc) in
+      for i = 0 to m - 1 do
+        let arow = i * k and orow = i * n in
+        for p = !pp to p_hi - 1 do
+          let av = alpha *. A.unsafe_get ad (arow + p) in
+          if av <> 0.0 then begin
+            let brow = p * n in
+            for j = 0 to n - 1 do
+              A.unsafe_set dd (orow + j)
+                (A.unsafe_get dd (orow + j) +. (av *. A.unsafe_get bd (brow + j)))
+            done
+          end
+        done
+      done;
+      pp := p_hi
+    done
+  end
+
 let matmul a b =
   require_rank2 "Tensor.matmul" a;
   require_rank2 "Tensor.matmul" b;
@@ -108,91 +278,105 @@ let matmul a b =
   if k <> k' then
     invalid_arg
       (Printf.sprintf "Tensor.matmul: inner dims %d and %d differ" k k');
-  let out = Array.make (m * n) 0.0 in
-  let ad = a.data and bd = b.data in
-  for i = 0 to m - 1 do
-    let arow = i * k and orow = i * n in
-    for p = 0 to k - 1 do
-      let av = ad.(arow + p) in
-      if av <> 0.0 then begin
-        let brow = p * n in
-        for j = 0 to n - 1 do
-          out.(orow + j) <- out.(orow + j) +. (av *. bd.(brow + j))
-        done
-      end
-    done
-  done;
-  { shape = Shape.of_array [| m; n |]; data = out }
+  let out = uninit (Shape.of_array [| m; n |]) in
+  matmul_into ~beta:0.0 ~dst:out a b;
+  out
 
 let transpose t =
   require_rank2 "Tensor.transpose" t;
   let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
-  let out = Array.make (m * n) 0.0 in
+  let out = uninit (Shape.of_array [| n; m |]) in
+  let td = t.data and od = out.data in
   for i = 0 to m - 1 do
     for j = 0 to n - 1 do
-      out.((j * m) + i) <- t.data.((i * n) + j)
+      A.unsafe_set od ((j * m) + i) (A.unsafe_get td ((i * n) + j))
     done
   done;
-  { shape = Shape.of_array [| n; m |]; data = out }
+  out
 
 let dot a b =
   if numel a <> numel b then invalid_arg "Tensor.dot: size mismatch";
   let acc = ref 0.0 in
   for i = 0 to numel a - 1 do
-    acc := !acc +. (a.data.(i) *. b.data.(i))
+    acc := !acc +. (A.unsafe_get a.data i *. A.unsafe_get b.data i)
   done;
   !acc
 
-let sum t = Array.fold_left ( +. ) 0.0 t.data
+let sum t =
+  let acc = ref 0.0 in
+  for i = 0 to numel t - 1 do
+    acc := !acc +. A.unsafe_get t.data i
+  done;
+  !acc
 
 let max t =
   if numel t = 0 then invalid_arg "Tensor.max: empty tensor";
-  Array.fold_left Float.max t.data.(0) t.data
+  let acc = ref (A.get t.data 0) in
+  for i = 0 to numel t - 1 do
+    acc := Float.max !acc (A.unsafe_get t.data i)
+  done;
+  !acc
 
 let mean t = sum t /. float_of_int (numel t)
 
 let row_reduce name f init t =
   require_rank2 name t;
   let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
-  let out = Array.make m init in
+  ignore init;
+  let out = uninit (Shape.of_array [| m; 1 |]) in
   for i = 0 to m - 1 do
-    let acc = ref t.data.(i * n) in
+    let acc = ref (A.unsafe_get t.data (i * n)) in
     for j = 1 to n - 1 do
-      acc := f !acc t.data.((i * n) + j)
+      acc := f !acc (A.unsafe_get t.data ((i * n) + j))
     done;
-    out.(i) <- !acc
+    A.unsafe_set out.data i !acc
   done;
-  { shape = Shape.of_array [| m; 1 |]; data = out }
+  out
 
 let row_max t = row_reduce "Tensor.row_max" Float.max neg_infinity t
 let row_sum t = row_reduce "Tensor.row_sum" ( +. ) 0.0 t
 
-let softmax t =
-  require_rank2 "Tensor.softmax" t;
-  let m = Shape.dim t.shape 0 and n = Shape.dim t.shape 1 in
-  let out = Array.make (m * n) 0.0 in
+(* Works in place: the max pass only reads, the exp pass reads index
+   [base+j] just before overwriting it, and the divide pass touches
+   already-written cells. *)
+let softmax_into src ~dst =
+  require_rank2 "Tensor.softmax" src;
+  if not (Shape.equal src.shape dst.shape) then
+    invalid_arg "Tensor.softmax_into: shape mismatch";
+  let m = Shape.dim src.shape 0 and n = Shape.dim src.shape 1 in
+  let sd = src.data and dd = dst.data in
   for i = 0 to m - 1 do
     let base = i * n in
-    let mx = ref t.data.(base) in
+    let mx = ref (A.unsafe_get sd base) in
     for j = 1 to n - 1 do
-      if t.data.(base + j) > !mx then mx := t.data.(base + j)
+      let v = A.unsafe_get sd (base + j) in
+      if v > !mx then mx := v
     done;
     let z = ref 0.0 in
     for j = 0 to n - 1 do
-      let e = Stdlib.exp (t.data.(base + j) -. !mx) in
-      out.(base + j) <- e;
+      let e = Stdlib.exp (A.unsafe_get sd (base + j) -. !mx) in
+      A.unsafe_set dd (base + j) e;
       z := !z +. e
     done;
     for j = 0 to n - 1 do
-      out.(base + j) <- out.(base + j) /. !z
+      A.unsafe_set dd (base + j) (A.unsafe_get dd (base + j) /. !z)
     done
-  done;
-  { t with data = out }
+  done
+
+let softmax t =
+  let out = uninit t.shape in
+  softmax_into t ~dst:out;
+  out
+
+let softmax_inplace t = softmax_into t ~dst:t
 
 let reshape t shape =
   if Shape.numel shape <> numel t then
     invalid_arg "Tensor.reshape: element count mismatch";
   { shape; data = t.data }
+
+let blit_range src soff dst doff len =
+  A.blit (A.sub src.data soff len) (A.sub dst.data doff len)
 
 let concat_rows ts =
   match ts with
@@ -209,14 +393,14 @@ let concat_rows ts =
             acc + Shape.dim t.shape 0)
           0 ts
       in
-      let out = Array.make (total * n) 0.0 in
+      let out = uninit (Shape.of_array [| total; n |]) in
       let row = ref 0 in
       List.iter
         (fun t ->
-          Array.blit t.data 0 out (!row * n) (numel t);
+          blit_range t 0 out (!row * n) (numel t);
           row := !row + Shape.dim t.shape 0)
         ts;
-      { shape = Shape.of_array [| total; n |]; data = out }
+      out
 
 let slice_rows t lo hi =
   require_rank2 "Tensor.slice_rows" t;
@@ -224,8 +408,9 @@ let slice_rows t lo hi =
   if lo < 0 || hi > m || lo >= hi then
     invalid_arg
       (Printf.sprintf "Tensor.slice_rows: [%d,%d) out of %d rows" lo hi m);
-  { shape = Shape.of_array [| hi - lo; n |];
-    data = Array.sub t.data (lo * n) ((hi - lo) * n) }
+  let out = uninit (Shape.of_array [| hi - lo; n |]) in
+  blit_range t (lo * n) out 0 ((hi - lo) * n);
+  out
 
 let slice_cols t lo hi =
   require_rank2 "Tensor.slice_cols" t;
@@ -234,11 +419,11 @@ let slice_cols t lo hi =
     invalid_arg
       (Printf.sprintf "Tensor.slice_cols: [%d,%d) out of %d columns" lo hi n);
   let w = hi - lo in
-  let out = Array.make (m * w) 0.0 in
+  let out = uninit (Shape.of_array [| m; w |]) in
   for i = 0 to m - 1 do
-    Array.blit t.data ((i * n) + lo) out (i * w) w
+    blit_range t ((i * n) + lo) out (i * w) w
   done;
-  { shape = Shape.of_array [| m; w |]; data = out }
+  out
 
 let concat_cols ts =
   match ts with
@@ -255,26 +440,34 @@ let concat_cols ts =
             acc + Shape.dim t.shape 1)
           0 ts
       in
-      let out = Array.make (m * total) 0.0 in
+      let out = uninit (Shape.of_array [| m; total |]) in
       let col = ref 0 in
       List.iter
         (fun t ->
           let n = Shape.dim t.shape 1 in
           for i = 0 to m - 1 do
-            Array.blit t.data (i * n) out ((i * total) + !col) n
+            blit_range t (i * n) out ((i * total) + !col) n
           done;
           col := !col + n)
         ts;
-      { shape = Shape.of_array [| m; total |]; data = out }
+      out
 
-let copy t = { t with data = Array.copy t.data }
+let copy_into src ~dst =
+  if not (Shape.equal src.shape dst.shape) then
+    invalid_arg "Tensor.copy_into: shape mismatch";
+  A.blit src.data dst.data
+
+let copy t =
+  let out = uninit t.shape in
+  A.blit t.data out.data;
+  out
 
 let max_abs_diff a b =
   if not (Shape.equal a.shape b.shape) then
     invalid_arg "Tensor.max_abs_diff: shape mismatch";
   let d = ref 0.0 in
   for i = 0 to numel a - 1 do
-    let x = Float.abs (a.data.(i) -. b.data.(i)) in
+    let x = Float.abs (A.unsafe_get a.data i -. A.unsafe_get b.data i) in
     if x > !d then d := x
   done;
   !d
@@ -282,15 +475,27 @@ let max_abs_diff a b =
 let equal_approx ?(eps = 1e-4) a b =
   Shape.equal a.shape b.shape && max_abs_diff a b <= eps
 
+let equal_bits a b =
+  Shape.equal a.shape b.shape
+  &&
+  try
+    for i = 0 to numel a - 1 do
+      if
+        Int64.bits_of_float (A.unsafe_get a.data i)
+        <> Int64.bits_of_float (A.unsafe_get b.data i)
+      then raise Exit
+    done;
+    true
+  with Exit -> false
+
 let pp fmt t =
   Format.fprintf fmt "tensor%s" (Shape.to_string t.shape);
   if numel t <= 8 then begin
     Format.fprintf fmt "{";
-    Array.iteri
-      (fun i v ->
-        if i > 0 then Format.fprintf fmt "; ";
-        Format.fprintf fmt "%g" v)
-      t.data;
+    for i = 0 to numel t - 1 do
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" (A.unsafe_get t.data i)
+    done;
     Format.fprintf fmt "}"
   end
 

@@ -1,23 +1,38 @@
-(** Dense, row-major, float tensors with static shapes.
+(** Dense, row-major, float64 tensors with static shapes, backed by
+    [Bigarray].
 
     These are the leaf elements of a FractalTensor (paper §4.1): math
     operations are defined only on these statically-shaped values.  The
-    implementation is pure OCaml over flat [float array]s and is used for
-    the numerical (correctness) side of the reproduction; performance
-    modelling happens in the GPU simulator, not here. *)
+    payload is a C-layout [Bigarray.Array1] of float64, so tensor
+    contents are invisible to the GC and shareable across domains; the
+    destination-passing variants ([matmul_into], [add_into], …) let
+    the hot cell functions ({!Kernels}) run without allocating
+    per-intermediate temporaries.  Numerical semantics are unchanged
+    from the [float array] backend: the same loops in the same order. *)
 
 type t
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The underlying storage type. *)
 
 (** {1 Construction} *)
 
 val create : Shape.t -> float array -> t
-(** [create shape data] wraps [data] (not copied).
+(** [create shape data] copies [data] into a fresh buffer.
     @raise Invalid_argument if [Array.length data <> Shape.numel shape]. *)
+
+val of_buffer : Shape.t -> buffer -> t
+(** Wraps an existing buffer (not copied).
+    @raise Invalid_argument on an element-count mismatch. *)
 
 val zeros : Shape.t -> t
 val ones : Shape.t -> t
 val full : Shape.t -> float -> t
 val scalar : float -> t
+
+val uninit : Shape.t -> t
+(** An {e uninitialised} tensor: every cell must be written before it
+    is read.  For scratch space in destination-passing kernels. *)
 
 val init : Shape.t -> (int array -> float) -> t
 (** [init shape f] fills each multi-index [idx] with [f idx]. *)
@@ -32,8 +47,13 @@ val randn : Rng.t -> Shape.t -> t
 
 val shape : t -> Shape.t
 val numel : t -> int
-val data : t -> float array
+
+val buffer : t -> buffer
 (** The underlying buffer (not a copy); callers must not mutate it. *)
+
+val data : t -> float array
+(** The contents as a fresh [float array] (a copy — mutating it does
+    not affect the tensor). *)
 
 val get : t -> int array -> float
 val get1 : t -> int -> float
@@ -64,6 +84,47 @@ val exp : t -> t
 val tanh : t -> t
 val sigmoid : t -> t
 val relu : t -> t
+
+(** {1 In-place / destination-passing}
+
+    The allocation-free mirrors of the pure operations above.  [dst]
+    carries the full (non-broadcast) result shape.  [dst] may alias
+    the {e same-shape} operand of an elementwise op (each index is
+    read before it is written); it must never alias a broadcast
+    operand or a [matmul_into] input. *)
+
+val fill : t -> float -> unit
+
+val copy_into : t -> dst:t -> unit
+(** Blit the contents of a same-shape tensor into [dst]. *)
+
+val map_into : (float -> float) -> t -> dst:t -> unit
+val map_inplace : (float -> float) -> t -> unit
+
+val map2_into : (float -> float -> float) -> t -> t -> dst:t -> unit
+(** Same broadcasting as {!map2}; [dst] must have the result shape. *)
+
+val add_into : t -> t -> dst:t -> unit
+val sub_into : t -> t -> dst:t -> unit
+val mul_into : t -> t -> dst:t -> unit
+
+val tanh_inplace : t -> unit
+val sigmoid_inplace : t -> unit
+
+val softmax_inplace : t -> unit
+(** Row-wise softmax of a 2-D tensor, in place. *)
+
+val matmul_into :
+  ?alpha:float -> ?beta:float -> ?transpose_b:bool -> dst:t -> t -> t -> unit
+(** [matmul_into ~alpha ~beta ~dst a b] computes
+    [dst <- alpha * a@b + beta * dst] (defaults [alpha = 1.],
+    [beta = 1.]; [beta = 0.] overwrites without reading [dst], so an
+    {!uninit} destination is legal).  [transpose_b] contracts against
+    [b]'s rows ([a@bᵀ]) without materialising the transpose.  Blocked
+    over the contraction dimension; the per-element accumulation order
+    is fixed, so results are reproducible bit for bit.
+    @raise Invalid_argument on shape mismatch or if [dst] aliases an
+    operand. *)
 
 (** {1 Linear algebra} *)
 
@@ -115,6 +176,12 @@ val copy : t -> t
 
 val equal_approx : ?eps:float -> t -> t -> bool
 (** Shape equality plus max-abs-difference [<= eps] (default [1e-4]). *)
+
+val equal_bits : t -> t -> bool
+(** Shape equality plus per-element [Int64.bits_of_float] equality —
+    the executor's differential tests use this to assert that parallel
+    and sequential schedules agree {e exactly} ([nan] compares equal
+    to an identical [nan]; [0.] and [-0.] differ). *)
 
 val max_abs_diff : t -> t -> float
 (** @raise Invalid_argument on shape mismatch. *)

@@ -11,6 +11,15 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 
+# Differential VM suite at both ends of the domain-count range: the
+# parallel wavefront executor must be bitwise-identical to sequential
+# execution whether the pool is trivial or genuinely concurrent.
+for n in 1 4; do
+  echo "vm-diff suite at FT_NUM_DOMAINS=$n"
+  FT_NUM_DOMAINS=$n dune exec --no-build test/test_main.exe -- test vm-diff \
+    > /dev/null
+done
+
 for f in examples/programs/*.ft; do
   echo "lint $f"
   dune exec --no-build bin/ftc.exe -- lint "$f"
@@ -18,6 +27,11 @@ done
 
 # Profile every example program and validate the emitted JSON (both the
 # profile document and the Chrome trace) with an independent parser.
+# A shared FT_PLAN_CACHE directory makes the second and third profile
+# of each file exercise the disk plan cache.
+FT_PLAN_CACHE="$(mktemp -d)"
+export FT_PLAN_CACHE
+trap 'rm -rf "$FT_PLAN_CACHE"' EXIT
 for f in examples/programs/*.ft; do
   echo "profile $f"
   dune exec --no-build bin/ftc.exe -- profile "$f" --format text > /dev/null

@@ -1,0 +1,253 @@
+(* The multicore runtime: Domain_pool's loops (correctness,
+   determinism, chunking edge cases, exception propagation) and the
+   compiled-plan cache (hit/miss accounting, option-sensitive keys,
+   the FT_PLAN_CACHE disk roundtrip). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let with_pool domains f =
+  let pool = Domain_pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) (fun () -> f pool)
+
+let runtime_tests =
+  [
+    Alcotest.test_case "parallel_for fills every index exactly once" `Quick
+      (fun () ->
+        List.iter
+          (fun domains ->
+            with_pool domains (fun pool ->
+                List.iter
+                  (fun n ->
+                    List.iter
+                      (fun chunk ->
+                        let a = Array.make (Stdlib.max 1 n) 0 in
+                        Domain_pool.parallel_for ?chunk pool ~lo:0 ~hi:n
+                          (fun i -> a.(i) <- a.(i) + 1);
+                        checki "sum" n (Array.fold_left ( + ) 0 a))
+                      [ None; Some 1; Some 3; Some 10_000 ])
+                  [ 0; 1; 3; 7; 1000 ]))
+          [ 1; 4 ]);
+    Alcotest.test_case "range smaller than the pool" `Quick (fun () ->
+        with_pool 8 (fun pool ->
+            let a = Array.make 3 0 in
+            Domain_pool.parallel_for pool ~lo:0 ~hi:3 (fun i -> a.(i) <- i + 1);
+            Alcotest.(check (array int)) "values" [| 1; 2; 3 |] a));
+    Alcotest.test_case "empty and inverted ranges are no-ops" `Quick (fun () ->
+        with_pool 4 (fun pool ->
+            Domain_pool.parallel_for pool ~lo:0 ~hi:0 (fun _ -> assert false);
+            Domain_pool.parallel_for pool ~lo:5 ~hi:2 (fun _ -> assert false)));
+    Alcotest.test_case "map_reduce is bitwise-identical at any pool size"
+      `Quick (fun () ->
+        (* values chosen so naive reassociation changes the float sum *)
+        let rng = Rng.create 17 in
+        let xs =
+          Array.init 1000 (fun _ -> Rng.uniform rng ~lo:(-1e8) ~hi:1e8)
+        in
+        let sum pool =
+          Domain_pool.map_reduce pool ~lo:0 ~hi:(Array.length xs)
+            ~map:(fun i -> xs.(i))
+            ~combine:( +. ) ~init:0.0
+        in
+        let s1 = with_pool 1 sum in
+        let s4 = with_pool 4 sum in
+        checkb "bitwise" true
+          (Int64.equal (Int64.bits_of_float s1) (Int64.bits_of_float s4)));
+    Alcotest.test_case "map_reduce of an empty range is init" `Quick (fun () ->
+        with_pool 4 (fun pool ->
+            checki "init" 42
+              (Domain_pool.map_reduce pool ~lo:3 ~hi:3
+                 ~map:(fun _ -> assert false)
+                 ~combine:( + ) ~init:42)));
+    Alcotest.test_case "exceptions in workers reach the caller" `Quick
+      (fun () ->
+        with_pool 4 (fun pool ->
+            checkb "raised" true
+              (match
+                 Domain_pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+                     if i = 57 then failwith "boom")
+               with
+              | () -> false
+              | exception Failure m -> m = "boom");
+            (* the pool survives a failed loop *)
+            let a = Array.make 10 0 in
+            Domain_pool.parallel_for pool ~lo:0 ~hi:10 (fun i -> a.(i) <- 1);
+            checki "sum" 10 (Array.fold_left ( + ) 0 a)));
+    Alcotest.test_case "map_array preserves order" `Quick (fun () ->
+        with_pool 4 (fun pool ->
+            let xs = Array.init 100 string_of_int in
+            let ys = Domain_pool.map_array pool int_of_string xs in
+            Alcotest.(check (array int)) "order" (Array.init 100 Fun.id) ys));
+    Alcotest.test_case "nested loops run inline instead of deadlocking"
+      `Quick (fun () ->
+        with_pool 4 (fun pool ->
+            let a = Array.make 64 0 in
+            Domain_pool.parallel_for pool ~lo:0 ~hi:8 (fun i ->
+                Domain_pool.parallel_for pool ~lo:0 ~hi:8 (fun j ->
+                    a.((i * 8) + j) <- 1));
+            checki "all" 64 (Array.fold_left ( + ) 0 a)));
+    Alcotest.test_case "FT_NUM_DOMAINS and set_num_domains drive the global \
+                        pool" `Quick (fun () ->
+        Unix.putenv "FT_NUM_DOMAINS" "3";
+        checki "env" 3 (Domain_pool.default_num_domains ());
+        Unix.putenv "FT_NUM_DOMAINS" "not-a-number";
+        checkb "fallback" true (Domain_pool.default_num_domains () >= 1);
+        Unix.putenv "FT_NUM_DOMAINS" "";
+        Domain_pool.set_num_domains (Some 2);
+        checki "override" 2 (Domain_pool.num_domains ());
+        checki "resized" 2 (Domain_pool.size (Domain_pool.get ()));
+        Domain_pool.set_num_domains (Some 1);
+        checki "shrunk" 1 (Domain_pool.size (Domain_pool.get ()));
+        Domain_pool.set_num_domains None);
+  ]
+
+let runtime_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100
+         ~name:"parallel_for chunking covers arbitrary (lo, hi, chunk)"
+         QCheck2.Gen.(
+           triple (int_range (-5) 50) (int_range 0 60) (int_range 1 70))
+         (fun (lo, len, chunk) ->
+           let hi = lo + len in
+           with_pool 4 (fun pool ->
+               let a = Array.make (Stdlib.max 1 len) 0 in
+               Domain_pool.parallel_for ~chunk pool ~lo ~hi (fun i ->
+                   let k = i - lo in
+                   a.(k) <- a.(k) + 1);
+               Array.fold_left ( + ) 0 a = len)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:50
+         ~name:"map_reduce equals the sequential fold"
+         QCheck2.Gen.(pair (int_range 0 200) (int_range 1 50))
+         (fun (n, chunk) ->
+           let seq = List.fold_left ( + ) 0 (List.init n (fun i -> i * i)) in
+           with_pool 4 (fun pool ->
+               Domain_pool.map_reduce ~chunk pool ~lo:0 ~hi:n
+                 ~map:(fun i -> i * i)
+                 ~combine:( + ) ~init:0
+               = seq)));
+  ]
+
+(* ------------------------------ plan cache ------------------------- *)
+
+let prog () = Stacked_rnn.program Stacked_rnn.default
+
+let mkdtemp () =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftplan-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf d =
+  Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+  Unix.rmdir d
+
+let with_disk_cache f =
+  let d = mkdtemp () in
+  Unix.putenv "FT_PLAN_CACHE" d;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "FT_PLAN_CACHE" "";
+      rm_rf d)
+    (fun () -> f d)
+
+let ft_source =
+  "program cachetest\n\
+   input xs: [3]f32[1,4]\n\
+   return xs.map { |x| x + x }\n"
+
+let with_ft_file src f =
+  let path = Filename.temp_file "cachetest" ".ft" in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let plan_cache_tests =
+  [
+    Alcotest.test_case "plan_cached: miss compiles, hit reuses" `Quick
+      (fun () ->
+        Pipeline.Cache.clear ();
+        let p = prog () in
+        let direct = Pipeline.plan p in
+        let a = Pipeline.plan_cached p in
+        let b = Pipeline.plan_cached p in
+        let s = Pipeline.Cache.stats () in
+        checki "misses" 1 s.Pipeline.Cache.misses;
+        checki "hits" 1 s.Pipeline.Cache.hits;
+        checkb "same plan object" true (a == b);
+        checki "same kernels" (Plan.total_kernels direct) (Plan.total_kernels a));
+    Alcotest.test_case "keys are option-sensitive" `Quick (fun () ->
+        let p = prog () in
+        checkb "collapse_reuse" true
+          (Pipeline.program_key ~collapse_reuse:true p
+          <> Pipeline.program_key ~collapse_reuse:false p);
+        checkb "programs" true
+          (Pipeline.program_key p
+          <> Pipeline.program_key (Stacked_rnn.program Stacked_rnn.paper));
+        checkb "source text" true
+          (Pipeline.source_key "a" <> Pipeline.source_key "b");
+        checkb "deterministic" true
+          (Pipeline.program_key p = Pipeline.program_key (prog ())));
+    Alcotest.test_case "plan_file roundtrips through FT_PLAN_CACHE" `Quick
+      (fun () ->
+        with_disk_cache (fun dir ->
+            with_ft_file ft_source (fun path ->
+                Pipeline.Cache.clear ();
+                let a = Pipeline.plan_file path in
+                let s1 = Pipeline.Cache.stats () in
+                checki "miss first" 1 s1.Pipeline.Cache.misses;
+                checki "one entry on disk" 1 (Array.length (Sys.readdir dir));
+                (* drop memory: the next call must load from disk *)
+                Pipeline.Cache.clear ();
+                let b = Pipeline.plan_file path in
+                let s2 = Pipeline.Cache.stats () in
+                checki "disk hit" 1 s2.Pipeline.Cache.disk_hits;
+                checki "no recompile" 0 s2.Pipeline.Cache.misses;
+                checki "same kernels" (Plan.total_kernels a)
+                  (Plan.total_kernels b);
+                (* now in memory again *)
+                ignore (Pipeline.plan_file path);
+                checki "memory hit" 1 (Pipeline.Cache.stats ()).Pipeline.Cache.hits)));
+    Alcotest.test_case "corrupt disk entries recompile instead of failing"
+      `Quick (fun () ->
+        with_disk_cache (fun dir ->
+            with_ft_file ft_source (fun path ->
+                Pipeline.Cache.clear ();
+                ignore (Pipeline.plan_file path);
+                (* clobber the entry *)
+                Array.iter
+                  (fun f ->
+                    let oc = open_out (Filename.concat dir f) in
+                    output_string oc "not a marshalled plan";
+                    close_out oc)
+                  (Sys.readdir dir);
+                Pipeline.Cache.clear ();
+                ignore (Pipeline.plan_file path);
+                let s = Pipeline.Cache.stats () in
+                checki "recompiled" 1 s.Pipeline.Cache.misses;
+                checki "no disk hit" 0 s.Pipeline.Cache.disk_hits)));
+    Alcotest.test_case "plan_file skips the parse on a memory hit" `Quick
+      (fun () ->
+        (* no disk cache here; contents-keyed, so a second file with the
+           same source hits without ever being parsed *)
+        Unix.putenv "FT_PLAN_CACHE" "";
+        with_ft_file ft_source (fun p1 ->
+            with_ft_file ft_source (fun p2 ->
+                Pipeline.Cache.clear ();
+                ignore (Pipeline.plan_file p1);
+                ignore (Pipeline.plan_file p2);
+                let s = Pipeline.Cache.stats () in
+                checki "one compile" 1 s.Pipeline.Cache.misses;
+                checki "one hit" 1 s.Pipeline.Cache.hits)));
+  ]
+
+let suites =
+  [
+    ("runtime", runtime_tests @ runtime_props);
+    ("plan-cache", plan_cache_tests);
+  ]

@@ -256,10 +256,138 @@ let kernels_tests =
         checki "flops" 24 (Kernels.matmul_flops ~m:2 ~n:3 ~k:2));
   ]
 
+(* The Bigarray backend's destination-passing ops: each [_into] /
+   [_inplace] form must agree with its pure counterpart (bitwise where
+   the loop order is identical), and buffer-sharing semantics must be
+   what the docs promise. *)
+let into_tests =
+  let bits_equal = Tensor.equal_bits in
+  let rng () = Rng.create 77 in
+  [
+    Alcotest.test_case "map2_into covers every broadcast form" `Quick
+      (fun () ->
+        let r = rng () in
+        let a = Tensor.rand r (Shape.of_array [| 3; 4 |]) in
+        List.iter
+          (fun b ->
+            let dst = Tensor.uninit (Shape.of_array [| 3; 4 |]) in
+            Tensor.map2_into ( +. ) a b ~dst;
+            checkb "add_into = add" true (bits_equal dst (Tensor.add a b)))
+          [
+            Tensor.rand r (Shape.of_array [| 3; 4 |]);
+            (* same shape *)
+            Tensor.rand r (Shape.of_array [| 1; 4 |]);
+            (* row vector *)
+            Tensor.rand r (Shape.of_array [| 3; 1 |]);
+            (* column vector *)
+            Tensor.scalar 2.5 (* scalar *);
+          ]);
+    Alcotest.test_case "map2_into may alias an operand" `Quick (fun () ->
+        let r = rng () in
+        let a = Tensor.rand r (Shape.of_array [| 3; 4 |]) in
+        let b = Tensor.rand r (Shape.of_array [| 3; 4 |]) in
+        let want = Tensor.mul a b in
+        let acc = Tensor.copy a in
+        Tensor.mul_into acc b ~dst:acc;
+        checkb "dst = left operand" true (bits_equal acc want));
+    Alcotest.test_case "matmul_into beta/alpha/transpose_b" `Quick (fun () ->
+        let r = rng () in
+        let a = Tensor.rand r (Shape.of_array [| 3; 5 |]) in
+        let b = Tensor.rand r (Shape.of_array [| 5; 4 |]) in
+        let bt = Tensor.transpose b in
+        (* beta:0 = plain matmul, bitwise (same loop order) *)
+        let d0 = Tensor.uninit (Shape.of_array [| 3; 4 |]) in
+        Tensor.matmul_into ~beta:0.0 ~dst:d0 a b;
+        checkb "beta 0" true (bits_equal d0 (Tensor.matmul a b));
+        (* transpose_b reads b^T without materialising it *)
+        let dt = Tensor.uninit (Shape.of_array [| 3; 4 |]) in
+        Tensor.matmul_into ~beta:0.0 ~transpose_b:true ~dst:dt a bt;
+        checkb "transpose_b" true
+          (Tensor.equal_approx ~eps:1e-12 dt (Tensor.matmul a b));
+        (* alpha scales the product; beta:1 accumulates *)
+        let acc = Tensor.copy d0 in
+        Tensor.matmul_into ~alpha:2.0 ~beta:1.0 ~dst:acc a b;
+        checkb "accumulate" true
+          (Tensor.equal_approx ~eps:1e-9 acc
+             (Tensor.add d0 (Tensor.scale 2.0 (Tensor.matmul a b)))));
+    Alcotest.test_case "activations in place = pure" `Quick (fun () ->
+        let r = rng () in
+        let x = Tensor.rand r (Shape.of_array [| 4; 6 |]) in
+        let t = Tensor.copy x in
+        Tensor.tanh_inplace t;
+        checkb "tanh" true (bits_equal t (Tensor.map Stdlib.tanh x));
+        let s = Tensor.copy x in
+        Tensor.sigmoid_inplace s;
+        checkb "sigmoid" true
+          (bits_equal s (Tensor.map (fun v -> 1. /. (1. +. exp (-.v))) x));
+        let sm = Tensor.copy x in
+        Tensor.softmax_inplace sm;
+        checkb "softmax" true (bits_equal sm (Tensor.softmax x)));
+    Alcotest.test_case "equal_bits distinguishes what equal_approx cannot"
+      `Quick (fun () ->
+        let a = Tensor.scalar 0.0 in
+        let b = Tensor.scalar (-0.0) in
+        checkb "approx" true (Tensor.equal_approx a b);
+        checkb "bits" false (Tensor.equal_bits a b);
+        let x = Tensor.scalar 1.0 in
+        let y = Tensor.scalar (1.0 +. epsilon_float) in
+        checkb "one ulp" false (Tensor.equal_bits x y));
+    Alcotest.test_case "data returns a copy; reshape shares the buffer"
+      `Quick (fun () ->
+        let t = Tensor.create (Shape.of_array [| 2; 2 |]) [| 1.; 2.; 3.; 4. |] in
+        let d = Tensor.data t in
+        d.(0) <- 99.;
+        checkb "detached" true (Tensor.get t [| 0; 0 |] = 1.0);
+        let r = Tensor.reshape t (Shape.of_array [| 4 |]) in
+        checkb "shared" true (Tensor.buffer r == Tensor.buffer t));
+    Alcotest.test_case "lstm_cell = pure composition" `Quick (fun () ->
+        let r = rng () in
+        let sh = Shape.of_array [| 2; 4 |] in
+        let wh = Shape.of_array [| 4; 4 |] in
+        let x = Tensor.rand r sh and h = Tensor.rand r sh in
+        let c = Tensor.rand r sh in
+        let ws = Array.init 4 (fun _ -> Tensor.rand r wh) in
+        let us = Array.init 4 (fun _ -> Tensor.rand r wh) in
+        let bs = Array.init 4 (fun _ -> Tensor.rand r (Shape.of_array [| 1; 4 |])) in
+        let pre g =
+          Tensor.add
+            (Tensor.add (Tensor.matmul x ws.(g)) (Tensor.matmul h us.(g)))
+            bs.(g)
+        in
+        let sigmoid = Tensor.map (fun v -> 1. /. (1. +. exp (-.v))) in
+        let i = sigmoid (pre 0) and f = sigmoid (pre 1) in
+        let o = sigmoid (pre 2) and c_tilde = Tensor.map Stdlib.tanh (pre 3) in
+        let c_want = Tensor.add (Tensor.mul f c) (Tensor.mul i c_tilde) in
+        let h_want = Tensor.mul o (Tensor.map Stdlib.tanh c_want) in
+        let c', h' = Kernels.lstm_cell ~x ~h ~c ~ws ~us ~bs in
+        checkb "c'" true (Tensor.equal_approx ~eps:1e-12 c' c_want);
+        checkb "h'" true (Tensor.equal_approx ~eps:1e-12 h' h_want));
+    Alcotest.test_case "rnn_cell and linear = pure compositions" `Quick
+      (fun () ->
+        let r = rng () in
+        let x = Tensor.rand r (Shape.of_array [| 3; 5 |]) in
+        let h = Tensor.rand r (Shape.of_array [| 3; 4 |]) in
+        let w = Tensor.rand r (Shape.of_array [| 5; 4 |]) in
+        let u = Tensor.rand r (Shape.of_array [| 4; 4 |]) in
+        let b = Tensor.rand r (Shape.of_array [| 1; 4 |]) in
+        checkb "rnn_cell" true
+          (Tensor.equal_approx ~eps:1e-12
+             (Kernels.rnn_cell ~x ~h ~w ~u ~b)
+             (Tensor.map Stdlib.tanh
+                (Tensor.add
+                   (Tensor.add (Tensor.matmul x w) (Tensor.matmul h u))
+                   b)));
+        checkb "linear" true
+          (Tensor.equal_approx ~eps:1e-12
+             (Kernels.linear x w b)
+             (Tensor.add (Tensor.matmul x w) b)));
+  ]
+
 let suites =
   [
     ("shape", shape_tests @ shape_props);
     ("rng", rng_tests);
     ("tensor", tensor_tests @ tensor_props);
+    ("tensor-into", into_tests);
     ("kernels", kernels_tests);
   ]

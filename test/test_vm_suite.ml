@@ -168,4 +168,90 @@ let dot_tests =
           [ "digraph"; "buf0"; "blk0"; "stacked_rnn.region3"; "p = [map,scanl,scanl]" ]);
   ]
 
-let suites = [ ("vm", vm_tests @ vm_props); ("dot", dot_tests) ]
+(* Differential suite: parallel wavefront execution must be BITWISE
+   identical to sequential execution — not approximately equal — for
+   every workload.  Each point of an anti-chain writes a disjoint
+   cell and its value is independent of its siblings, so domain count
+   must not change a single ULP.  check.sh runs this suite under
+   FT_NUM_DOMAINS=1 and =4. *)
+
+let diff_case name mk =
+  Alcotest.test_case name `Quick (fun () ->
+      let program, bindings = mk () in
+      let g = Build.build program in
+      let seq = Vm.run ~order:Vm.Sequential g bindings in
+      let pool = Domain_pool.create ~domains:4 in
+      Fun.protect
+        ~finally:(fun () -> Domain_pool.shutdown pool)
+        (fun () ->
+          let par = Vm.run ~order:Vm.Wavefront ~pool g bindings in
+          checkb "bitwise" true
+            (List.length seq = List.length par
+            && List.for_all2
+                 (fun (n1, v1) (n2, v2) ->
+                   n1 = n2 && Fractal.equal_exact v1 v2)
+                 seq par)))
+
+let vm_diff_tests =
+  [
+    diff_case "stacked RNN" (fun () ->
+        let cfg = Stacked_rnn.default in
+        let inp = Stacked_rnn.gen_inputs (Rng.create 41) cfg in
+        (Stacked_rnn.program cfg, Stacked_rnn.bindings inp));
+    diff_case "stacked LSTM" (fun () ->
+        let cfg = Stacked_lstm.default in
+        let inp = Stacked_lstm.gen_inputs (Rng.create 41) cfg in
+        (Stacked_lstm.program cfg, Stacked_lstm.bindings inp));
+    diff_case "grid RNN" (fun () ->
+        let cfg = Grid_rnn.default in
+        let inp = Grid_rnn.gen_inputs (Rng.create 41) cfg in
+        (Grid_rnn.program cfg, Grid_rnn.bindings inp));
+    diff_case "dilated RNN" (fun () ->
+        let cfg = Dilated_rnn.default in
+        let inp = Dilated_rnn.gen_inputs (Rng.create 41) cfg in
+        (Dilated_rnn.program cfg, Dilated_rnn.bindings inp));
+    diff_case "b2b GEMM" (fun () ->
+        let cfg = B2b_gemm.default in
+        let inp = B2b_gemm.gen_inputs (Rng.create 41) cfg in
+        (B2b_gemm.program cfg, B2b_gemm.bindings inp));
+    diff_case "FlashAttention" (fun () ->
+        let cfg = Flash_attention.default in
+        let inp = Flash_attention.gen_inputs (Rng.create 41) cfg in
+        (Flash_attention.program cfg, Flash_attention.bindings inp));
+    diff_case "BigBird" (fun () ->
+        let cfg = Bigbird.default in
+        let inp = Bigbird.gen_inputs (Rng.create 41) cfg in
+        (Bigbird.program cfg, Bigbird.bindings inp));
+    diff_case "selective scan" (fun () ->
+        let cfg = Selective_scan.default in
+        let inp = Selective_scan.gen_inputs (Rng.create 41) cfg in
+        (Selective_scan.program cfg, Selective_scan.bindings inp));
+    diff_case "retention" (fun () ->
+        let cfg = Retention.default in
+        let inp = Retention.gen_inputs (Rng.create 41) cfg in
+        (Retention.program cfg, Retention.bindings inp));
+    Alcotest.test_case "global pool (FT_NUM_DOMAINS path)" `Quick (fun () ->
+        (* default ?pool: Wavefront picks up the shared pool *)
+        Domain_pool.set_num_domains (Some 4);
+        Fun.protect
+          ~finally:(fun () -> Domain_pool.set_num_domains None)
+          (fun () ->
+            let cfg = Stacked_rnn.default in
+            let inp = Stacked_rnn.gen_inputs (Rng.create 41) cfg in
+            let g = Build.build (Stacked_rnn.program cfg) in
+            let binds = Stacked_rnn.bindings inp in
+            let seq = Vm.run ~order:Vm.Sequential g binds in
+            let par = Vm.run ~order:Vm.Wavefront g binds in
+            checkb "bitwise" true
+              (List.for_all2
+                 (fun (n1, v1) (n2, v2) ->
+                   n1 = n2 && Fractal.equal_exact v1 v2)
+                 seq par)));
+  ]
+
+let suites =
+  [
+    ("vm", vm_tests @ vm_props);
+    ("vm-diff", vm_diff_tests);
+    ("dot", dot_tests);
+  ]
