@@ -209,6 +209,23 @@ let rec random_value rng (ty : Expr.ty) : Fractal.t =
   | Expr.Tuple_ty ts ->
       Fractal.Node (Array.of_list (List.map (random_value rng) ts))
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Asking for more domains than the machine has cores buys contention,
+   not parallelism — flag it once the pool size is settled. *)
+let warn_if_oversubscribed () =
+  let hw = Stdlib.Domain.recommended_domain_count () in
+  let used = Domain_pool.num_domains () in
+  if used > hw then
+    Format.eprintf
+      "warning: domain pool of %d exceeds the %d hardware core(s) detected \
+       — wavefront timings will include scheduling contention@."
+      used hw
+
 (* ------------------------------- commands ------------------------- *)
 
 open Cmdliner
@@ -406,6 +423,7 @@ let domains_arg =
 let run_cmd =
   let run path domains =
     Domain_pool.set_num_domains domains;
+    warn_if_oversubscribed ();
     match Parse.program_file path with
     | exception Parse.Syntax_error { line; col; message } ->
         Format.eprintf "%s:%d:%d: %s@." path line col message;
@@ -432,13 +450,25 @@ let run_cmd =
                   (List.length g.Ir.g_blocks)
             | Error es ->
                 List.iter (Format.eprintf "invariant violated: %s@.") es);
-            let plan = Pipeline.plan_of_graph g in
+            (* a tuned config in the database (FT_TUNE_DB) applies
+               transparently: no search runs here, only a lookup *)
+            Tune_db.install ();
+            let tuned =
+              Pipeline.tuned_config_for (Pipeline.source_key (read_file path))
+            in
+            let tile = Option.value tuned ~default:Tile.default_config in
+            Option.iter
+              (fun t ->
+                Format.printf "tuned: %s@." (Tile.config_to_string t))
+              tuned;
+            let plan = Pipeline.plan_of_graph ~tile g in
             Format.printf "compiled: %a@." Engine.pp_metrics (Exec.metrics plan);
             (* execute the compiled schedule for real, both orders, and
                demand bitwise-identical outputs — the differential check
                behind the wavefront executor's determinism guarantee *)
+            let chunk = tile.Tile.cfg_vm_chunk in
             let seq = Vm.run ~order:Vm.Sequential g env in
-            let par = Vm.run ~order:Vm.Wavefront g env in
+            let par = Vm.run ~order:Vm.Wavefront ~chunk g env in
             let bitwise =
               List.length seq = List.length par
               && List.for_all2
@@ -472,6 +502,7 @@ let run_cmd =
 let profile_cmd =
   let run path format device domains =
     Domain_pool.set_num_domains domains;
+    warn_if_oversubscribed ();
     match Parse.program_file path with
     | exception Parse.Syntax_error { line; col; message } ->
         Format.eprintf "%s:%d:%d: %s@." path line col message;
@@ -485,19 +516,19 @@ let profile_cmd =
             let sink = Trace.make () in
             (* plan cache: a hit (in-memory or FT_PLAN_CACHE on disk)
                skips the whole compile — the trace then has no compiler
-               spans, only simulation and vm ones *)
-            let src =
-              let ic = open_in_bin path in
-              Fun.protect
-                ~finally:(fun () -> close_in_noerr ic)
-                (fun () -> really_input_string ic (in_channel_length ic))
-            in
-            let key = Pipeline.source_key src in
+               spans, only simulation and vm ones.  A tuned config in
+               the database (FT_TUNE_DB) resolves first and shifts the
+               cache key, so tuned and default plans coexist. *)
+            Tune_db.install ~device ();
+            let src = read_file path in
+            let tuned = Pipeline.tuned_config_for (Pipeline.source_key src) in
+            let tile = Option.value tuned ~default:Tile.default_config in
+            let key = Pipeline.source_key ~tile src in
             let cached = Pipeline.Cache.mem key || Pipeline.Cache.on_disk key in
             let plan =
-              if cached then Pipeline.plan_file path
+              if cached then Pipeline.plan_file ~tune:true path
               else begin
-                let t = Pipeline.compile ~trace:sink p in
+                let t = Pipeline.compile ~trace:sink ~tile p in
                 Pipeline.Cache.store key t.Pipeline.p_plan;
                 t.Pipeline.p_plan
               end
@@ -512,12 +543,20 @@ let profile_cmd =
             in
             let g = Build.build p in
             Trace.with_sink sink (fun () ->
-                ignore (Vm.run ~order:Vm.Wavefront g env));
+                ignore
+                  (Vm.run ~order:Vm.Wavefront ~chunk:tile.Tile.cfg_vm_chunk g
+                     env));
             let prof = Exec.profile ~device plan in
+            let tuned_str =
+              match tuned with
+              | Some t -> Tile.config_to_string t
+              | None -> "none"
+            in
             (match format with
             | `Text ->
                 Format.printf "plan cache: %s@."
                   (if cached then "hit" else "miss");
+                Format.printf "tuned config: %s@." tuned_str;
                 print_string (Profile.to_text prof);
                 print_newline ();
                 print_string (Trace.to_text sink)
@@ -527,6 +566,7 @@ let profile_cmd =
                      (Jsonw.Obj
                         [ ("plan_cache",
                            Jsonw.String (if cached then "hit" else "miss"));
+                          ("tuned_config", Jsonw.String tuned_str);
                           ("profile", Profile.to_jsonv prof);
                           ("trace", Trace.to_jsonv sink) ]))
             | `Chrome -> print_endline (Trace.to_chrome sink)))
@@ -582,6 +622,177 @@ let lint_cmd =
           composability — without executing anything")
     Term.(const run $ file $ fmt)
 
+let tune_cmd =
+  let run path budget strategy oracle seed device format =
+    if budget < 1 then begin
+      Format.eprintf "tune: --budget must be at least 1@.";
+      exit 1
+    end;
+    match
+      Tuner.tune_file ~device ~seed ~strategy ~budget ~oracle path
+    with
+    | exception Parse.Syntax_error { line; col; message } ->
+        Format.eprintf "%s:%d:%d: %s@." path line col message;
+        exit 1
+    | exception Typecheck.Type_error msg ->
+        Format.eprintf "%s: type error: %s@." path msg;
+        exit 1
+    | report -> (
+        match format with
+        | `Text -> print_string (Tuner.report_to_text report)
+        | `Json ->
+            print_endline (Jsonw.to_string (Tuner.report_to_jsonv report)))
+  in
+  let file =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum number of candidate evaluations (default 32)")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("grid", Search.Grid); ("greedy", Search.Greedy);
+               ("evolve", Search.Evolve) ])
+          Search.Grid
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Search strategy: grid (exhaustive, or a seeded uniform sample \
+             when the lattice exceeds the budget), greedy (coordinate \
+             descent) or evolve (seeded evolutionary search)")
+  in
+  let oracle =
+    Arg.(
+      value
+      & opt (enum [ ("sim", Tuner.Sim); ("measure", Tuner.Measure) ]) Tuner.Sim
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:
+            "Cost oracle: sim (analytical roofline on the device model, \
+             instant) or measure (simulated device time plus wall-clock of \
+             the reference VM, median of 3)")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 2024
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "PRNG seed; the whole search is a pure function of (seed, \
+             budget, strategy, oracle)")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or json")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the tile/chunk knob space of a .ft program for the \
+          best-cost configuration under an evaluation budget, report the \
+          cost trajectory, and record the winner in the tuning database \
+          (set \\$(b,FT_TUNE_DB) to a directory to persist it); \
+          subsequent \\$(b,ftc run) / \\$(b,ftc profile) of the same file \
+          apply it without re-searching")
+    Term.(const run $ file $ budget $ strategy $ oracle $ seed $ device_arg
+          $ fmt)
+
+let plan_cache_disk_entries () =
+  match Sys.getenv_opt "FT_PLAN_CACHE" with
+  | None | Some "" -> None
+  | Some d -> (
+      match Sys.readdir d with
+      | exception Sys_error _ -> Some (d, [])
+      | fs ->
+          Some
+            ( d,
+              Array.to_list fs
+              |> List.filter (fun f ->
+                     String.length f > 7
+                     && String.sub f 0 7 = "ftplan-"
+                     && Filename.check_suffix f ".bin") ))
+
+let cache_cmd =
+  let run action disk =
+    match action with
+    | `Stats ->
+        let cs = Pipeline.Cache.stats () in
+        (match plan_cache_disk_entries () with
+        | None ->
+            Format.printf "plan cache: FT_PLAN_CACHE unset (memory only)@."
+        | Some (d, fs) ->
+            Format.printf "plan cache: %d disk entrie(s) under %s@."
+              (List.length fs) d);
+        Format.printf
+          "  this process: %d hit(s), %d miss(es), %d disk hit(s)@."
+          cs.Pipeline.Cache.hits cs.Pipeline.Cache.misses
+          cs.Pipeline.Cache.disk_hits;
+        let ts = Tune_db.stats () in
+        (match Sys.getenv_opt Tune_db.env_var with
+        | None | Some "" ->
+            Format.printf "tune db:    %s unset (memory only)@."
+              Tune_db.env_var
+        | Some d ->
+            Format.printf "tune db:    %d disk entrie(s) under %s@."
+              (List.length (Tune_db.disk_entries ())) d);
+        Format.printf
+          "  this process: %d hit(s), %d miss(es), %d disk hit(s), %d \
+           store(s)@."
+          ts.Tune_db.hits ts.Tune_db.misses ts.Tune_db.disk_hits
+          ts.Tune_db.stores
+    | `Clear ->
+        (* in-memory state dies with this process anyway; Cache.clear /
+           clear_memory never touch disk — only --disk does *)
+        Pipeline.Cache.clear ();
+        Tune_db.clear_memory ();
+        if disk then begin
+          let plans =
+            match plan_cache_disk_entries () with
+            | None -> 0
+            | Some (d, fs) ->
+                List.iter
+                  (fun f -> try Sys.remove (Filename.concat d f) with _ -> ())
+                  fs;
+                List.length fs
+          in
+          let tunes = Tune_db.clear_disk () in
+          Format.printf "cleared %d plan(s) and %d tune record(s) from disk@."
+            plans tunes
+        end
+        else
+          Format.printf
+            "cleared in-memory caches (disk entries untouched; pass --disk \
+             to delete them)@."
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+      & info [] ~docv:"ACTION" ~doc:"stats or clear")
+  in
+  let disk =
+    Arg.(
+      value & flag
+      & info [ "disk" ]
+          ~doc:
+            "With clear: also delete the FT_PLAN_CACHE and FT_TUNE_DB disk \
+             entries (by default only in-memory state is dropped and disk \
+             entries are left alone)")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the compiled-plan cache (\\$(b,FT_PLAN_CACHE)) \
+          and the tuning database (\\$(b,FT_TUNE_DB))")
+    Term.(const run $ action $ disk)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -591,4 +802,4 @@ let () =
   exit
     (Cmd.eval (Cmd.group ~default info
                  [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
-                   run_cmd; profile_cmd; lint_cmd ]))
+                   run_cmd; profile_cmd; tune_cmd; cache_cmd; lint_cmd ]))

@@ -125,7 +125,8 @@ let edge_total_bytes ?(collapse_reuse = true) g (b : Ir.block) (e : Ir.edge) =
         b.Ir.blk_ops;
       per *. Float.max 1.0 (float_of_int cells /. float_of_int !fold_collapse)
 
-let block_kernels ?(others = []) ?(collapse_reuse = true) g (b : Ir.block) =
+let block_kernels ?(others = []) ?(collapse_reuse = true)
+    ?(tile = Tile.default_config) g (b : Ir.block) =
   let r = Reorder.apply b in
   let point_flops = block_point_flops b in
   let cells_total = domain_size b.Ir.blk_domain in
@@ -190,13 +191,37 @@ let block_kernels ?(others = []) ?(collapse_reuse = true) g (b : Ir.block) =
     let totals =
       List.map (fun e -> (e, edge_total_bytes ~collapse_reuse g b e)) edges
     in
+    let gemm_dims = first_matmul_dims b in
+    let block_tiles = Tile.tiles_for tile b.Ir.blk_name in
     let l1_per_cell =
-      (* per-cell staging: the result tile round-trips shared memory;
-         operand tiles are shared across cells and already counted via
-         the reuse-collapsed access bytes *)
-      match first_matmul_dims b with
-      | Some (m, n, _) -> float_of_int (4 * m * n)
-      | None -> 0.0
+      (* per-cell staging.  Legacy (no explicit tiles): the result tile
+         round-trips shared memory; operand tiles are shared across
+         cells and already counted via the reuse-collapsed access
+         bytes.  Under an explicit (tuned) tile shape the full tile
+         model applies: padded result round-trip plus operand strips
+         re-staged once per tile row / column. *)
+      match (gemm_dims, block_tiles) with
+      | Some (m, n, k), Some tl -> Tile.gemm_tile_l1_bytes tl ~m ~n ~k
+      | Some (m, n, _), None -> float_of_int (4 * m * n)
+      | None, _ -> 0.0
+    in
+    (* thread blocks per iteration cell: one in the legacy emission;
+       one per output tile under explicit tiles; one per elementwise
+       chunk when the config chunks streaming kernels *)
+    let tasks_per_cell =
+      match (gemm_dims, block_tiles) with
+      | Some (m, n, _), Some tl -> Tile.gemm_tile_tasks tl ~m ~n
+      | Some _, None -> 1
+      | None, _ ->
+          if tile.Tile.cfg_elem_chunk <= 0 then 1
+          else (
+            match List.rev b.Ir.blk_body with
+            | last :: _ ->
+                Stdlib.max 1
+                  (Tile.ceil_div
+                     (Shape.numel last.Ir.result_shape)
+                     tile.Tile.cfg_elem_chunk)
+            | [] -> 1)
     in
     let tensor_core =
       match first_matmul_dims b with
@@ -249,11 +274,12 @@ let block_kernels ?(others = []) ?(collapse_reuse = true) g (b : Ir.block) =
         in
         Some
           (Plan.kernel ~l1_bytes:l1 ~tensor_core ~launch_free:(k > 0)
+             ?gemm:gemm_dims
              ~name:
                (if steps = 1 then b.Ir.blk_name
                 else Printf.sprintf "%s.wave%d" b.Ir.blk_name k)
              ~flops:(point_flops *. float_of_int cells)
-             ~tasks:cells accesses)
+             ~tasks:(cells * tasks_per_cell) accesses)
     in
     if not r.Reorder.wavefront then
       Option.to_list (make_step 0 cells_total)
@@ -268,13 +294,14 @@ let block_plan g b = block_kernels g b
 (* The plan for an already-coarsened graph.  Not a user entry point:
    {!Pipeline.compile} is the one compile path and calls this after
    running (and optionally verifying) the coarsening stages. *)
-let emit_plan ?(collapse_reuse = true) (g : Ir.graph) =
+let emit_plan ?(collapse_reuse = true) ?(tile = Tile.default_config)
+    (g : Ir.graph) =
   Trace.timed ~cat:"pass" "emit" (fun () ->
       let blocks = Ir.dataflow_order g in
       {
         Plan.plan_name = "FractalTensor";
         kernels =
           List.concat_map
-            (fun b -> block_kernels ~others:blocks ~collapse_reuse g b)
+            (fun b -> block_kernels ~others:blocks ~collapse_reuse ~tile g b)
             blocks;
       })

@@ -24,13 +24,19 @@ val block_point_flops : Ir.block -> float
 
 val domain_size : Domain.t -> int
 
-val emit_plan : ?collapse_reuse:bool -> Ir.graph -> Plan.t
+val emit_plan : ?collapse_reuse:bool -> ?tile:Tile.config -> Ir.graph -> Plan.t
 (** Emit the FractalTensor execution plan for an {e already coarsened}
     graph: reorders every block and materialises access maps into
     per-kernel traffic.  [collapse_reuse:false] disables the null-space
     reuse analysis (every access materialises per iteration) — the
-    ablation knob for §5.2's deferred materialization.  Emission is
-    recorded as the ["emit"] span on installed trace sinks.
+    ablation knob for §5.2's deferred materialization.  [tile]
+    (default {!Tile.default_config}) selects cache-tile shapes and
+    chunking per block: under the default config emission is
+    bitwise-identical to the untiled emitter; explicit tiles — the
+    auto-tuner's output — switch the affected blocks to the
+    {!Tile.gemm_tile_l1_bytes} staging model and one thread block per
+    output tile.  Emission is recorded as the ["emit"] span on
+    installed trace sinks.
 
     This is the back half of the compiler, not a user entry point:
     call {!Pipeline.compile} (or {!Pipeline.plan}), which runs the

@@ -83,7 +83,17 @@ let run_stage g = function
       let rs, g' = Reorder.reorder g in
       (g', Some rs)
 
-let compile_from ~stage_checks ~emit_check ~fatal ~collapse_reuse ~stages
+(* The ambient tuned-config source: given a program/source digest
+   (computed at the default tile config), the best-known tile config
+   for it, if any.  [Tune_db.install] (lib/tune) registers the
+   FT_TUNE_DB lookup here; compiles passing [~tune:true] consult it.
+   A hook rather than a direct call: the tuning database lives above
+   this library. *)
+let tune_source : (string -> Tile.config option) ref = ref (fun _ -> None)
+let set_tune_source f = tune_source := f
+let tuned_config_for key = !tune_source key
+
+let compile_from ~stage_checks ~emit_check ~fatal ~collapse_reuse ~tile ~stages
     ~init_results g0 =
   let results = ref (List.rev init_results) in
   let reorder_acc = ref [] in
@@ -120,7 +130,7 @@ let compile_from ~stage_checks ~emit_check ~fatal ~collapse_reuse ~stages
     end
     else None
   in
-  let plan = Emit.emit_plan ~collapse_reuse !emit_graph in
+  let plan = Emit.emit_plan ~collapse_reuse ~tile !emit_graph in
   {
     p_stages = List.rev !results;
     p_reorder = !reorder_acc;
@@ -132,8 +142,42 @@ let compile_from ~stage_checks ~emit_check ~fatal ~collapse_reuse ~stages
 let with_trace trace f =
   match trace with None -> f () | Some s -> Trace.with_sink s f
 
+(* Keys digest every compile input that changes the emitted plan:
+   program (or source text) plus the option set, tile config included.
+   Expr.program is pure data — no closures — so Marshal is
+   deterministic; Bigarray literals serialise dims + contents. *)
+let program_key ?(verify = true) ?(collapse_reuse = true)
+    ?(tile = Tile.default_config) (p : Expr.program) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string ("program", p, verify, collapse_reuse, tile) []))
+
+let source_key ?(verify = true) ?(collapse_reuse = true)
+    ?(tile = Tile.default_config) src =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string ("source", src, verify, collapse_reuse, tile) []))
+
+(* [~tune:true] with no explicit tile: look the program up in the
+   registered tuning database (keyed at the default config) and apply
+   the best-known tile config — no search happens here. *)
+let resolve_tile ~verify ~collapse_reuse ~tune ~tile ~base_key =
+  match tile with
+  | Some t -> t
+  | None ->
+      if tune then
+        Option.value
+          (tuned_config_for (base_key ~verify ~collapse_reuse ()))
+          ~default:Tile.default_config
+      else Tile.default_config
+
 let compile ?(verify = true) ?(fatal = true) ?trace ?(collapse_reuse = true)
-    ?(stages = default_stages) (p : Expr.program) =
+    ?tile ?(tune = false) ?(stages = default_stages) (p : Expr.program) =
+  let tile =
+    resolve_tile ~verify ~collapse_reuse ~tune ~tile
+      ~base_key:(fun ~verify ~collapse_reuse () ->
+        program_key ~verify ~collapse_reuse p)
+  in
   with_trace trace (fun () ->
       let t0 = now_ms () in
       let g = Build.build p in
@@ -151,23 +195,26 @@ let compile ?(verify = true) ?(fatal = true) ?trace ?(collapse_reuse = true)
             sr_diagnostics = ds } ]
       in
       compile_from ~stage_checks:verify ~emit_check:verify ~fatal
-        ~collapse_reuse ~stages ~init_results:init g)
+        ~collapse_reuse ~tile ~stages ~init_results:init g)
 
 let compile_graph ?(verify = true) ?(fatal = true) ?trace
-    ?(collapse_reuse = true) ?(stages = default_stages) g =
+    ?(collapse_reuse = true) ?(tile = Tile.default_config)
+    ?(stages = default_stages) g =
   with_trace trace (fun () ->
       compile_from ~stage_checks:verify ~emit_check:verify ~fatal
-        ~collapse_reuse ~stages ~init_results:[] g)
+        ~collapse_reuse ~tile ~stages ~init_results:[] g)
 
 (* The terse compile-to-plan paths verify the graph once, just before
    emission — per-stage checking is [compile]'s job. *)
-let plan_of_graph ?(verify = true) ?(collapse_reuse = true) g =
+let plan_of_graph ?(verify = true) ?(collapse_reuse = true)
+    ?(tile = Tile.default_config) g =
   (compile_from ~stage_checks:false ~emit_check:verify ~fatal:true
-     ~collapse_reuse ~stages:[ Group; Merge ] ~init_results:[] g)
+     ~collapse_reuse ~tile ~stages:[ Group; Merge ] ~init_results:[] g)
     .p_plan
 
-let plan ?(verify = true) ?(collapse_reuse = true) (p : Expr.program) =
-  plan_of_graph ~verify ~collapse_reuse (Build.build p)
+let plan ?(verify = true) ?(collapse_reuse = true)
+    ?(tile = Tile.default_config) (p : Expr.program) =
+  plan_of_graph ~verify ~collapse_reuse ~tile (Build.build p)
 
 (* ---------------------------- plan cache --------------------------- *)
 
@@ -175,8 +222,9 @@ module Cache = struct
   type stats = { hits : int; misses : int; disk_hits : int }
 
   (* Bump when Plan.t (or anything reachable from it) changes layout:
-     stale disk entries then fail the version check and recompile. *)
-  let version = 1
+     stale disk entries then fail the version check and recompile.
+     v2: kernel_spec gained ks_gemm. *)
+  let version = 2
 
   let table : (string, Plan.t) Hashtbl.t = Hashtbl.create 16
   let m = Mutex.create ()
@@ -271,36 +319,36 @@ module Cache = struct
     | Some d -> Sys.file_exists (disk_path d key)
 end
 
-(* Keys digest every compile input that changes the emitted plan:
-   program (or source text) plus the option set.  Expr.program is pure
-   data — no closures — so Marshal is deterministic; Bigarray literals
-   serialise dims + contents. *)
-let program_key ?(verify = true) ?(collapse_reuse = true) (p : Expr.program) =
-  Digest.to_hex
-    (Digest.string (Marshal.to_string ("program", p, verify, collapse_reuse) []))
-
-let source_key ?(verify = true) ?(collapse_reuse = true) src =
-  Digest.to_hex
-    (Digest.string
-       (Marshal.to_string ("source", src, verify, collapse_reuse) []))
-
-let plan_cached ?(verify = true) ?(collapse_reuse = true) (p : Expr.program) =
-  Cache.find_or_compile
-    (program_key ~verify ~collapse_reuse p)
-    (fun () -> plan ~verify ~collapse_reuse p)
-
-let plan_file ?(verify = true) ?(collapse_reuse = true) path =
-  let ic = open_in_bin path in
-  let src =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+let plan_cached ?(verify = true) ?(collapse_reuse = true) ?tile
+    ?(tune = false) (p : Expr.program) =
+  let tile =
+    resolve_tile ~verify ~collapse_reuse ~tune ~tile
+      ~base_key:(fun ~verify ~collapse_reuse () ->
+        program_key ~verify ~collapse_reuse p)
   in
-  let key = source_key ~verify ~collapse_reuse src in
+  Cache.find_or_compile
+    (program_key ~verify ~collapse_reuse ~tile p)
+    (fun () -> plan ~verify ~collapse_reuse ~tile p)
+
+let read_source path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let plan_file ?(verify = true) ?(collapse_reuse = true) ?tile ?(tune = false)
+    path =
+  let src = read_source path in
+  let tile =
+    resolve_tile ~verify ~collapse_reuse ~tune ~tile
+      ~base_key:(fun ~verify ~collapse_reuse () ->
+        source_key ~verify ~collapse_reuse src)
+  in
+  let key = source_key ~verify ~collapse_reuse ~tile src in
   Cache.find_or_compile key (fun () ->
       let p = Parse.program src in
       ignore (Typecheck.check_program p);
-      plan ~verify ~collapse_reuse p)
+      plan ~verify ~collapse_reuse ~tile p)
 
 let stage_graph t st =
   List.find_map

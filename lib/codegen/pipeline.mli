@@ -63,6 +63,8 @@ val compile :
   ?fatal:bool ->
   ?trace:Trace.sink ->
   ?collapse_reuse:bool ->
+  ?tile:Tile.config ->
+  ?tune:bool ->
   ?stages:stage list ->
   Expr.program ->
   t
@@ -74,27 +76,53 @@ val compile :
     collected in the results instead.  [trace] installs a sink for the
     duration, capturing each pass (and emission) as spans.
     [collapse_reuse:false] is the §5.2 deferred-materialization
-    ablation knob. *)
+    ablation knob.  [tile] selects the emission tile config (default
+    {!Tile.default_config}); [tune:true] (default off), when no [tile]
+    is given, consults the registered tuning-database source
+    ({!set_tune_source}) and applies the best-known config — no search
+    runs at compile time. *)
 
 val compile_graph :
   ?verify:bool ->
   ?fatal:bool ->
   ?trace:Trace.sink ->
   ?collapse_reuse:bool ->
+  ?tile:Tile.config ->
   ?stages:stage list ->
   Ir.graph ->
   t
 (** Like {!compile} for an already-built ETDG (no [Build] stage
     result). *)
 
-val plan : ?verify:bool -> ?collapse_reuse:bool -> Expr.program -> Plan.t
+val plan :
+  ?verify:bool -> ?collapse_reuse:bool -> ?tile:Tile.config ->
+  Expr.program -> Plan.t
 (** Terse compile-to-plan: build, group, merge, emit.  [verify]
     (default on) checks the coarsened graph once before emission and
     raises {!Verify.Verification_failed} on any violation — per-stage
     checking is {!compile}'s job. *)
 
-val plan_of_graph : ?verify:bool -> ?collapse_reuse:bool -> Ir.graph -> Plan.t
+val plan_of_graph :
+  ?verify:bool -> ?collapse_reuse:bool -> ?tile:Tile.config ->
+  Ir.graph -> Plan.t
 (** {!plan} for an already-built ETDG. *)
+
+(** {1 Tuned-config source}
+
+    The auto-tuner's database ([lib/tune], [FT_TUNE_DB]) lives above
+    this library, so transparent application of tuned configs goes
+    through a registered hook: [Tune_db.install] supplies a lookup
+    from a program/source digest (computed at the default tile config)
+    to the best-known {!Tile.config}.  Compiles passing [~tune:true]
+    consult it; everything else ignores it. *)
+
+val set_tune_source : (string -> Tile.config option) -> unit
+(** Register the ambient tuned-config lookup (replaces any previous
+    one). *)
+
+val tuned_config_for : string -> Tile.config option
+(** Query the registered source directly (identity when none is
+    registered: always [None]). *)
 
 (** {1 Compiled-plan cache}
 
@@ -131,21 +159,31 @@ module Cache : sig
 end
 
 val program_key :
-  ?verify:bool -> ?collapse_reuse:bool -> Expr.program -> string
+  ?verify:bool -> ?collapse_reuse:bool -> ?tile:Tile.config ->
+  Expr.program -> string
 (** The cache key {!plan_cached} uses: a hex digest of the marshalled
-    program and option set. *)
+    program and option set.  The key at [Tile.default_config] (the
+    default) is also the tuning-database key for the program. *)
 
-val source_key : ?verify:bool -> ?collapse_reuse:bool -> string -> string
+val source_key :
+  ?verify:bool -> ?collapse_reuse:bool -> ?tile:Tile.config ->
+  string -> string
 (** The cache key {!plan_file} uses, over raw [.ft] source text. *)
 
 val plan_cached :
-  ?verify:bool -> ?collapse_reuse:bool -> Expr.program -> Plan.t
-(** {!plan} through the cache. *)
+  ?verify:bool -> ?collapse_reuse:bool -> ?tile:Tile.config ->
+  ?tune:bool -> Expr.program -> Plan.t
+(** {!plan} through the cache.  [tune:true] without an explicit [tile]
+    resolves the tile config through {!tuned_config_for} first (the
+    cache then keys on the resolved config, so tuned and default plans
+    coexist). *)
 
-val plan_file : ?verify:bool -> ?collapse_reuse:bool -> string -> Plan.t
+val plan_file :
+  ?verify:bool -> ?collapse_reuse:bool -> ?tile:Tile.config ->
+  ?tune:bool -> string -> Plan.t
 (** Compile a [.ft] file to a plan through the cache, keyed on the
     file's {e contents} (not its path or mtime).  On a hit even the
-    parse is skipped.
+    parse is skipped.  [tune] as in {!plan_cached}.
     @raise Parse.Syntax_error / [Typecheck.Type_error] on a miss with
     an invalid program. *)
 

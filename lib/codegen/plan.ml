@@ -18,6 +18,7 @@ type kernel_spec = {
   ks_tensor_core : bool;
   ks_host_us : float;
   ks_launch_free : bool;
+  ks_gemm : (int * int * int) option;
 }
 
 type t = {
@@ -26,7 +27,7 @@ type t = {
 }
 
 let kernel ?(l1_bytes = 0.0) ?(tensor_core = false) ?(host_us = 0.0)
-    ?(launch_free = false) ~name ~flops ~tasks accesses =
+    ?(launch_free = false) ?gemm ~name ~flops ~tasks accesses =
   {
     ks_name = name;
     ks_flops = flops;
@@ -36,6 +37,7 @@ let kernel ?(l1_bytes = 0.0) ?(tensor_core = false) ?(host_us = 0.0)
     ks_tensor_core = tensor_core;
     ks_host_us = host_us;
     ks_launch_free = launch_free;
+    ks_gemm = gemm;
   }
 
 let read ?(hint = Auto) b bytes =

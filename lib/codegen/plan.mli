@@ -30,6 +30,9 @@ type kernel_spec = {
   ks_tensor_core : bool;
   ks_host_us : float;      (** host-side dispatch cost of the framework *)
   ks_launch_free : bool;   (** step of a persistent fused kernel: no launch *)
+  ks_gemm : (int * int * int) option;
+      (** [(m, n, k)] of the per-cell matmul, when the kernel carries
+          one — what the auto-tuner's knob-space extraction reads *)
 }
 
 type t = {
@@ -42,6 +45,7 @@ val kernel :
   ?tensor_core:bool ->
   ?host_us:float ->
   ?launch_free:bool ->
+  ?gemm:int * int * int ->
   name:string ->
   flops:float ->
   tasks:int ->

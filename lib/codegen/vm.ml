@@ -146,7 +146,8 @@ let wavefront_stats (g : Ir.graph) =
         (schedule Wavefront b (Domain.enumerate b.Ir.blk_domain)))
     (Ir.dataflow_order g)
 
-let run ?(order = Wavefront) ?pool (g : Ir.graph) inputs =
+let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
+  let chunk = match chunk with Some c when c > 0 -> Some c | _ -> None in
   let pool =
     match (pool, order) with
     | (Some _ as p), _ -> p
@@ -234,8 +235,8 @@ let run ?(order = Wavefront) ?pool (g : Ir.graph) inputs =
               let body () =
                 match pool with
                 | Some p when width > 1 ->
-                    Domain_pool.parallel_for p ~lo:0 ~hi:width (fun i ->
-                        exec_point pts.(i))
+                    Domain_pool.parallel_for ?chunk p ~lo:0 ~hi:width
+                      (fun i -> exec_point pts.(i))
                 | _ -> Array.iter exec_point pts
               in
               if Trace.active () then

@@ -57,6 +57,7 @@ val parallelism : block_stats -> float
 val run :
   ?order:order ->
   ?pool:Domain_pool.t ->
+  ?chunk:int ->
   Ir.graph ->
   (string * Fractal.t) list ->
   (string * Fractal.t) list
@@ -65,7 +66,11 @@ val run :
     a nested FractalTensor (in buffer order).  Default order:
     [Wavefront], which executes each anti-chain across [pool]
     (defaulting to the shared {!Domain_pool.get} pool; [Sequential] and
-    [Reverse] never touch a pool).
+    [Reverse] never touch a pool).  [chunk] (when positive) bounds how
+    many points of a front one domain claims at a time — the
+    auto-tuner's [vm_chunk] knob; values ≤ 0 or absent use the pool's
+    default split.  Chunking never changes results: points of a front
+    are mutually independent.
     @raise Execution_error on missing inputs or un-executable blocks. *)
 
 val output : (string * Fractal.t) list -> string -> Fractal.t

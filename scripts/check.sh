@@ -45,4 +45,25 @@ for f in examples/programs/*.ft; do
   fi
 done
 
+# Budgeted smoke tune: search the demo program's knob space with the
+# analytical oracle under a tiny fixed budget, validate the JSON
+# report, then profile through the same FT_TUNE_DB so the stored
+# config is applied without re-searching (the report must name it).
+FT_TUNE_DB="$(mktemp -d)"
+export FT_TUNE_DB
+trap 'rm -rf "$FT_PLAN_CACHE" "$FT_TUNE_DB"' EXIT
+tune_target=examples/programs/ffn_block.ft
+echo "tune $tune_target (budget 8, grid, sim oracle, seed 2024)"
+dune exec --no-build bin/ftc.exe -- tune "$tune_target" \
+  --budget 8 --strategy grid --oracle sim --seed 2024 --format text
+if command -v python3 > /dev/null 2>&1; then
+  dune exec --no-build bin/ftc.exe -- tune "$tune_target" \
+    --budget 8 --strategy grid --oracle sim --seed 2024 --format json \
+    | python3 -m json.tool > /dev/null
+fi
+echo "profile $tune_target with the tuned config applied"
+dune exec --no-build bin/ftc.exe -- profile "$tune_target" --format text \
+  | grep "tuned config:"
+dune exec --no-build bin/ftc.exe -- cache stats
+
 echo "check.sh: all green"
