@@ -200,14 +200,11 @@ let find_workload name =
       Format.eprintf "unknown workload %s; try `ftc list'@." name;
       exit 1
 
-(* Random inputs for a parsed program, from its declared types. *)
-let rec random_value rng (ty : Expr.ty) : Fractal.t =
-  match ty with
-  | Expr.Tensor_ty s -> Fractal.Leaf (Tensor.scale 0.3 (Tensor.rand rng s))
-  | Expr.List_ty (n, inner) ->
-      Fractal.tabulate n (fun _ -> random_value rng inner)
-  | Expr.Tuple_ty ts ->
-      Fractal.Node (Array.of_list (List.map (random_value rng) ts))
+(* Random inputs for a parsed program, from its declared types — the
+   conformance generator's derivation, so `ftc run` and corpus replay
+   agree on what a seed means. *)
+let random_value rng (ty : Expr.ty) : Fractal.t =
+  Gen.random_value ~scale:0.3 rng ty
 
 let read_file path =
   let ic = open_in_bin path in
@@ -793,6 +790,130 @@ let cache_cmd =
           and the tuning database (\\$(b,FT_TUNE_DB))")
     Term.(const run $ action $ disk)
 
+let conform_cmd =
+  let run seed budget oracles corpus replay json meta_iters =
+    let oracles =
+      match oracles with [] -> Oracles.all_oracles | names -> names
+    in
+    let bad =
+      List.filter (fun o -> not (List.mem o Oracles.all_oracles)) oracles
+    in
+    if bad <> [] then begin
+      Format.eprintf "conform: unknown oracle(s) %s; known: %s@."
+        (String.concat ", " bad)
+        (String.concat ", " Oracles.all_oracles);
+      exit 1
+    end;
+    match replay with
+    | Some target ->
+        let files =
+          if Sys.file_exists target && Sys.is_directory target then
+            Corpus.files target
+          else [ target ]
+        in
+        if files = [] then begin
+          Format.printf "conform: no corpus files under %s@." target;
+          exit 0
+        end;
+        let results = Conform.replay ~oracles files in
+        let failed = List.filter (fun (_, r) -> r <> None) results in
+        if json then
+          print_endline
+            (Jsonw.to_string
+               (Jsonw.Obj
+                  [
+                    ("replayed", Jsonw.Int (List.length results));
+                    ("failed", Jsonw.Int (List.length failed));
+                    ( "files",
+                      Jsonw.List
+                        (List.map
+                           (fun (f, r) ->
+                             Jsonw.Obj
+                               [
+                                 ("file", Jsonw.String f);
+                                 ( "failure",
+                                   match r with
+                                   | None -> Jsonw.Null
+                                   | Some m -> Jsonw.String m );
+                               ])
+                           results) );
+                  ]))
+        else
+          List.iter
+            (fun (f, r) ->
+              match r with
+              | None -> Format.printf "PASS %s@." f
+              | Some m -> Format.printf "FAIL %s: %s@." f m)
+            results;
+        if failed <> [] then exit 1
+    | None ->
+        let rp =
+          Conform.run ~oracles ?corpus_dir:corpus ~meta_iters ~seed ~budget ()
+        in
+        if json then
+          print_endline (Jsonw.to_string (Conform.report_to_jsonv rp))
+        else print_string (Conform.report_to_text rp);
+        if not (Conform.passed rp) then exit 1
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed")
+  in
+  let budget =
+    Arg.(
+      value & opt int 100
+      & info [ "budget" ] ~docv:"K"
+          ~doc:"Number of random programs to generate and cross-check")
+  in
+  let oracles =
+    Arg.(
+      value
+      & opt (list ~sep:',' string) []
+      & info [ "oracles" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated oracle subset (default: all).  interp is \
+             always included — it defines the reference semantics")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write each minimized failing program to this directory as a \
+             replayable .ft file")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR|FILE.ft"
+          ~doc:
+            "Replay corpus files instead of generating: parse each file, \
+             re-derive its inputs from the recorded seed, and re-run every \
+             oracle")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as a JSON document")
+  in
+  let meta_iters =
+    Arg.(
+      value & opt int 3
+      & info [ "meta-iters" ] ~docv:"N"
+          ~doc:"Random trials per metamorphic law")
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Differential + metamorphic conformance run: seeded random programs \
+          executed by every back end (interpreter, sequential VM, wavefront \
+          VM at several domain counts, tuned configs, cache round trips) \
+          with bitwise comparison, shrinking, and a minimized-repro corpus")
+    Term.(
+      const run $ seed $ budget $ oracles $ corpus $ replay $ json
+      $ meta_iters)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -802,4 +923,5 @@ let () =
   exit
     (Cmd.eval (Cmd.group ~default info
                  [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
-                   run_cmd; profile_cmd; tune_cmd; cache_cmd; lint_cmd ]))
+                   run_cmd; profile_cmd; tune_cmd; cache_cmd; lint_cmd;
+                   conform_cmd ]))

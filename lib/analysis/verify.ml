@@ -201,11 +201,39 @@ let check_access_map ?stage (g : Ir.graph) (b : Ir.block) acc (e : Ir.edge) =
     | Some bf ->
         (* A read at a negative offset is boundary-predicated: region
            grouping (§5.1) deliberately widens domains to the hull, and
-           the emitter masks the first iterations.  Writes and ordinary
-           reads must stay inside the buffer. *)
+           the emitter masks the first iterations.  Right-directional
+           aggregates (foldr/scanr) carry their state at a {e positive}
+           offset and are masked at the last iterations — the mirror
+           case, exempt when every positively-offset row is driven by a
+           right-directional dimension.  Writes and ordinary reads must
+           stay inside the buffer. *)
+        let right_state_read () =
+          Array.exists (fun o -> o > 0) a.Access_map.offset
+          &&
+          let ok = ref true in
+          Array.iteri
+            (fun row off ->
+              if off > 0 then begin
+                let driven = ref false in
+                Array.iteri
+                  (fun col c ->
+                    if
+                      c <> 0
+                      && col < Array.length b.Ir.blk_ops
+                      && (match b.Ir.blk_ops.(col) with
+                         | Expr.Foldr | Expr.Scanr -> true
+                         | _ -> false)
+                    then driven := true)
+                  a.Access_map.matrix.(row);
+                if not !driven then ok := false
+              end)
+            a.Access_map.offset;
+          !ok
+        in
         if
           e.Ir.e_dir = Ir.Read
-          && Array.exists (fun o -> o < 0) a.Access_map.offset
+          && (Array.exists (fun o -> o < 0) a.Access_map.offset
+             || right_state_read ())
         then acc
         else
           let rank = Array.length bf.Ir.buf_dims in

@@ -72,9 +72,10 @@ let is_fold_dim b i =
   | Expr.Foldl | Expr.Foldr | Expr.Reduce -> true
   | Expr.Map | Expr.Scanl | Expr.Scanr -> false
 
-(* A self-edge reading the block's own output at offset -1 along a
-   fold/reduce dimension is the running accumulator: it lives in
-   registers inside the emitted macro-kernel and moves no memory. *)
+(* A self-edge reading the block's own output at offset -1 (foldl /
+   reduce) or +1 (foldr) along a fold/reduce dimension is the running
+   accumulator: it lives in registers inside the emitted macro-kernel
+   and moves no memory. *)
 let is_register_state b (e : Ir.edge) =
   e.Ir.e_dir = Ir.Read
   && List.exists
@@ -83,14 +84,14 @@ let is_register_state b (e : Ir.edge) =
   &&
   let a = e.Ir.e_access in
   Array.exists
-    (fun row_off -> row_off < 0)
+    (fun row_off -> row_off <> 0)
     a.Access_map.offset
   &&
-  (* every negatively-offset row is driven by a fold/reduce dim *)
+  (* every offset row is driven by a fold/reduce dim *)
   let ok = ref true in
   Array.iteri
     (fun row off ->
-      if off < 0 then begin
+      if off <> 0 then begin
         let driven_fold = ref false in
         Array.iteri
           (fun col c -> if c <> 0 && is_fold_dim b col then driven_fold := true)

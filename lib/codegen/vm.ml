@@ -70,8 +70,9 @@ let unload name st =
   go 0
 
 (* How a block's points run:
-   - [Ordered]: one strict sequence (the naive lexicographic order, or
-     its reverse for the illegal-schedule tests);
+   - [Ordered]: one strict sequence (the naive directional
+     lexicographic order, or its reverse for the illegal-schedule
+     tests);
    - [Fronts]: wavefront anti-chains in hyperplane order.  Points
      inside one front are mutually independent whenever the schedule
      is legal — the schedule-legality verifier (lib/analysis) is the
@@ -81,10 +82,32 @@ type schedule =
   | Ordered of int array list
   | Fronts of (int * int array array) list
 
+(* The naive order must follow each dimension's recurrence direction:
+   right-directional aggregates (foldr/scanr) carry their dependence
+   toward smaller indices, so their dimensions iterate descending. *)
+let directional_points (b : Ir.block) points =
+  let dir i =
+    if i < Array.length b.Ir.blk_ops then
+      match b.Ir.blk_ops.(i) with
+      | Expr.Foldr | Expr.Scanr -> -1
+      | _ -> 1
+    else 1
+  in
+  let cmp p q =
+    let rec go i =
+      if i >= Array.length p then 0
+      else
+        let c = compare p.(i) q.(i) in
+        if c <> 0 then c * dir i else go (i + 1)
+    in
+    go 0
+  in
+  List.stable_sort cmp points
+
 let schedule order (b : Ir.block) points =
   match order with
-  | Sequential -> Ordered points
-  | Reverse -> Ordered (List.rev points)
+  | Sequential -> Ordered (directional_points b points)
+  | Reverse -> Ordered (List.rev (directional_points b points))
   | Wavefront ->
       let dvs = Dependence.block_distance_vectors b in
       if dvs = [] then

@@ -10,8 +10,10 @@
     schedule computes the same values as the program's semantics.
 
     Three orders are supported:
-    - [Sequential]: lexicographic over each block's original domain
-      (the naive order, always legal), strictly single-threaded;
+    - [Sequential]: directional lexicographic over each block's
+      original domain — right-directional dimensions (foldr/scanr)
+      iterate descending, everything else ascending — the naive order,
+      always legal; strictly single-threaded;
     - [Wavefront]: points grouped into anti-chains by the hyperplane
       value [Σ_{i ∈ dep} t_i]; fronts execute in hyperplane order and
       the points {e within} each front fan out across a

@@ -1,0 +1,54 @@
+let inputs_for (p : Expr.program) seed =
+  let rng = Rng.create seed in
+  List.map
+    (fun (x, ty) -> (x, Gen.random_value ~scale:0.5 rng ty))
+    p.Expr.inputs
+
+(* Reasons go into a comment; newlines would break out of it. *)
+let one_line s =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let write ~dir ~seed ~reason (p : Expr.program) =
+  let text = Unparse.program p in
+  let digest =
+    String.sub (Digest.to_hex (Digest.string (text ^ string_of_int seed))) 0 10
+  in
+  let body =
+    String.concat ""
+      [
+        "# conform corpus: minimized failing program (replayed by \
+         test_conform_suite)\n";
+        Printf.sprintf "# seed: %d\n" seed;
+        Printf.sprintf "# reason: %s\n" (one_line reason);
+        text;
+      ]
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "conform-%s.ft" digest) in
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc;
+  path
+
+let seed_of_text text =
+  let seed = ref 1 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match Scanf.sscanf_opt line " # seed: %d" (fun n -> n) with
+         | Some n -> seed := n
+         | None -> ());
+  !seed
+
+let load path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (Parse.program text, seed_of_text text)
+
+let files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ft")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  else []

@@ -1,0 +1,34 @@
+(** The minimized-repro corpus: failing programs persisted as
+    replayable [.ft] files.
+
+    Every divergence the conformance driver finds is shrunk
+    ({!Shrink}) and written here as plain concrete syntax
+    ({!Unparse.program}) with a small comment header carrying the
+    input seed and the failure reason, so a corpus file is completely
+    self-contained: parsing it and re-deriving inputs from the
+    recorded seed reproduces the original comparison exactly.  Checked
+    into [test/corpus/], these files are the regression suite the
+    fuzzer writes for itself — [test_conform_suite] replays them all
+    on every test run. *)
+
+val write : dir:string -> seed:int -> reason:string -> Expr.program -> string
+(** Persist a program (with its input seed and a one-line reason) as
+    [dir/conform-<digest>.ft]; the digest covers the program text and
+    seed, so distinct repros never collide and re-writing the same
+    repro is idempotent.  Creates [dir] if missing.  Returns the
+    path. *)
+
+val load : string -> Expr.program * int
+(** Parse a corpus file and its recorded input seed (a [# seed: N]
+    header line; defaults to 1 when absent, so hand-written corpus
+    files need no header).
+    @raise Parse.Syntax_error / [Sys_error] as {!Parse.program_file}. *)
+
+val inputs_for : Expr.program -> int -> (string * Fractal.t) list
+(** The deterministic inputs a seed denotes for a program's declared
+    input types — the same derivation {!Gen.inputs} uses, so replays
+    see the original values. *)
+
+val files : string -> string list
+(** The [.ft] files under a directory, sorted; [[]] when the directory
+    does not exist. *)

@@ -1,0 +1,392 @@
+type inner =
+  | I_soac of { kind : Expr.soac_kind; udf : int }
+  | I_zip of { kind : Expr.soac_kind; udf : int; rev : bool }
+  | I_nest of { outer : Expr.access; kind : Expr.soac_kind; udf : int }
+
+type spec = {
+  sp_batch : int;
+  sp_seq : int;
+  sp_width : int;
+  sp_chain : Expr.access list;
+  sp_inner : inner;
+  sp_input_seed : int;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Derived structure                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let token sp = Shape.of_array [| 1; sp.sp_width |]
+
+(* Sequence length after one access operator (operands are generated
+   non-negative, so no index normalisation is needed here). *)
+let after_access n (a : Expr.access) =
+  match a with
+  | Expr.Linear { shift; _ } -> n - shift
+  | Expr.Strided { start; step } -> 1 + ((n - 1 - start) / step)
+  | Expr.Slice { lo; hi } -> hi - lo
+  | Expr.Indirect idx -> Array.length idx
+  | Expr.Windowed { size; stride; dilation } ->
+      ((n - (((size - 1) * dilation) + 1)) / stride) + 1
+  | Expr.Shifted_slide _ -> n
+  | Expr.Interleave { phases } -> phases
+
+let chain_result_len sp = List.fold_left after_access sp.sp_seq sp.sp_chain
+
+(* ---------------------------------------------------------------- *)
+(* Program construction                                              *)
+(* ---------------------------------------------------------------- *)
+
+(* Elementwise UDF bodies over the leaf token shape; [s] is the carried
+   state (a literal for maps). *)
+let body1 sp udf s x =
+  let open Expr in
+  let tok = token sp in
+  match udf with
+  | 0 -> Add @@@ [ s; x ]
+  | 1 -> Add @@@ [ Mul @@@ [ s; x ]; x ]
+  | 2 -> Maximum @@@ [ s; Tanh @@@ [ x ] ]
+  | 3 -> Add @@@ [ Scale 0.5 @@@ [ s ]; Sigmoid @@@ [ x ] ]
+  | _ -> Sub @@@ [ Mul @@@ [ s; Lit (Tensor.full tok 0.9) ]; Neg @@@ [ x ] ]
+
+let body2 sp udf s a b =
+  let open Expr in
+  let tok = token sp in
+  match udf with
+  | 0 -> Add @@@ [ Add @@@ [ s; a ]; b ]
+  | 1 -> Add @@@ [ s; Mul @@@ [ a; b ] ]
+  | 2 -> Maximum @@@ [ s; Mul @@@ [ Tanh @@@ [ a ]; Sigmoid @@@ [ b ] ] ]
+  | 3 -> Sub @@@ [ Add @@@ [ Scale 0.5 @@@ [ s ]; a ]; b ]
+  | _ ->
+      Add @@@ [ Mul @@@ [ s; Lit (Tensor.full tok 0.9) ]; Maximum @@@ [ a; b ] ]
+
+let soac1 sp kind udf xs =
+  let open Expr in
+  let tok = token sp in
+  match kind with
+  | Map -> map_e ~params:[ "x" ] ~body:(body1 sp udf (Lit (Tensor.ones tok)) (Var "x")) xs
+  | kind ->
+      Soac
+        {
+          kind;
+          fn = { params = [ "s"; "x" ]; body = body1 sp udf (Var "s") (Var "x") };
+          init = Some (Lit (Tensor.zeros tok));
+          xs;
+        }
+
+let soac2 sp kind udf xs =
+  let open Expr in
+  let tok = token sp in
+  match kind with
+  | Map ->
+      map_e ~params:[ "a"; "b" ]
+        ~body:(body2 sp udf (Lit (Tensor.ones tok)) (Var "a") (Var "b"))
+        xs
+  | kind ->
+      Soac
+        {
+          kind;
+          fn =
+            {
+              params = [ "s"; "a"; "b" ];
+              body = body2 sp udf (Var "s") (Var "a") (Var "b");
+            };
+          init = Some (Lit (Tensor.zeros tok));
+          xs;
+        }
+
+let chained sp =
+  List.fold_left (fun e a -> Expr.Access (a, e)) (Expr.Var "xs") sp.sp_chain
+
+let inner_expr sp =
+  let xs' = chained sp in
+  match sp.sp_inner with
+  | I_soac { kind; udf } -> soac1 sp kind udf xs'
+  | I_zip { kind; udf; rev } ->
+      let rhs =
+        if rev then Expr.Access (Expr.Linear { shift = 0; reverse = true }, xs')
+        else xs'
+      in
+      soac2 sp kind udf (Expr.Zip [ xs'; rhs ])
+  | I_nest { outer; kind; udf } ->
+      let windows = Expr.Access (outer, xs') in
+      let windows =
+        (* shifted_slide is clamped at the borders; only the interior
+           is affine, so the generated program consumes the interior
+           exactly as BigBird does (paper Listing 4). *)
+        match outer with
+        | Expr.Shifted_slide { window } ->
+            let h = window / 2 in
+            let n = chain_result_len sp in
+            Expr.Access (Expr.Slice { lo = h; hi = n - h }, windows)
+        | _ -> windows
+      in
+      Expr.map_e ~params:[ "w" ] ~body:(soac1 sp kind udf (Expr.Var "w")) windows
+
+let program sp =
+  let open Expr in
+  {
+    name = "conform";
+    inputs =
+      [ ("xss",
+         List_ty (sp.sp_batch, List_ty (sp.sp_seq, Tensor_ty (token sp)))) ];
+    body = map_e ~params:[ "xs" ] ~body:(inner_expr sp) (Var "xss");
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Inputs                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let rec random_value ?(scale = 0.3) rng (ty : Expr.ty) : Fractal.t =
+  match ty with
+  | Expr.Tensor_ty s -> Fractal.Leaf (Tensor.scale scale (Tensor.rand rng s))
+  | Expr.List_ty (n, inner) ->
+      Fractal.tabulate n (fun _ -> random_value ~scale rng inner)
+  | Expr.Tuple_ty ts ->
+      Fractal.Node (Array.of_list (List.map (random_value ~scale rng) ts))
+
+let inputs sp =
+  let rng = Rng.create sp.sp_input_seed in
+  let p = program sp in
+  List.map (fun (x, ty) -> (x, random_value ~scale:0.5 rng ty)) p.Expr.inputs
+
+(* ---------------------------------------------------------------- *)
+(* Classification                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let valid sp =
+  (* every access stays in range *)
+  let chain_ok =
+    List.fold_left
+      (fun n_opt a ->
+        match n_opt with
+        | None -> None
+        | Some n -> (
+            let ok =
+              match a with
+              | Expr.Linear { shift; _ } -> shift >= 0 && shift < n
+              | Expr.Strided { start; step } ->
+                  step >= 1 && start >= 0 && start < n
+              | Expr.Slice { lo; hi } -> lo >= 0 && lo < hi && hi <= n
+              | Expr.Indirect idx ->
+                  Array.length idx > 0
+                  && Array.for_all (fun i -> i >= 0 && i < n) idx
+              | Expr.Windowed { size; stride; dilation } ->
+                  size >= 1 && stride >= 1 && dilation >= 1
+                  && ((size - 1) * dilation) + 1 <= n
+              | Expr.Shifted_slide { window } ->
+                  window >= 1 && n - (2 * (window / 2)) >= 1
+              | Expr.Interleave { phases } ->
+                  phases >= 1 && n mod phases = 0
+            in
+            if ok then Some (after_access n a) else None))
+      (Some sp.sp_seq) sp.sp_chain
+  in
+  let nest_ok =
+    match (chain_ok, sp.sp_inner) with
+    | None, _ -> false
+    | Some n, I_nest { outer; _ } -> (
+        match outer with
+        | Expr.Windowed { size; stride; dilation } ->
+            size >= 1 && stride >= 1 && dilation >= 1
+            && ((size - 1) * dilation) + 1 <= n
+        | Expr.Interleave { phases } -> phases >= 1 && n mod phases = 0
+        | Expr.Shifted_slide { window } ->
+            window >= 1 && n - (2 * (window / 2)) >= 1
+        | _ -> false)
+    | Some _, _ -> true
+  in
+  sp.sp_batch >= 1 && sp.sp_seq >= 1 && sp.sp_width >= 1 && nest_ok
+  && (match Typecheck.check_program (program sp) with
+     | _ -> true
+     | exception Typecheck.Type_error _ -> false)
+
+let access_compiled (a : Expr.access) =
+  match a with
+  | Expr.Linear { reverse = true; _ } | Expr.Indirect _ -> false
+  | _ -> true
+
+let compiled_expected sp =
+  List.for_all access_compiled sp.sp_chain
+  && match sp.sp_inner with I_zip { rev = true; _ } -> false | _ -> true
+
+(* ---------------------------------------------------------------- *)
+(* Coverage tags                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let access_tag (a : Expr.access) =
+  match a with
+  | Expr.Linear { reverse = true; _ } -> "access:linear_reverse"
+  | Expr.Linear { shift; _ } ->
+      if shift > 0 then "access:linear_shift" else "access:linear"
+  | Expr.Strided { start; _ } ->
+      if start > 0 then "access:strided_offset" else "access:strided"
+  | Expr.Slice _ -> "access:slice"
+  | Expr.Indirect _ -> "access:indirect"
+  | Expr.Windowed _ -> "access:window"
+  | Expr.Shifted_slide _ -> "access:shifted_slide"
+  | Expr.Interleave _ -> "access:interleave"
+
+let soac_tag (k : Expr.soac_kind) = "soac:" ^ Expr.soac_kind_name k
+
+let tags sp =
+  let chain = List.map access_tag sp.sp_chain in
+  let inner =
+    match sp.sp_inner with
+    | I_soac { kind; _ } -> [ "form:flat"; soac_tag kind ]
+    | I_zip { kind; rev; _ } ->
+        [ "form:zip"; "access:zip"; soac_tag kind ]
+        @ if rev then [ "access:linear_reverse" ] else []
+    | I_nest { outer; kind; _ } ->
+        [ "form:nest"; access_tag outer; soac_tag kind ]
+  in
+  let chain_n = Printf.sprintf "chain:%d" (List.length sp.sp_chain) in
+  List.sort_uniq compare (chain @ inner @ [ chain_n ])
+
+let all_tags =
+  [
+    "access:linear"; "access:linear_shift"; "access:linear_reverse";
+    "access:strided"; "access:strided_offset"; "access:slice";
+    "access:indirect"; "access:window"; "access:shifted_slide";
+    "access:interleave"; "access:zip";
+    "soac:map"; "soac:reduce"; "soac:foldl"; "soac:foldr"; "soac:scanl";
+    "soac:scanr";
+    "form:flat"; "form:zip"; "form:nest";
+    "chain:0"; "chain:1"; "chain:2";
+  ]
+
+let access_str (a : Expr.access) =
+  match a with
+  | Expr.Linear { shift; reverse } ->
+      if reverse then Printf.sprintf "linear(%d, 1)" shift
+      else Printf.sprintf "linear(%d)" shift
+  | Expr.Strided { start; step } -> Printf.sprintf "stride(%d, %d)" start step
+  | Expr.Slice { lo; hi } -> Printf.sprintf "slice(%d, %d)" lo hi
+  | Expr.Indirect idx ->
+      Printf.sprintf "gather(%s)"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int idx)))
+  | Expr.Windowed { size; stride; dilation } ->
+      Printf.sprintf "window(%d, %d, %d)" size stride dilation
+  | Expr.Shifted_slide { window } -> Printf.sprintf "shifted_slide(%d)" window
+  | Expr.Interleave { phases } -> Printf.sprintf "interleave(%d)" phases
+
+let describe sp =
+  let chain =
+    if sp.sp_chain = [] then "-"
+    else String.concat "." (List.map access_str sp.sp_chain)
+  in
+  let inner =
+    match sp.sp_inner with
+    | I_soac { kind; udf } ->
+        Printf.sprintf "%s/udf%d" (Expr.soac_kind_name kind) udf
+    | I_zip { kind; udf; rev } ->
+        Printf.sprintf "zip%s.%s/udf%d"
+          (if rev then "(rev)" else "")
+          (Expr.soac_kind_name kind) udf
+    | I_nest { outer; kind; udf } ->
+        Printf.sprintf "%s.map.%s/udf%d" (access_str outer)
+          (Expr.soac_kind_name kind) udf
+  in
+  Printf.sprintf "batch=%d seq=%d width=%d chain=%s inner=%s seed=%d"
+    sp.sp_batch sp.sp_seq sp.sp_width chain inner sp.sp_input_seed
+
+(* ---------------------------------------------------------------- *)
+(* Random generation                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let gen_chain_op rng n =
+  (* [n] is the current sequence length; every op keeps it >= 1 *)
+  match Rng.int rng 5 with
+  | 0 ->
+      let shift = Rng.int rng (min n 4) in
+      Expr.Linear { shift; reverse = false }
+  | 1 ->
+      let shift = Rng.int rng (min n 3) in
+      Expr.Linear { shift; reverse = true }
+  | 2 ->
+      let start = Rng.int rng (min n 3) in
+      let step = 1 + Rng.int rng 3 in
+      Expr.Strided { start; step }
+  | 3 ->
+      let lo = Rng.int rng n in
+      let hi = lo + 1 + Rng.int rng (n - lo) in
+      Expr.Slice { lo; hi }
+  | _ ->
+      let m = 1 + Rng.int rng (min n 4) in
+      Expr.Indirect (Array.init m (fun _ -> Rng.int rng n))
+
+let gen_kind rng =
+  match Rng.int rng 6 with
+  | 0 -> Expr.Map
+  | 1 -> Expr.Reduce
+  | 2 -> Expr.Foldl
+  | 3 -> Expr.Foldr
+  | 4 -> Expr.Scanl
+  | _ -> Expr.Scanr
+
+let gen_nest_outer rng n =
+  (* depth-increasing access over a length-[n] sequence, or None when
+     [n] is too short to window *)
+  if n < 2 then None
+  else
+    match Rng.int rng 3 with
+    | 0 ->
+        let size = 2 + Rng.int rng (min (n - 1) 2) in
+        let max_dil = (n - 1) / (size - 1) in
+        let dilation = 1 + Rng.int rng (min max_dil 2) in
+        let stride = 1 + Rng.int rng 2 in
+        Some (Expr.Windowed { size; stride; dilation })
+    | 1 ->
+        let divisors =
+          List.filter (fun p -> n mod p = 0) (List.init n (fun i -> i + 1))
+        in
+        let phases = List.nth divisors (Rng.int rng (List.length divisors)) in
+        Some (Expr.Interleave { phases })
+    | _ -> if n >= 3 then Some (Expr.Shifted_slide { window = 3 }) else None
+
+let gen_once rng =
+  let batch = 1 + Rng.int rng 3 in
+  let seq = 2 + Rng.int rng 7 in
+  let width = 1 + Rng.int rng 4 in
+  let chain_len =
+    match Rng.int rng 10 with 0 | 1 | 2 -> 0 | 3 | 4 | 5 | 6 -> 1 | _ -> 2
+  in
+  let rec draw_chain n k acc =
+    if k = 0 then List.rev acc
+    else
+      let op = gen_chain_op rng n in
+      draw_chain (after_access n op) (k - 1) (op :: acc)
+  in
+  let chain = draw_chain seq chain_len [] in
+  let n = List.fold_left after_access seq chain in
+  let kind = gen_kind rng in
+  let udf = Rng.int rng 5 in
+  let inner =
+    match Rng.int rng 10 with
+    | 0 | 1 -> I_zip { kind; udf; rev = Rng.int rng 4 = 0 }
+    | 2 | 3 | 4 -> (
+        match gen_nest_outer rng n with
+        | Some outer -> I_nest { outer; kind; udf }
+        | None -> I_soac { kind; udf })
+    | _ -> I_soac { kind; udf }
+  in
+  let input_seed = 1 + Rng.int rng 1_000_000 in
+  {
+    sp_batch = batch;
+    sp_seq = seq;
+    sp_width = width;
+    sp_chain = chain;
+    sp_inner = inner;
+    sp_input_seed = input_seed;
+  }
+
+let generate rng =
+  let rec go attempts =
+    if attempts = 0 then
+      failwith "Gen.generate: could not draw a valid spec (generator bug)"
+    else
+      let sp = gen_once rng in
+      if valid sp then sp else go (attempts - 1)
+  in
+  go 100

@@ -1,0 +1,77 @@
+(** Seeded, size-bounded generator of well-typed [.ft] programs.
+
+    Each draw produces a {!spec}: a structured description of one
+    random program over a 2-deep input FractalTensor
+    ([[batch][seq]f32[1,width]]), from which the generator derives
+
+    - the {!program} itself (outer [map] over the batch, a random
+      access-operator chain on the sequence — compositions from paper
+      Table 3 — and a random inner form: plain SOAC, [zip], or a
+      depth-increasing nest through [window] / [interleave] /
+      [shifted_slide]),
+    - deterministic random {!inputs},
+    - coverage {!tags} (which access operators and SOAC kinds the
+      program exercises), and
+    - whether the program is {!compiled_expected}: inside the fragment
+      {!Build.build} accepts.  Reversed and indirect accesses are
+      interpreter-only today; a spec that is [compiled_expected] but
+      fails to build is a fragment {e regression}, which the
+      conformance driver reports as a failure.
+
+    Everything is a pure function of the {!Rng.t} stream, so a
+    conformance run is reproducible from its seed. *)
+
+type inner =
+  | I_soac of { kind : Expr.soac_kind; udf : int }
+      (** [xs'.kind(seed) { |s, x| udf }] (or [map { |x| … }]) *)
+  | I_zip of { kind : Expr.soac_kind; udf : int; rev : bool }
+      (** [zip(xs', xs'[.reverse()]).kind(seed) { |s, a, b| udf }] *)
+  | I_nest of { outer : Expr.access; kind : Expr.soac_kind; udf : int }
+      (** depth-increasing access ([Windowed] / [Interleave] /
+          [Shifted_slide]) then [map] over the new outer dimension with
+          an aggregate over each window *)
+
+type spec = {
+  sp_batch : int;
+  sp_seq : int;
+  sp_width : int;  (** leaf shape is [[1, width]] *)
+  sp_chain : Expr.access list;
+      (** depth-preserving accesses applied to [xs], innermost first *)
+  sp_inner : inner;
+  sp_input_seed : int;
+}
+
+val generate : Rng.t -> spec
+(** One well-formed draw.  Always yields a spec whose {!program}
+    type-checks (validity is re-checked; an invalid draw is a
+    generator bug and raises). *)
+
+val program : spec -> Expr.program
+(** The program a spec denotes (name ["conform"], single input
+    ["xss"]). *)
+
+val inputs : spec -> (string * Fractal.t) list
+(** Deterministic random inputs for {!program}, derived from
+    [sp_input_seed]. *)
+
+val valid : spec -> bool
+(** Does {!program} type-check (and every access stay in range)?  Used
+    by the shrinker, whose candidate moves may produce invalid specs. *)
+
+val compiled_expected : spec -> bool
+(** True when every access used is inside the compiled fragment (no
+    reversed access, no indirect access). *)
+
+val tags : spec -> string list
+(** Coverage tags, a subset of {!all_tags}. *)
+
+val all_tags : string list
+(** Every tag the generator can emit — the coverage report lists all
+    of them so holes are visible, not silent. *)
+
+val describe : spec -> string
+(** One-line human description (extents + operator summary). *)
+
+val random_value : ?scale:float -> Rng.t -> Expr.ty -> Fractal.t
+(** Random value of a declared input type (shared with [ftc run] /
+    corpus replay so replays are deterministic). *)

@@ -1,0 +1,201 @@
+type outcome =
+  | Value of Fractal.t
+  | Unsupported of string
+  | Failed of string
+
+type run = { r_oracle : string; r_outcome : outcome; r_wall_ms : float }
+
+let all_oracles =
+  [ "interp"; "vm-seq"; "vm-wave1"; "vm-wave2"; "vm-wave4"; "tuned";
+    "cache-rt" ]
+
+(* ---------------------------------------------------------------- *)
+(* Context: pools + private cache/tune directories                   *)
+(* ---------------------------------------------------------------- *)
+
+type ctx = {
+  cx_oracles : string list;
+  mutable cx_pools : (int * Domain_pool.t) list;
+  cx_cache_dir : string;
+  cx_tune_dir : string;
+  cx_prev_cache : string option;
+  cx_prev_tune : string option;
+  mutable cx_closed : bool;
+}
+
+let dir_counter = ref 0
+
+let fresh_dir tag =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftconform-%d-%d-%s" (Unix.getpid ()) !dir_counter tag)
+  in
+  (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let remove_dir d =
+  if Sys.file_exists d && Sys.is_directory d then (
+    Array.iter (fun f -> try Sys.remove (Filename.concat d f) with _ -> ())
+      (Sys.readdir d);
+    try Unix.rmdir d with _ -> ())
+
+let create ?(oracles = all_oracles) () =
+  List.iter
+    (fun o ->
+      if not (List.mem o all_oracles) then
+        invalid_arg (Printf.sprintf "Oracles.create: unknown oracle %S" o))
+    oracles;
+  let prev_cache = Sys.getenv_opt "FT_PLAN_CACHE" in
+  let prev_tune = Sys.getenv_opt Tune_db.env_var in
+  let cache_dir = fresh_dir "cache" in
+  let tune_dir = fresh_dir "tune" in
+  Unix.putenv "FT_PLAN_CACHE" cache_dir;
+  Unix.putenv Tune_db.env_var tune_dir;
+  (* a fresh context must not inherit plans or tunings from earlier
+     runs in the same process *)
+  Pipeline.Cache.clear ();
+  Tune_db.clear_memory ();
+  {
+    cx_oracles = oracles;
+    cx_pools = [];
+    cx_cache_dir = cache_dir;
+    cx_tune_dir = tune_dir;
+    cx_prev_cache = prev_cache;
+    cx_prev_tune = prev_tune;
+    cx_closed = false;
+  }
+
+let selected ctx = ctx.cx_oracles
+
+let pool ctx n =
+  match List.assoc_opt n ctx.cx_pools with
+  | Some p -> p
+  | None ->
+      let p = Domain_pool.create ~domains:n in
+      ctx.cx_pools <- (n, p) :: ctx.cx_pools;
+      p
+
+let close ctx =
+  if not ctx.cx_closed then (
+    ctx.cx_closed <- true;
+    List.iter (fun (_, p) -> Domain_pool.shutdown p) ctx.cx_pools;
+    ctx.cx_pools <- [];
+    remove_dir ctx.cx_cache_dir;
+    remove_dir ctx.cx_tune_dir;
+    Unix.putenv "FT_PLAN_CACHE" (Option.value ctx.cx_prev_cache ~default:"");
+    Unix.putenv Tune_db.env_var (Option.value ctx.cx_prev_tune ~default:"");
+    Pipeline.Cache.clear ();
+    Tune_db.clear_memory ())
+
+(* ---------------------------------------------------------------- *)
+(* Projection: raw VM output -> interpreter view                     *)
+(* ---------------------------------------------------------------- *)
+
+let rec project_expr (e : Expr.t) (v : Fractal.t) =
+  match e with
+  | Expr.Let (_, _, e2) -> project_expr e2 v
+  | Expr.Soac { kind; fn; _ } -> (
+      match kind with
+      | Expr.Foldl | Expr.Reduce ->
+          project_expr fn.Expr.body (Fractal.get v (Fractal.length v - 1))
+      | Expr.Foldr ->
+          (* a right fold finishes at storage index 0 *)
+          project_expr fn.Expr.body (Fractal.get v 0)
+      | Expr.Map | Expr.Scanl | Expr.Scanr -> (
+          match v with
+          | Fractal.Leaf _ -> v
+          | Fractal.Node _ ->
+              Fractal.tabulate (Fractal.length v) (fun i ->
+                  project_expr fn.Expr.body (Fractal.get v i))))
+  | _ -> v
+
+let project (p : Expr.program) v = project_expr p.Expr.body v
+
+(* ---------------------------------------------------------------- *)
+(* The oracles                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let vm_value g ?order ?pool ?chunk (p : Expr.program) inputs =
+  let outs = Vm.run ?order ?pool ?chunk g inputs in
+  Value (Vm.output outs p.Expr.name)
+
+let tuned_oracle ctx (p : Expr.program) g inputs =
+  (* Store a deliberately non-default configuration, resolve it back
+     through the installed database, and demand that compiling and
+     running under it changes nothing. *)
+  Tune_db.install ();
+  let key = Pipeline.program_key p in
+  let device = Tune_db.device_digest Device.a100 in
+  Tune_db.store
+    {
+      Tune_db.tr_key = key;
+      tr_device = device;
+      tr_tile = { Tile.default_config with Tile.cfg_vm_chunk = 1 };
+      tr_collapse = true;
+      tr_cost = 0.0;
+      tr_oracle = "conform";
+      tr_strategy = "pinned";
+      tr_budget = 0;
+      tr_seed = 0;
+    };
+  match Pipeline.tuned_config_for key with
+  | None -> Failed "stored tuned config did not resolve through Tune_db"
+  | Some tile ->
+      ignore (Pipeline.plan_cached ~tune:true p);
+      vm_value g ~order:Vm.Wavefront ~pool:(pool ctx 2)
+        ~chunk:tile.Tile.cfg_vm_chunk p inputs
+
+let cache_rt_oracle (p : Expr.program) g inputs =
+  let key = Pipeline.program_key p in
+  let plan1 = Pipeline.plan_cached p in
+  Pipeline.Cache.clear ();
+  if not (Pipeline.Cache.on_disk key) then
+    Failed "plan was not persisted to FT_PLAN_CACHE"
+  else
+    let plan2 = Pipeline.plan_cached p in
+    if plan1 <> plan2 then
+      Failed "plan changed across a disk-cache round trip"
+    else vm_value g ~order:Vm.Sequential p inputs
+
+let run_one ctx (p : Expr.program) inputs graph name =
+  match name with
+  | "interp" -> (
+      try Value (Interp.run_program p inputs)
+      with e -> Failed (Printexc.to_string e))
+  | _ -> (
+      match graph with
+      | `Unsupported msg -> Unsupported msg
+      | `Invalid msg -> Failed msg
+      | `Ok g -> (
+          try
+            match name with
+            | "vm-seq" -> vm_value g ~order:Vm.Sequential p inputs
+            | "vm-wave1" ->
+                vm_value g ~order:Vm.Wavefront ~pool:(pool ctx 1) p inputs
+            | "vm-wave2" ->
+                vm_value g ~order:Vm.Wavefront ~pool:(pool ctx 2) p inputs
+            | "vm-wave4" ->
+                vm_value g ~order:Vm.Wavefront ~pool:(pool ctx 4) p inputs
+            | "tuned" -> tuned_oracle ctx p g inputs
+            | "cache-rt" -> cache_rt_oracle p g inputs
+            | other -> Failed (Printf.sprintf "unknown oracle %S" other)
+          with e -> Failed (Printexc.to_string e)))
+
+let run_all ctx (p : Expr.program) inputs =
+  let graph =
+    match Build.build p with
+    | exception Build.Unsupported msg -> `Unsupported msg
+    | g -> (
+        match Ir.validate g with
+        | Ok () -> `Ok g
+        | Error es -> `Invalid ("invalid graph: " ^ String.concat "; " es))
+  in
+  List.map
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = run_one ctx p inputs graph name in
+      let t1 = Unix.gettimeofday () in
+      { r_oracle = name; r_outcome = outcome; r_wall_ms = (t1 -. t0) *. 1e3 })
+    ctx.cx_oracles

@@ -1,0 +1,93 @@
+open Gen
+
+(* One-step simplifications of a single access operator. *)
+let shrink_access (a : Expr.access) : Expr.access list =
+  match a with
+  | Expr.Linear { shift; reverse = true } ->
+      [ Expr.Linear { shift; reverse = false };
+        Expr.Linear { shift = 0; reverse = true } ]
+  | Expr.Linear { shift; reverse = false } ->
+      if shift > 0 then [ Expr.Linear { shift = 0; reverse = false } ] else []
+  | Expr.Strided { start; step } ->
+      (if start > 0 then [ Expr.Strided { start = 0; step } ] else [])
+      @ if step > 1 then [ Expr.Strided { start; step = 1 } ] else []
+  | Expr.Slice { lo; hi } ->
+      if hi - lo > 1 then [ Expr.Slice { lo; hi = lo + 1 } ] else []
+  | Expr.Indirect idx ->
+      (if Array.length idx > 1 then
+         [ Expr.Indirect (Array.sub idx 0 1) ]
+       else [])
+      @ if Array.exists (fun i -> i <> 0) idx then
+          [ Expr.Indirect (Array.map (fun _ -> 0) idx) ]
+        else []
+  | Expr.Windowed { size; stride; dilation } ->
+      (if dilation > 1 then [ Expr.Windowed { size; stride; dilation = 1 } ]
+       else [])
+      @ (if stride > 1 then [ Expr.Windowed { size; stride = 1; dilation } ]
+         else [])
+      @ if size > 2 then [ Expr.Windowed { size = 2; stride; dilation } ]
+        else []
+  | Expr.Shifted_slide _ -> []
+  | Expr.Interleave { phases } ->
+      if phases > 1 then [ Expr.Interleave { phases = 1 } ] else []
+
+let replace_nth xs i x = List.mapi (fun j y -> if j = i then x else y) xs
+let remove_nth xs i = List.filteri (fun j _ -> j <> i) xs
+
+let shrink_inner (inner : inner) : inner list =
+  match inner with
+  | I_soac { kind; udf } ->
+      (if kind <> Expr.Map then [ I_soac { kind = Expr.Map; udf } ] else [])
+      @ if udf > 0 then [ I_soac { kind; udf = 0 } ] else []
+  | I_zip { kind; udf; rev } ->
+      [ I_soac { kind; udf } ]
+      @ (if rev then [ I_zip { kind; udf; rev = false } ] else [])
+      @ if udf > 0 then [ I_zip { kind; udf = 0; rev } ] else []
+  | I_nest { outer; kind; udf } ->
+      [ I_soac { kind; udf } ]
+      @ List.map (fun o -> I_nest { outer = o; kind; udf }) (shrink_access outer)
+      @ if udf > 0 then [ I_nest { outer; kind; udf = 0 } ] else []
+
+let candidates (sp : spec) : spec list =
+  let chain_drops =
+    List.mapi (fun i _ -> { sp with sp_chain = remove_nth sp.sp_chain i })
+      sp.sp_chain
+  in
+  let chain_simpl =
+    List.concat
+      (List.mapi
+         (fun i a ->
+           List.map
+             (fun a' -> { sp with sp_chain = replace_nth sp.sp_chain i a' })
+             (shrink_access a))
+         sp.sp_chain)
+  in
+  let extents =
+    (if sp.sp_batch > 1 then
+       [ { sp with sp_batch = 1 }; { sp with sp_batch = sp.sp_batch - 1 } ]
+     else [])
+    @ (if sp.sp_seq > 2 then
+         [ { sp with sp_seq = max 2 (sp.sp_seq / 2) };
+           { sp with sp_seq = sp.sp_seq - 1 } ]
+       else [])
+    @ if sp.sp_width > 1 then
+        [ { sp with sp_width = 1 }; { sp with sp_width = sp.sp_width - 1 } ]
+      else []
+  in
+  let inners =
+    List.map (fun i -> { sp with sp_inner = i }) (shrink_inner sp.sp_inner)
+  in
+  let seed = if sp.sp_input_seed <> 1 then [ { sp with sp_input_seed = 1 } ] else [] in
+  chain_drops @ inners @ extents @ chain_simpl @ seed
+
+let minimize ?(max_steps = 200) ~fails sp =
+  let rec go sp steps =
+    if steps >= max_steps then (sp, steps)
+    else
+      match
+        List.find_opt (fun c -> Gen.valid c && fails c) (candidates sp)
+      with
+      | None -> (sp, steps)
+      | Some c -> go c (steps + 1)
+  in
+  go sp 0

@@ -1,0 +1,24 @@
+(** Structural shrinking of failing conformance specs.
+
+    A random counterexample is rarely a good bug report: extents are
+    larger than needed, the access chain longer, the inner form noisier.
+    [minimize] greedily applies structure-removing moves — shrink an
+    extent, drop a chain operator, strip a zip or nest down to a plain
+    SOAC, simplify operator arguments, normalise the UDF and input
+    seed — keeping a move only when the shrunk spec still {e fails}
+    (and is still {!Gen.valid}), until no move applies.  The result is
+    a local minimum: every single simplification of it passes.  The
+    caller's [fails] predicate defines failure (typically: some oracle
+    disagrees), so the same shrinker serves differential and
+    metamorphic counterexamples. *)
+
+val candidates : Gen.spec -> Gen.spec list
+(** One-step simplifications, most aggressive first.  Candidates are
+    not validity-filtered; {!minimize} checks {!Gen.valid}. *)
+
+val minimize : ?max_steps:int -> fails:(Gen.spec -> bool) -> Gen.spec -> Gen.spec * int
+(** Greedy fixpoint of [candidates] under [fails]; returns the
+    minimized spec and the number of accepted shrink steps.
+    [max_steps] (default 200) bounds the loop; the input spec is
+    assumed failing and is returned unchanged when nothing smaller
+    fails. *)

@@ -718,13 +718,17 @@ and emit_regions ctx env tyenv levels ~name ~role body =
             ([], []) site_tags
         in
         let reads =
-          (* deduplicate identical edges *)
+          (* Deduplicate identical edges — but only within a label:
+             zip(xs, xs) binds two lambda parameters to the same
+             (buffer, access) pair, and each needs its own labelled
+             edge for the operand lookup to resolve. *)
           List.fold_left
             (fun acc e ->
               if
                 List.exists
                   (fun e' ->
                     e'.Ir.e_buffer = e.Ir.e_buffer
+                    && e'.Ir.e_label = e.Ir.e_label
                     && Access_map.equal e'.Ir.e_access e.Ir.e_access)
                   acc
               then acc

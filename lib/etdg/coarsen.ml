@@ -280,6 +280,7 @@ let dedup_pairs pairs =
           (fun ((e' : Ir.edge), _) ->
             e'.Ir.e_buffer = e.Ir.e_buffer
             && e'.Ir.e_dir = e.Ir.e_dir
+            && e'.Ir.e_label = e.Ir.e_label
             && Access_map.equal e'.Ir.e_access e.Ir.e_access)
           acc
       then acc

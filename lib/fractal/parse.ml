@@ -409,7 +409,17 @@ and parse_access st name e =
   | "linear" -> (
       match args () with
       | [ shift ] -> Expr.Access (Expr.Linear { shift; reverse = false }, e)
-      | _ -> fail st "linear(shift)")
+      | [ shift; rev ] ->
+          Expr.Access (Expr.Linear { shift; reverse = rev <> 0 }, e)
+      | _ -> fail st "linear(shift[, reverse])")
+  | "reverse" ->
+      expect st LPAREN "'('";
+      expect st RPAREN "')'";
+      Expr.Access (Expr.Linear { shift = 0; reverse = true }, e)
+  | "gather" -> (
+      match args () with
+      | [] -> fail st "gather(i, ...)"
+      | idx -> Expr.Access (Expr.Indirect (Array.of_list idx), e))
   | other -> fail st (Printf.sprintf "unknown access operator %s" other)
 
 and parse_atom st =

@@ -35,8 +35,13 @@
                  "(" args ")"
     soac     ::= "map"|"reduce"|"foldl"|"foldr"|"scanl"|"scanr"
     access   ::= "slice"|"window"|"stride"|"shifted_slide"|"interleave"
-               |"linear"
+               |"linear"|"reverse"|"gather"
     v}
+
+    [linear(shift)] is forward contiguous access; [linear(shift, 1)]
+    additionally reverses the selected suffix and [reverse()] is
+    shorthand for [linear(0, 1)].  [gather(i, ...)] is indirect access
+    through the literal index list.
 
     [@T] is transposed matmul ([q @T k] = [q @ kᵀ]). *)
 

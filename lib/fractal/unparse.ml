@@ -95,9 +95,13 @@ let rec go level (e : Expr.t) =
               Printf.sprintf "interleave(%d)" phases
           | Expr.Linear { shift; reverse = false } ->
               Printf.sprintf "linear(%d)" shift
-          | Expr.Linear { reverse = true; _ } ->
-              raise (Unprintable "reverse access")
-          | Expr.Indirect _ -> raise (Unprintable "indirect access")
+          | Expr.Linear { shift = 0; reverse = true } -> "reverse()"
+          | Expr.Linear { shift; reverse = true } ->
+              Printf.sprintf "linear(%d, 1)" shift
+          | Expr.Indirect idx ->
+              Printf.sprintf "gather(%s)"
+                (String.concat ", "
+                   (Array.to_list (Array.map string_of_int idx)))
         in
         (4, Printf.sprintf "%s.%s" (go 4 e) call)
     | Expr.Soac { kind; fn; init; xs } ->

@@ -1,9 +1,14 @@
 (** Pretty-printing programs back to the concrete syntax of {!Parse}.
 
     [Parse.program (Unparse.program p)] yields a structurally equal
-    program for every program in the printable fragment (everything the
-    workloads use except arbitrary literal tensors, which print as
-    [zeros]/[ones]/[full] when uniform and are otherwise rejected).
+    program for every program in the printable fragment: every access
+    operator (including reversed access as [reverse()] /
+    [linear(shift, 1)] and indirect access as [gather(i, ...)]), every
+    compute operator, and everything the workloads use except
+    arbitrary literal tensors, which print as [zeros]/[ones]/[full]
+    when uniform and are otherwise rejected.  The conformance
+    subsystem ([lib/conform]) leans on this totality: minimized
+    failing programs are persisted as replayable [.ft] corpus files.
     The round trip is property-tested. *)
 
 exception Unprintable of string

@@ -20,6 +20,17 @@ for n in 1 4; do
     > /dev/null
 done
 
+# Conformance sweep: seeded random programs through every oracle
+# (interpreter, sequential VM, wavefront VM at 1/2/4 domains, tuned
+# configs, plan-cache roundtrip) plus the metamorphic access laws.
+# The text report includes the per-oracle pass counts.  Then replay
+# the minimized-repro corpus — the regression programs the harness
+# wrote for previously-found compiler bugs.
+echo "conform (seed 42, budget 50, all oracles)"
+dune exec --no-build bin/ftc.exe -- conform --seed 42 --budget 50
+echo "conform: corpus replay"
+dune exec --no-build bin/ftc.exe -- conform --replay test/corpus
+
 for f in examples/programs/*.ft; do
   echo "lint $f"
   dune exec --no-build bin/ftc.exe -- lint "$f"

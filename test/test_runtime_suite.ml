@@ -231,6 +231,52 @@ let plan_cache_tests =
                 let s = Pipeline.Cache.stats () in
                 checki "recompiled" 1 s.Pipeline.Cache.misses;
                 checki "no disk hit" 0 s.Pipeline.Cache.disk_hits)));
+    Alcotest.test_case "truncated / version-skewed entries recompile" `Quick
+      (fun () ->
+        (* the corruption shapes the garbage-bytes test above misses: a
+           file cut off inside the Marshal blob, and a valid blob whose
+           version stamp is from another build.  Both must read as a
+           miss — recompile, no crash — and the recompile must heal the
+           disk entry. *)
+        with_disk_cache (fun dir ->
+            with_ft_file ft_source (fun path ->
+                let entry () =
+                  match Sys.readdir dir with
+                  | [| f |] -> Filename.concat dir f
+                  | fs ->
+                      Alcotest.failf "expected one cache entry, found %d"
+                        (Array.length fs)
+                in
+                let clobber bytes =
+                  let oc = open_out_bin (entry ()) in
+                  output_string oc bytes;
+                  close_out oc;
+                  Pipeline.Cache.clear ()
+                in
+                let expect_recompile what =
+                  ignore (Pipeline.plan_file path);
+                  let s = Pipeline.Cache.stats () in
+                  checki (what ^ ": recompiled") 1 s.Pipeline.Cache.misses;
+                  checki (what ^ ": no disk hit") 0
+                    s.Pipeline.Cache.disk_hits
+                in
+                Pipeline.Cache.clear ();
+                ignore (Pipeline.plan_file path);
+                let whole =
+                  let ic = open_in_bin (entry ()) in
+                  let s = really_input_string ic (in_channel_length ic) in
+                  close_in ic;
+                  s
+                in
+                clobber (String.sub whole 0 5);
+                expect_recompile "truncated";
+                clobber (Marshal.to_string (999, "junk") []);
+                expect_recompile "version skew";
+                (* the recompile rewrote the entry: next cold read hits *)
+                Pipeline.Cache.clear ();
+                ignore (Pipeline.plan_file path);
+                checki "healed entry hits" 1
+                  (Pipeline.Cache.stats ()).Pipeline.Cache.disk_hits)));
     Alcotest.test_case "plan_file skips the parse on a memory hit" `Quick
       (fun () ->
         (* no disk cache here; contents-keyed, so a second file with the

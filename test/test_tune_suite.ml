@@ -278,6 +278,46 @@ let db_corruption_is_miss () =
         (not (List.mem "stray.txt" (Tune_db.disk_entries ())));
       Sys.remove stray)
 
+(* The two corruption shapes the blanket test above does not reach:
+   a file cut off mid-blob, and a well-formed Marshal blob whose
+   version stamp is from a different build.  Both must read as a
+   miss, and a subsequent store must recover the entry. *)
+let db_truncated_and_version_skew () =
+  with_db_dir (fun _dir ->
+      let device = Tune_db.device_digest Device.a100 in
+      let entry () =
+        match Tune_db.entry_path ~key:"deadbeef" ~device with
+        | Some p -> p
+        | None -> Alcotest.fail "no entry path with FT_TUNE_DB set"
+      in
+      let clobber bytes =
+        let oc = open_out_bin (entry ()) in
+        output_string oc bytes;
+        close_out oc;
+        Tune_db.clear_memory ()
+      in
+      (* truncated: keep only the first 4 bytes of a real entry *)
+      Tune_db.store (sample_record ~cost:10.0);
+      let whole =
+        let ic = open_in_bin (entry ()) in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      clobber (String.sub whole 0 (Stdlib.min 4 (String.length whole)));
+      checkb "truncated entry reads as miss" true
+        (Tune_db.lookup ~key:"deadbeef" ~device = None);
+      (* version skew: a valid blob stamped with a bogus version *)
+      clobber (Marshal.to_string (999, "junk") []);
+      checkb "version-skewed entry reads as miss" true
+        (Tune_db.lookup ~key:"deadbeef" ~device = None);
+      (* a fresh store overwrites the bad entry and reads back *)
+      Tune_db.store (sample_record ~cost:3.0);
+      Tune_db.clear_memory ();
+      match Tune_db.lookup ~key:"deadbeef" ~device with
+      | Some r -> checkb "recovered" true (r.Tune_db.tr_cost = 3.0)
+      | None -> Alcotest.fail "store did not recover a corrupt entry")
+
 (* ---------------------------------------------------------------- *)
 (* Pipeline plumbing: tile configs key the cache; defaults unchanged. *)
 
@@ -324,6 +364,8 @@ let suites =
         Alcotest.test_case "db roundtrip + monotone store" `Quick db_roundtrip;
         Alcotest.test_case "db corruption reads as miss" `Quick
           db_corruption_is_miss;
+        Alcotest.test_case "db truncation / version skew read as miss" `Quick
+          db_truncated_and_version_skew;
         Alcotest.test_case "tile configs key the plan cache" `Quick tile_keys;
       ] );
   ]
