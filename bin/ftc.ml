@@ -597,9 +597,13 @@ let profile_cmd =
 let lint_cmd =
   let run path format =
     let ds = Lint.file path in
+    (* diagnostics belong on stderr; stdout carries only the JSON
+       document when one is requested — uniform across subcommands *)
     (match format with
-    | `Text -> Format.printf "%a" (Diagnostic.pp_list ~path) ds
-    | `Json -> print_endline (Diagnostic.list_to_json ~path ds));
+    | `Text -> Format.eprintf "%a" (Diagnostic.pp_list ~path) ds
+    | `Json ->
+        print_endline (Diagnostic.list_to_json ~path ds);
+        if ds <> [] then Format.eprintf "%a" (Diagnostic.pp_list ~path) ds);
     if List.exists Diagnostic.is_error ds then exit 1
   in
   let file =
@@ -617,6 +621,49 @@ let lint_cmd =
          "Statically check a .ft program: syntax, scoping (unused/shadowed \
           bindings), shape and depth inference, and operator-nest \
           composability — without executing anything")
+    Term.(const run $ file $ fmt)
+
+let analyze_cmd =
+  let run path format =
+    match Analyze.file path with
+    | exception Parse.Syntax_error { line; col; message } ->
+        Format.eprintf "%s:%d:%d: %s@." path line col message;
+        exit 1
+    | exception Typecheck.Type_error msg ->
+        Format.eprintf "%s: type error: %s@." path msg;
+        exit 1
+    | r ->
+        (match format with
+        | `Text -> print_string (Analyze.to_text r)
+        | `Json ->
+            (* stdout carries only the JSON document; findings go to
+               stderr so tooling can pipe stdout straight to a parser *)
+            print_endline (Jsonw.to_string (Analyze.to_jsonv r));
+            if r.Analyze.rp_diagnostics <> [] then
+              Format.eprintf "%a"
+                (Diagnostic.pp_list ~path)
+                r.Analyze.rp_diagnostics);
+        if Analyze.errors r then exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or json")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static memory-effect analysis of a .ft program: per-block \
+          read/write footprints with may/must precision, a race-freedom \
+          verdict (proven-disjoint, unproven, or race) for every \
+          wavefront anti-chain the VM would execute, dead-store and \
+          uninitialized-read findings, buffer live ranges over the block \
+          dataflow order, and a proposed arena layout in which buffers \
+          with disjoint lifetimes share storage")
     Term.(const run $ file $ fmt)
 
 let tune_cmd =
@@ -843,7 +890,7 @@ let conform_cmd =
             (fun (f, r) ->
               match r with
               | None -> Format.printf "PASS %s@." f
-              | Some m -> Format.printf "FAIL %s: %s@." f m)
+              | Some m -> Format.eprintf "FAIL %s: %s@." f m)
             results;
         if failed <> [] then exit 1
     | None ->
@@ -923,5 +970,5 @@ let () =
   exit
     (Cmd.eval (Cmd.group ~default info
                  [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
-                   run_cmd; profile_cmd; tune_cmd; cache_cmd; lint_cmd;
-                   conform_cmd ]))
+                   run_cmd; profile_cmd; analyze_cmd; tune_cmd; cache_cmd;
+                   lint_cmd; conform_cmd ]))

@@ -1,4 +1,4 @@
-type severity = Error | Warning | Info
+type severity = Error | Warning | Info | Note
 
 type t = {
   severity : severity;
@@ -15,6 +15,7 @@ let error ?span ?context code message = make ?span ?context Error code message
 let warning ?span ?context code message =
   make ?span ?context Warning code message
 let info ?span ?context code message = make ?span ?context Info code message
+let note ?span ?context code message = make ?span ?context Note code message
 
 let errorf ?span ?context code fmt =
   Format.kasprintf (fun s -> error ?span ?context code s) fmt
@@ -22,17 +23,37 @@ let errorf ?span ?context code fmt =
 let warningf ?span ?context code fmt =
   Format.kasprintf (fun s -> warning ?span ?context code s) fmt
 
+let notef ?span ?context code fmt =
+  Format.kasprintf (fun s -> note ?span ?context code s) fmt
+
 let severity_name = function
   | Error -> "error"
   | Warning -> "warning"
   | Info -> "info"
+  | Note -> "note"
+
+(* The check family a code belongs to: the verifier's V-codes group by
+   their leading digit ("V012" -> "V0xx", "V300" -> "V3xx"), every
+   other prefix groups as a whole ("L103" -> "Lxxx") — so tooling can
+   filter a whole family without regexing message text. *)
+let check_id code =
+  let n = String.length code in
+  let alpha = ref 0 in
+  while !alpha < n && not (code.[!alpha] >= '0' && code.[!alpha] <= '9') do
+    incr alpha
+  done;
+  if !alpha = 0 || !alpha = n then code
+  else
+    let prefix = String.sub code 0 !alpha in
+    if prefix = "V" then prefix ^ String.make 1 code.[!alpha] ^ "xx"
+    else prefix ^ String.make (n - !alpha) 'x'
 
 let is_error d = d.severity = Error
 let count_errors ds = List.length (List.filter is_error ds)
 let count_warnings ds =
   List.length (List.filter (fun d -> d.severity = Warning) ds)
 
-let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2 | Note -> 3
 
 let sort ds =
   List.stable_sort
@@ -88,7 +109,8 @@ let json_escape s =
 let to_json d =
   let fields =
     [ Printf.sprintf "\"severity\":\"%s\"" (severity_name d.severity);
-      Printf.sprintf "\"code\":%S" d.code ]
+      Printf.sprintf "\"code\":%S" d.code;
+      Printf.sprintf "\"check_id\":%S" (check_id d.code) ]
     @ (match d.span with
       | Some (l, c) ->
           [ Printf.sprintf "\"line\":%d" l; Printf.sprintf "\"col\":%d" c ]

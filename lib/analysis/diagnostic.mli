@@ -9,7 +9,7 @@
     [file:line:col: severity[code]: message] text and as JSON for
     tooling. *)
 
-type severity = Error | Warning | Info
+type severity = Error | Warning | Info | Note
 
 type t = {
   severity : severity;
@@ -27,6 +27,10 @@ val error : ?span:int * int -> ?context:string -> string -> string -> t
 val warning : ?span:int * int -> ?context:string -> string -> string -> t
 val info : ?span:int * int -> ?context:string -> string -> string -> t
 
+val note : ?span:int * int -> ?context:string -> string -> string -> t
+(** [Note] findings are sub-informational analysis facts (e.g. a race
+    proof that degraded to "unproven"); they never fail a command. *)
+
 val errorf :
   ?span:int * int ->
   ?context:string ->
@@ -42,7 +46,22 @@ val warningf :
   ('a, Format.formatter, unit, t) format4 ->
   'a
 
+val notef :
+  ?span:int * int ->
+  ?context:string ->
+  string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
 val severity_name : severity -> string
+
+val check_id : string -> string
+(** The machine-readable check family of a code: verifier codes group
+    by leading digit (["V012"] ↦ ["V0xx"], ["V301"] ↦ ["V3xx"]), other
+    prefixes as a whole (["L103"] ↦ ["Lxxx"]).  Emitted as the
+    ["check_id"] field of the JSON rendering so downstream tools can
+    filter families without regexing messages. *)
+
 val is_error : t -> bool
 val count_errors : t list -> int
 val count_warnings : t list -> int

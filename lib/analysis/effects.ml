@@ -1,0 +1,734 @@
+(* Static memory-effect analysis: footprints of access maps over
+   iteration domains, and exact/conservative race proofs for the
+   wavefront anti-chains the VM executes.  See effects.mli. *)
+
+type precision = Must | May
+
+type region = {
+  rg_buffer : int;
+  rg_name : string;
+  rg_write : bool;
+  rg_label : string;
+  rg_lo : int array;
+  rg_hi : int array;
+  rg_precision : precision;
+}
+
+type footprint = {
+  fp_block : string;
+  fp_points : int;
+  fp_reads : region list;
+  fp_writes : region list;
+}
+
+type race_kind = WW | RW
+
+type verdict =
+  | Proven of string
+  | Unproven of string
+  | Race of race_kind * string
+
+type race_report = {
+  rr_block : string;
+  rr_points : int;
+  rr_fronts : int;
+  rr_verdict : verdict;
+}
+
+let default_threshold = 4096
+
+let verdict_name = function
+  | Proven _ -> "proven-disjoint"
+  | Unproven _ -> "unproven"
+  | Race _ -> "race"
+
+let buffer_bytes (bf : Ir.buffer) =
+  4
+  * Array.fold_left ( * ) 1 bf.Ir.buf_dims
+  * Shape.numel bf.Ir.buf_elem
+
+let vec_to_string v =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int v)) ^ "]"
+
+(* A read edge whose label is bound in blk_consts never executes: the
+   VM resolves the operand to the literal before consulting the edge
+   table.  Mirror that here so footprints and race proofs describe
+   exactly what runs. *)
+let live_edges (b : Ir.block) =
+  List.filter
+    (fun (e : Ir.edge) ->
+      e.Ir.e_dir = Ir.Write
+      || not (List.mem_assoc e.Ir.e_label b.Ir.blk_consts))
+    b.Ir.blk_edges
+
+(* Minimal well-formedness for doing arithmetic with an edge; anything
+   failing this is V001/V012 territory and is skipped here. *)
+let edge_usable (g : Ir.graph) (b : Ir.block) (e : Ir.edge) =
+  let a = e.Ir.e_access in
+  Access_map.in_dim a = b.Ir.blk_domain.Domain.dim
+  && Array.length a.Access_map.offset = Array.length a.Access_map.matrix
+  && Array.for_all
+       (fun row -> Array.length row = Access_map.in_dim a)
+       a.Access_map.matrix
+  && List.exists (fun bf -> bf.Ir.buf_id = e.Ir.e_buffer) g.Ir.g_buffers
+
+(* ------------------------------ footprints ------------------------- *)
+
+(* Per-row range of an affine map over a box: a linear function of
+   independently-ranging variables attains its extremes coordinatewise,
+   so min/max come straight off the coefficient signs. *)
+let row_range row off ext =
+  let lo = ref off and hi = ref off in
+  Array.iteri
+    (fun j c ->
+      let l, h = ext.(j) in
+      (* h is exclusive; domain non-empty means l <= h - 1 *)
+      if c > 0 then begin
+        lo := !lo + (c * l);
+        hi := !hi + (c * (h - 1))
+      end
+      else if c < 0 then begin
+        lo := !lo + (c * (h - 1));
+        hi := !hi + (c * l)
+      end)
+    row;
+  (!lo, !hi)
+
+(* The box is exact (Must) when the map is a partial permutation with
+   ±1 entries: every row reads at most one variable, no variable drives
+   two rows — then the image over a box is itself a box. *)
+let box_is_exact matrix =
+  let d = if Array.length matrix = 0 then 0 else Array.length matrix.(0) in
+  let used = Array.make (Stdlib.max 1 d) false in
+  Array.for_all
+    (fun row ->
+      let nz = ref [] in
+      Array.iteri (fun j c -> if c <> 0 then nz := (j, c) :: !nz) row;
+      match !nz with
+      | [] -> true
+      | [ (j, c) ] ->
+          if abs c <> 1 || used.(j) then false
+          else begin
+            used.(j) <- true;
+            true
+          end
+      | _ -> false)
+    matrix
+
+let clip_region bf lo hi =
+  let changed = ref false in
+  let lo' =
+    Array.map
+      (fun v ->
+        let c = Stdlib.max v 0 in
+        if c <> v then changed := true;
+        c)
+      lo
+  and hi' =
+    Array.mapi
+      (fun i v ->
+        let bound =
+          if i < Array.length bf.Ir.buf_dims then bf.Ir.buf_dims.(i) - 1
+          else v
+        in
+        let c = Stdlib.min v bound in
+        if c <> v then changed := true;
+        c)
+      hi
+  in
+  (lo', hi', !changed)
+
+let edge_region (g : Ir.graph) (b : Ir.block) points (e : Ir.edge) =
+  let bf = Ir.buffer g e.Ir.e_buffer in
+  let a = e.Ir.e_access in
+  let m = Access_map.out_dim a in
+  let mk lo hi prec =
+    let lo, hi, clipped = clip_region bf lo hi in
+    {
+      rg_buffer = bf.Ir.buf_id;
+      rg_name = bf.Ir.buf_name;
+      rg_write = e.Ir.e_dir = Ir.Write;
+      rg_label = e.Ir.e_label;
+      rg_lo = lo;
+      rg_hi = hi;
+      rg_precision = (if clipped then May else prec);
+    }
+  in
+  match Domain.rect_extents b.Ir.blk_domain with
+  | Some ext ->
+      let lo = Array.make m 0 and hi = Array.make m 0 in
+      Array.iteri
+        (fun r row ->
+          let l, h = row_range row a.Access_map.offset.(r) ext in
+          lo.(r) <- l;
+          hi.(r) <- h)
+        a.Access_map.matrix;
+      mk lo hi (if box_is_exact a.Access_map.matrix then Must else May)
+  | None -> (
+      match points with
+      | Some pts when pts <> [] ->
+          let lo = Array.make m max_int and hi = Array.make m min_int in
+          List.iter
+            (fun p ->
+              let idx = Access_map.apply a p in
+              Array.iteri
+                (fun r v ->
+                  lo.(r) <- Stdlib.min lo.(r) v;
+                  hi.(r) <- Stdlib.max hi.(r) v)
+                idx)
+            pts;
+          mk lo hi May
+      | _ ->
+          (* unknown domain shape: the whole buffer, may *)
+          mk (Array.make m 0)
+            (Array.map (fun d -> d - 1) bf.Ir.buf_dims)
+            May)
+
+let domain_points ?(threshold = default_threshold) (d : Domain.t) =
+  match Domain.rect_extents d with
+  | Some ext ->
+      let vol =
+        Array.fold_left (fun acc (l, h) -> acc * Stdlib.max 0 (h - l)) 1 ext
+      in
+      if vol <= threshold then Some (Domain.enumerate d) else None
+  | None ->
+      (* general polyhedra in this compiler are small (they only arise
+         from region grouping); card bounds the work before enumerating *)
+      if Domain.card d <= threshold then Some (Domain.enumerate d) else None
+
+let block_footprint (g : Ir.graph) (b : Ir.block) =
+  let points = domain_points b.Ir.blk_domain in
+  let edges = List.filter (edge_usable g b) (live_edges b) in
+  let regions = List.map (edge_region g b points) edges in
+  let count =
+    match points with
+    | Some pts -> List.length pts
+    | None -> Domain.card b.Ir.blk_domain
+  in
+  {
+    fp_block = b.Ir.blk_name;
+    fp_points = count;
+    fp_reads = List.filter (fun r -> not r.rg_write) regions;
+    fp_writes = List.filter (fun r -> r.rg_write) regions;
+  }
+
+let footprints (g : Ir.graph) =
+  List.map (block_footprint g) (Ir.dataflow_order g)
+
+let region_cells r =
+  let v = ref 1 in
+  Array.iteri
+    (fun i l -> v := !v * Stdlib.max 0 (r.rg_hi.(i) - l + 1))
+    r.rg_lo;
+  !v
+
+let boxes_disjoint (lo1, hi1) (lo2, hi2) =
+  let n = Array.length lo1 in
+  let rec go i =
+    if i >= n then false
+    else if hi1.(i) < lo2.(i) || hi2.(i) < lo1.(i) then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------ race proofs ------------------------ *)
+
+(* The hyperplane the VM's scheduler keys fronts on: None when the
+   block carries no dependence (the whole domain is one anti-chain). *)
+let hyperplane (b : Ir.block) =
+  if Dependence.block_distance_vectors b = [] then None
+  else Some (Reorder.transform_matrix b).(0)
+
+let front_count pi dom points =
+  match pi with
+  | None -> 1
+  | Some pi -> (
+      match points with
+      | Some pts ->
+          let keys = Hashtbl.create 16 in
+          List.iter
+            (fun p ->
+              let k = ref 0 in
+              Array.iteri (fun i c -> k := !k + (c * p.(i))) pi;
+              Hashtbl.replace keys !k ())
+            pts;
+          Hashtbl.length keys
+      | None -> (
+          match Domain.rect_extents dom with
+          | Some ext ->
+              let lo, hi = row_range pi 0 ext in
+              hi - lo + 1
+          | None -> 0))
+
+exception Found of race_kind * string
+
+let in_bounds (bf : Ir.buffer) idx =
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      if i < Array.length bf.Ir.buf_dims
+         && (v < 0 || v >= bf.Ir.buf_dims.(i))
+      then ok := false)
+    idx;
+  !ok
+
+(* Exact decision by enumeration: replay the VM's front grouping and
+   hash every written cell; a duplicate write in one front is a W-W
+   race, a read of a cell some *other* point of the same front writes
+   is an R-W race.  Out-of-bounds reads are boundary-predicated (the
+   region's consts mask them) and skipped. *)
+let enumerate_races g pi points writes reads =
+  let fronts = Hashtbl.create 16 in
+  let key p =
+    match pi with
+    | None -> 0
+    | Some pi ->
+        let k = ref 0 in
+        Array.iteri (fun i c -> k := !k + (c * p.(i))) pi;
+        !k
+  in
+  List.iter
+    (fun p ->
+      let k = key p in
+      Hashtbl.replace fronts k
+        (p :: (try Hashtbl.find fronts k with Not_found -> [])))
+    points;
+  try
+    Hashtbl.iter
+      (fun front pts ->
+        let cells = Hashtbl.create 64 in
+        List.iter
+          (fun p ->
+            List.iter
+              (fun (e : Ir.edge) ->
+                let idx = Access_map.apply e.Ir.e_access p in
+                let ck = (e.Ir.e_buffer, Array.to_list idx) in
+                match Hashtbl.find_opt cells ck with
+                | Some q ->
+                    raise
+                      (Found
+                         ( WW,
+                           Printf.sprintf
+                             "front %d: iterations %s and %s both write \
+                              %s%s"
+                             front (vec_to_string q) (vec_to_string p)
+                             (Ir.buffer g e.Ir.e_buffer).Ir.buf_name
+                             (vec_to_string idx) ))
+                | None -> Hashtbl.add cells ck p)
+              writes)
+          pts;
+        List.iter
+          (fun p ->
+            List.iter
+              (fun (e : Ir.edge) ->
+                let bf = Ir.buffer g e.Ir.e_buffer in
+                let idx = Access_map.apply e.Ir.e_access p in
+                if in_bounds bf idx then
+                  match
+                    Hashtbl.find_opt cells (e.Ir.e_buffer, Array.to_list idx)
+                  with
+                  | Some q when q <> p ->
+                      raise
+                        (Found
+                           ( RW,
+                             Printf.sprintf
+                               "front %d: iteration %s reads %s%s, \
+                                written by sibling %s"
+                               front (vec_to_string p) bf.Ir.buf_name
+                               (vec_to_string idx) (vec_to_string q) ))
+                  | _ -> ())
+              reads)
+          pts)
+      fronts;
+    Proven
+      (Printf.sprintf
+         "enumerated %d iterations over %d fronts: all same-front cells \
+          disjoint"
+         (List.length points) (Hashtbl.length fronts))
+  with Found (k, m) -> Race (k, m)
+
+(* ---- algebraic path (domains too large to enumerate) --------------- *)
+
+module Q = Linalg.Q
+
+(* Solve M x = b exactly over Q.  Returns [`Unique x] when M has full
+   column rank and the system is consistent, [`None] when inconsistent,
+   [`Many] when the solution space is positive-dimensional. *)
+let solve_exact m b =
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  if cols = 0 then `Unique [||]
+  else begin
+    let a =
+      Array.init rows (fun i ->
+          Array.init (cols + 1) (fun j ->
+              Q.of_int (if j < cols then m.(i).(j) else b.(i))))
+    in
+    let piv_of_col = Array.make cols (-1) in
+    let r = ref 0 in
+    for c = 0 to cols - 1 do
+      if !r < rows then begin
+        (* find a pivot *)
+        let p = ref (-1) in
+        for i = !r to rows - 1 do
+          if !p = -1 && not (Q.is_zero a.(i).(c)) then p := i
+        done;
+        if !p >= 0 then begin
+          let tmp = a.(!r) in
+          a.(!r) <- a.(!p);
+          a.(!p) <- tmp;
+          let inv = Q.div Q.one a.(!r).(c) in
+          a.(!r) <- Array.map (fun x -> Q.mul x inv) a.(!r);
+          for i = 0 to rows - 1 do
+            if i <> !r && not (Q.is_zero a.(i).(c)) then begin
+              let f = a.(i).(c) in
+              for j = 0 to cols do
+                a.(i).(j) <- Q.sub a.(i).(j) (Q.mul f a.(!r).(j))
+              done
+            end
+          done;
+          piv_of_col.(c) <- !r;
+          incr r
+        end
+      end
+    done;
+    (* consistency: a zero row with non-zero rhs *)
+    let inconsistent = ref false in
+    for i = !r to rows - 1 do
+      if not (Q.is_zero a.(i).(cols)) then inconsistent := true
+    done;
+    if !inconsistent then `None
+    else if Array.exists (fun p -> p = -1) piv_of_col then `Many
+    else
+      `Unique
+        (Array.init cols (fun c -> a.(piv_of_col.(c)).(cols)))
+  end
+
+let dot a b =
+  let s = ref 0 in
+  Array.iteri (fun i x -> s := !s + (x * b.(i))) a;
+  !s
+
+(* delta fits inside the domain box: two points p and p + delta can
+   both lie in the box iff |delta_i| <= extent_i - 1 per dimension. *)
+let realizable ext delta =
+  let ok = ref true in
+  Array.iteri
+    (fun i d -> if abs d > snd ext.(i) - fst ext.(i) - 1 then ok := false)
+    delta;
+  !ok
+
+let stack_pi pi m =
+  match pi with None -> m | Some pi -> Array.append m [| pi |]
+
+(* W-W of a single write edge with itself: collisions within a front
+   are exactly the non-zero integer null vectors of [M; pi].  An empty
+   null space proves injectivity per front; a realizable basis vector
+   is a genuine race witness. *)
+let self_ww g ext pi (e : Ir.edge) =
+  let stacked = stack_pi pi e.Ir.e_access.Access_map.matrix in
+  let ns = Linalg.null_space stacked in
+  if Array.length ns = 0 then
+    Proven "write map injective within every front (trivial null space)"
+  else
+    let witness = Array.to_list ns |> List.find_opt (realizable ext) in
+    match witness with
+    | Some v ->
+        Race
+          ( WW,
+            Printf.sprintf
+              "iterations %s apart lie in one front and write the same \
+               cell of %s"
+              (vec_to_string v)
+              (Ir.buffer g e.Ir.e_buffer).Ir.buf_name )
+    | None ->
+        Unproven
+          (Printf.sprintf
+             "write '%s': null direction %s of [M;pi] exceeds the domain \
+              box — cannot witness or refute"
+             e.Ir.e_label
+             (vec_to_string ns.(0)))
+
+(* Two accesses of one buffer with equal matrices M and offsets o1, o2:
+   a collision needs M d = o2 - o1 with pi . d = 0 (same front) and
+   d <> 0.  A unique integral solution decides the question exactly —
+   this is what proves the recurrent state read (offset -1 or +1 along
+   the sequential dimension) race-free: its d has pi . d <> 0, i.e. the
+   dependence is carried *across* fronts. *)
+let equal_matrix_pair ext pi kind bufname m o1 o2 =
+  let delta_rhs = Array.init (Array.length o1) (fun i -> o2.(i) - o1.(i)) in
+  if Array.for_all (fun x -> x = 0) delta_rhs then
+    (* same map: only d in null(M) collide, same argument as self W-W *)
+    let stacked = stack_pi pi m in
+    let ns = Linalg.null_space stacked in
+    if Array.length ns = 0 then
+      Proven "identical access maps, injective within every front"
+    else if Array.exists (realizable ext) ns then
+      Race
+        ( kind,
+          Printf.sprintf "same-front iterations share a cell of %s" bufname )
+    else Unproven "identical maps with an unrealizably large null direction"
+  else
+    match solve_exact m delta_rhs with
+    | `None -> Proven "offset difference unreachable by the access matrix"
+    | `Many ->
+        Unproven
+          "offset difference reachable along a positive-dimensional \
+           solution space"
+    | `Unique qs ->
+        if Array.exists (fun q -> not (Q.is_integral q)) qs then
+          Proven "offset difference only reachable at fractional iterations"
+        else
+          let d = Array.map Q.to_int qs in
+          let carried = match pi with None -> 0 | Some pi -> dot pi d in
+          if carried <> 0 then
+            Proven
+              (Printf.sprintf
+                 "dependence distance %s is carried across fronts \
+                  (pi.d = %d)"
+                 (vec_to_string d) carried)
+          else if realizable ext d then
+            Race
+              ( kind,
+                Printf.sprintf
+                  "iterations %s apart lie in one front and touch the \
+                   same cell of %s"
+                  (vec_to_string d) bufname )
+          else
+            Proven
+              (Printf.sprintf
+                 "collision distance %s exceeds the domain box"
+                 (vec_to_string d))
+
+let algebraic_races g b ext pi writes reads =
+  let region e = edge_region g b None e in
+  let boxes_of e =
+    let r = region e in
+    (r.rg_lo, r.rg_hi)
+  in
+  let pair_verdict kind (e1 : Ir.edge) (e2 : Ir.edge) =
+    if e1.Ir.e_buffer <> e2.Ir.e_buffer then
+      Proven "distinct buffers"
+    else if boxes_disjoint (boxes_of e1) (boxes_of e2) then
+      Proven "disjoint footprint boxes"
+    else
+      let a1 = e1.Ir.e_access and a2 = e2.Ir.e_access in
+      if a1.Access_map.matrix = a2.Access_map.matrix then
+        equal_matrix_pair ext pi kind
+          (Ir.buffer g e1.Ir.e_buffer).Ir.buf_name a1.Access_map.matrix
+          a1.Access_map.offset a2.Access_map.offset
+      else
+        Unproven
+          (Printf.sprintf
+             "accesses '%s' and '%s' of %s have dissimilar matrices and \
+              overlapping boxes"
+             e1.Ir.e_label e2.Ir.e_label
+             (Ir.buffer g e1.Ir.e_buffer).Ir.buf_name)
+  in
+  let verdicts = ref [] in
+  (* every write against itself *)
+  List.iter (fun w -> verdicts := self_ww g ext pi w :: !verdicts) writes;
+  (* distinct write pairs *)
+  let rec ww = function
+    | [] -> ()
+    | w :: rest ->
+        List.iter (fun w' -> verdicts := pair_verdict WW w w' :: !verdicts) rest;
+        ww rest
+  in
+  ww writes;
+  (* read against every write of the same buffer *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun w ->
+          if r.Ir.e_buffer = w.Ir.e_buffer then
+            verdicts := pair_verdict RW r w :: !verdicts)
+        writes)
+    reads;
+  let vs = List.rev !verdicts in
+  match List.find_opt (function Race _ -> true | _ -> false) vs with
+  | Some r -> r
+  | None -> (
+      match List.find_opt (function Unproven _ -> true | _ -> false) vs with
+      | Some u -> u
+      | None ->
+          Proven
+            "algebraic: write maps injective per front; every read/write \
+             collision distance carried across fronts or out of range")
+
+let block_race ?(threshold = default_threshold) (g : Ir.graph)
+    (b : Ir.block) =
+  let pi = hyperplane b in
+  let edges = List.filter (edge_usable g b) (live_edges b) in
+  let writes = List.filter (fun (e : Ir.edge) -> e.Ir.e_dir = Ir.Write) edges in
+  let written_bufs = List.map (fun (e : Ir.edge) -> e.Ir.e_buffer) writes in
+  let reads =
+    List.filter
+      (fun (e : Ir.edge) ->
+        e.Ir.e_dir = Ir.Read && List.mem e.Ir.e_buffer written_bufs)
+      edges
+  in
+  let points = domain_points ~threshold b.Ir.blk_domain in
+  let rr_points =
+    match points with
+    | Some pts -> List.length pts
+    | None -> Domain.card b.Ir.blk_domain
+  in
+  let rr_fronts = front_count pi b.Ir.blk_domain points in
+  let verdict =
+    if writes = [] then Proven "block writes nothing"
+    else
+      match points with
+      | Some pts -> enumerate_races g pi pts writes reads
+      | None -> (
+          match Domain.rect_extents b.Ir.blk_domain with
+          | Some ext -> algebraic_races g b ext pi writes reads
+          | None ->
+              Unproven
+                (Printf.sprintf
+                   "non-rectangular domain with more than %d points"
+                   threshold))
+  in
+  { rr_block = b.Ir.blk_name; rr_points; rr_fronts; rr_verdict = verdict }
+
+let race_check ?threshold (g : Ir.graph) =
+  List.map (block_race ?threshold g) (Ir.dataflow_order g)
+
+(* ------------------------------ flow checks ------------------------ *)
+
+let never_read (g : Ir.graph) =
+  List.filter_map
+    (fun (bf : Ir.buffer) ->
+      if bf.Ir.buf_role <> Ir.Intermediate then None
+      else
+        let touched dir =
+          List.exists
+            (fun (b : Ir.block) ->
+              List.exists
+                (fun (e : Ir.edge) ->
+                  e.Ir.e_buffer = bf.Ir.buf_id && e.Ir.e_dir = dir
+                  && (dir = Ir.Write
+                     || not (List.mem_assoc e.Ir.e_label b.Ir.blk_consts)))
+                b.Ir.blk_edges)
+            g.Ir.g_blocks
+        in
+        if touched Ir.Write && not (touched Ir.Read) then Some bf.Ir.buf_name
+        else None)
+    g.Ir.g_buffers
+
+let race_diagnostics ?stage ?threshold (g : Ir.graph) =
+  let ctx b =
+    match stage with Some s -> Some (s ^ ": " ^ b) | None -> Some b
+  in
+  List.filter_map
+    (fun rr ->
+      match rr.rr_verdict with
+      | Proven _ -> None
+      | Race (WW, m) ->
+          Some
+            (Diagnostic.errorf ?context:(ctx rr.rr_block) "V300"
+               "wavefront write-write race: %s" m)
+      | Race (RW, m) ->
+          Some
+            (Diagnostic.errorf ?context:(ctx rr.rr_block) "V301"
+               "wavefront read-write race: %s" m)
+      | Unproven m ->
+          Some
+            (Diagnostic.notef ?context:(ctx rr.rr_block) "V304"
+               "wavefront disjointness unproven: %s" m))
+    (race_check ?threshold g)
+
+let flow_diagnostics ?stage (g : Ir.graph) =
+  let ctx b =
+    match stage with Some s -> Some (s ^ ": " ^ b) | None -> Some b
+  in
+  let dead =
+    let nr = never_read g in
+    List.concat_map
+      (fun (b : Ir.block) ->
+        List.filter_map
+          (fun (e : Ir.edge) ->
+            if e.Ir.e_dir = Ir.Write then
+              match
+                List.find_opt
+                  (fun bf -> bf.Ir.buf_id = e.Ir.e_buffer)
+                  g.Ir.g_buffers
+              with
+              | Some bf when List.mem bf.Ir.buf_name nr ->
+                  Some
+                    (Diagnostic.warningf ?context:(ctx b.Ir.blk_name) "V302"
+                       "dead store: no block reads intermediate buffer %s"
+                       bf.Ir.buf_name)
+              | _ -> None
+            else None)
+          b.Ir.blk_edges)
+      g.Ir.g_blocks
+  in
+  (* a read whose (clipped) footprint box lies outside the union
+     bounding box of every writer of the buffer can only see
+     uninitialized cells *)
+  let uninit =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        let points = domain_points b.Ir.blk_domain in
+        List.filter_map
+          (fun (e : Ir.edge) ->
+            if e.Ir.e_dir <> Ir.Read || not (edge_usable g b e) then None
+            else if List.mem_assoc e.Ir.e_label b.Ir.blk_consts then None
+            else
+              let bf = Ir.buffer g e.Ir.e_buffer in
+              if bf.Ir.buf_role = Ir.Input then None
+              else
+                let writers =
+                  List.concat_map
+                    (fun (wb : Ir.block) ->
+                      List.filter_map
+                        (fun (w : Ir.edge) ->
+                          if
+                            w.Ir.e_dir = Ir.Write
+                            && w.Ir.e_buffer = bf.Ir.buf_id
+                            && edge_usable g wb w
+                          then
+                            Some
+                              (edge_region g wb
+                                 (domain_points wb.Ir.blk_domain)
+                                 w)
+                          else None)
+                        wb.Ir.blk_edges)
+                    g.Ir.g_blocks
+                in
+                if writers = [] then
+                  Some
+                    (Diagnostic.warningf ?context:(ctx b.Ir.blk_name) "V303"
+                       "read of buffer %s, which no block writes"
+                       bf.Ir.buf_name)
+                else
+                  let r = edge_region g b points e in
+                  let m = Array.length r.rg_lo in
+                  let wlo = Array.make m max_int
+                  and whi = Array.make m min_int in
+                  List.iter
+                    (fun w ->
+                      Array.iteri
+                        (fun i v -> wlo.(i) <- Stdlib.min wlo.(i) v)
+                        w.rg_lo;
+                      Array.iteri
+                        (fun i v -> whi.(i) <- Stdlib.max whi.(i) v)
+                        w.rg_hi)
+                    writers;
+                  if boxes_disjoint (r.rg_lo, r.rg_hi) (wlo, whi) then
+                    Some
+                      (Diagnostic.warningf ?context:(ctx b.Ir.blk_name) "V303"
+                         "read of %s%s..%s lies outside everything written \
+                          to it (%s..%s)"
+                         bf.Ir.buf_name (vec_to_string r.rg_lo)
+                         (vec_to_string r.rg_hi) (vec_to_string wlo)
+                         (vec_to_string whi))
+                  else None)
+          b.Ir.blk_edges)
+      g.Ir.g_blocks
+  in
+  dead @ uninit
+
+let diagnostics ?stage ?threshold (g : Ir.graph) =
+  race_diagnostics ?stage ?threshold g @ flow_diagnostics ?stage g

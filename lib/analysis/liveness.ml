@@ -1,0 +1,113 @@
+(* Buffer live intervals over a linear step schedule, and a first-fit
+   arena layout with lifetime-based reuse.  See liveness.mli. *)
+
+type access = { ac_buffer : string; ac_bytes : int; ac_write : bool }
+type step = { sp_name : string; sp_accesses : access list }
+
+type interval = {
+  iv_buffer : string;
+  iv_bytes : int;
+  iv_first : int;
+  iv_last : int;
+  iv_fixed : bool;
+}
+
+let intervals ?(live_in = []) ?(live_out = []) steps =
+  let last = Stdlib.max 0 (List.length steps - 1) in
+  let tbl : (string, interval) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let touch name bytes i =
+    match Hashtbl.find_opt tbl name with
+    | None ->
+        let fixed = List.mem name live_in || List.mem name live_out in
+        order := name :: !order;
+        Hashtbl.add tbl name
+          {
+            iv_buffer = name;
+            iv_bytes = bytes;
+            iv_first = (if List.mem name live_in then 0 else i);
+            iv_last = (if List.mem name live_out then last else i);
+            iv_fixed = fixed;
+          }
+    | Some iv ->
+        Hashtbl.replace tbl name
+          {
+            iv with
+            iv_bytes = Stdlib.max iv.iv_bytes bytes;
+            iv_first = Stdlib.min iv.iv_first i;
+            iv_last = Stdlib.max iv.iv_last i;
+          }
+  in
+  List.iteri
+    (fun i st ->
+      List.iter (fun a -> touch a.ac_buffer a.ac_bytes i) st.sp_accesses)
+    steps;
+  (* a buffer that is written but never read afterwards still occupies
+     its cell through the writing step; iv_last already covers that *)
+  List.rev_map (Hashtbl.find tbl) !order
+
+let interfere a b = a.iv_first <= b.iv_last && b.iv_first <= a.iv_last
+
+let interference ivs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | iv :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc iv' ->
+              if (not iv.iv_fixed) && (not iv'.iv_fixed) && interfere iv iv'
+              then (iv.iv_buffer, iv'.iv_buffer) :: acc
+              else acc)
+            acc rest
+        in
+        go acc rest
+  in
+  go [] ivs
+
+type slot = { sl_buffer : string; sl_offset : int; sl_bytes : int }
+type arena = { ar_slots : slot list; ar_total : int; ar_sum : int }
+
+let round_up align n = (n + align - 1) / align * align
+
+let layout ?(align = 64) ivs =
+  let placeable =
+    List.filter (fun iv -> not iv.iv_fixed) ivs
+    |> List.stable_sort (fun a b ->
+           if a.iv_first <> b.iv_first then compare a.iv_first b.iv_first
+           else compare b.iv_bytes a.iv_bytes)
+  in
+  let placed = ref [] in
+  List.iter
+    (fun iv ->
+      let size = Stdlib.max 1 iv.iv_bytes in
+      (* candidate offsets: 0 and the end of every conflicting slot *)
+      let conflicts =
+        List.filter (fun (iv', _) -> interfere iv iv') !placed
+      in
+      let candidates =
+        0
+        :: List.map
+             (fun (_, s) -> round_up align (s.sl_offset + s.sl_bytes))
+             conflicts
+        |> List.sort_uniq compare
+      in
+      let fits off =
+        List.for_all
+          (fun (_, s) ->
+            off + size <= s.sl_offset || s.sl_offset + s.sl_bytes <= off)
+          conflicts
+      in
+      let off = List.find fits candidates in
+      placed :=
+        (iv, { sl_buffer = iv.iv_buffer; sl_offset = off; sl_bytes = size })
+        :: !placed)
+    placeable;
+  let slots = List.rev_map snd !placed in
+  {
+    ar_slots = slots;
+    ar_total =
+      List.fold_left
+        (fun acc s -> Stdlib.max acc (s.sl_offset + s.sl_bytes))
+        0 slots;
+    ar_sum = List.fold_left (fun acc s -> acc + s.sl_bytes) 0 slots;
+  }

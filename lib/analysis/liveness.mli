@@ -1,0 +1,66 @@
+(** Buffer liveness and arena layout.
+
+    Input: a linear schedule of steps (the block dataflow order the VM
+    executes), each step naming the buffers it reads and writes.
+    Output: per-buffer live intervals (first definition to last use),
+    the interference relation, and a greedy first-fit arena layout in
+    which buffers with disjoint lifetimes share storage — the proposal
+    a future arena allocator can consume verbatim (ROADMAP item 2).
+
+    The pass is deliberately schedule-representation-agnostic: it knows
+    nothing of {!Ir} or plans, only named steps and byte sizes, so both
+    the graph-level analyzer and any later plan-level allocator can
+    feed it. *)
+
+type access = {
+  ac_buffer : string;
+  ac_bytes : int;
+  ac_write : bool;
+}
+
+type step = {
+  sp_name : string;
+  sp_accesses : access list;
+}
+
+type interval = {
+  iv_buffer : string;
+  iv_bytes : int;
+  iv_first : int;  (** step index of the first write; 0 for live-in *)
+  iv_last : int;   (** step index of the last read;
+                       [length steps - 1] for live-out *)
+  iv_fixed : bool; (** live-in/live-out buffers — allocated outside
+                       the arena, never placed *)
+}
+
+val intervals :
+  ?live_in:string list -> ?live_out:string list -> step list -> interval list
+(** One interval per distinct buffer, in order of first appearance.
+    [live_in] buffers (graph inputs) are live from step 0, [live_out]
+    buffers (graph outputs) to the final step; both are [iv_fixed]. *)
+
+val interfere : interval -> interval -> bool
+(** Live ranges overlap. *)
+
+val interference : interval list -> (string * string) list
+(** All interfering unordered pairs among non-fixed intervals. *)
+
+type slot = {
+  sl_buffer : string;
+  sl_offset : int;  (** byte offset inside the arena *)
+  sl_bytes : int;
+}
+
+type arena = {
+  ar_slots : slot list;  (** non-fixed buffers only, placement order *)
+  ar_total : int;        (** arena extent in bytes *)
+  ar_sum : int;          (** sum of slot sizes — [ar_total < ar_sum]
+                             means in-place reuse actually happened *)
+}
+
+val layout : ?align:int -> interval list -> arena
+(** First-fit by interval start (ties: larger first): each non-fixed
+    buffer takes the lowest [align]-rounded offset (default 64) whose
+    byte range is disjoint from every already-placed buffer it
+    interferes with.  Non-interfering buffers may overlap — that is the
+    reuse. *)

@@ -52,13 +52,25 @@ val schedule :
     vectors derived from the block — the fault-injection entry point. *)
 
 val graph :
-  ?stage:string -> ?check_schedules:bool -> Ir.graph -> Diagnostic.t list
-(** All of the above.  [check_schedules] defaults to [true]; pass
-    [false] for graphs whose blocks are already reordered (their access
-    maps are expressed in transformed coordinates, so recomputing a
-    transform for them is meaningless). *)
+  ?stage:string ->
+  ?check_schedules:bool ->
+  ?check_races:bool ->
+  Ir.graph ->
+  Diagnostic.t list
+(** All of the above, plus {!Effects.race_diagnostics} (V3xx): proven
+    same-front races are errors, unproven disjointness a note.
+    [check_schedules] defaults to [true]; pass [false] for graphs whose
+    blocks are already reordered (their access maps are expressed in
+    transformed coordinates, so recomputing a transform for them is
+    meaningless) — race proofs are skipped there too.  [check_races]
+    (default [true]) gates the V3xx pass independently. *)
 
-val graph_exn : ?stage:string -> ?check_schedules:bool -> Ir.graph -> unit
+val graph_exn :
+  ?stage:string ->
+  ?check_schedules:bool ->
+  ?check_races:bool ->
+  Ir.graph ->
+  unit
 (** @raise Verification_failed when {!graph} reports any error. *)
 
 val install : ?fatal:bool -> unit -> unit

@@ -169,13 +169,40 @@ let wavefront_stats (g : Ir.graph) =
         (schedule Wavefront b (Domain.enumerate b.Ir.blk_domain)))
     (Ir.dataflow_order g)
 
-let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
+(* Wavefront blocks whose same-front disjointness the static prover
+   could not establish run sequentially instead — parallel execution
+   of an unproven front would turn "unchecked assumption" into a
+   possible race.  The handler observes each downgrade (default: a
+   warning on stderr). *)
+let fallback_handler =
+  ref (fun blk reason ->
+      Format.eprintf
+        "vm: warning: block %s falls back to sequential execution — %s@."
+        blk reason)
+
+let set_fallback_handler f = fallback_handler := f
+
+let shadow_env () =
+  match Sys.getenv_opt "FT_SHADOW" with
+  | Some ("1" | "true" | "on") -> true
+  | _ -> false
+
+let run ?(order = Wavefront) ?pool ?chunk ?(race_guard = true) ?shadow
+    (g : Ir.graph) inputs =
   let chunk = match chunk with Some c when c > 0 -> Some c | _ -> None in
   let pool =
     match (pool, order) with
     | (Some _ as p), _ -> p
     | None, Wavefront -> Some (Domain_pool.get ())
     | None, _ -> None
+  in
+  (* FT_SHADOW=1: create a recorder for this run and cross-check the
+     static verdicts against it before returning.  An explicit
+     [?shadow] recorder leaves finish/cross-check to the caller. *)
+  let shadow, auto_shadow =
+    match shadow with
+    | Some s -> (Some s, false)
+    | None -> if shadow_env () then (Some (Shadow.create g), true) else (None, false)
   in
   let store = Hashtbl.create 16 in
   List.iter
@@ -200,12 +227,17 @@ let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
       err "block %s: %d write edges for %d results" b.Ir.blk_name
         (List.length writes)
         (List.length b.Ir.blk_results);
-    let read_cell point (e : Ir.edge) =
+    let read_cell front point (e : Ir.edge) =
       let st = Hashtbl.find store e.Ir.e_buffer in
       if Access_map.out_dim e.Ir.e_access <> Array.length st.st_dims then
         err "block %s: partial read of buffer %d is not executable"
           b.Ir.blk_name e.Ir.e_buffer;
       let idx = Access_map.apply e.Ir.e_access point in
+      Option.iter
+        (fun sh ->
+          Shadow.on_read sh ~block:b.Ir.blk_name ~front ~point
+            ~buffer:e.Ir.e_buffer idx)
+        shadow;
       match st.st_cells.(ravel st idx) with
       | Some t -> t
       | None ->
@@ -215,7 +247,7 @@ let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
     (* One iteration point, self-contained: every mutable value it
        touches is either point-local ([results]) or a distinct cell of
        a shared buffer — which is what lets a front run in parallel. *)
-    let exec_point point =
+    let exec_point front point =
       let results = Array.make (List.length b.Ir.blk_body) (Tensor.scalar 0.) in
       let operand point = function
         | Ir.O_const t -> t
@@ -225,7 +257,7 @@ let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
             | Some t -> t
             | None -> (
                 match Hashtbl.find_opt reads tag with
-                | Some e -> read_cell point e
+                | Some e -> read_cell front point e
                 | None ->
                     err "block %s: operand %s has no edge or literal"
                       b.Ir.blk_name tag))
@@ -239,6 +271,11 @@ let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
         (fun (w : Ir.edge) result ->
           let st = Hashtbl.find store w.Ir.e_buffer in
           let idx = Access_map.apply w.Ir.e_access point in
+          Option.iter
+            (fun sh ->
+              Shadow.on_write sh ~block:b.Ir.blk_name ~front ~point
+                ~buffer:w.Ir.e_buffer idx)
+            shadow;
           let off = ravel st idx in
           (match st.st_cells.(off) with
           | Some _ ->
@@ -248,8 +285,35 @@ let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
           st.st_cells.(off) <- Some (operand point result))
         writes b.Ir.blk_results
     in
-    match schedule order b (Domain.enumerate b.Ir.blk_domain) with
-    | Ordered points -> List.iter exec_point points
+    (* The race guard: a block only runs its anti-chains in parallel
+       when the static prover certifies same-front disjointness.
+       Anything else — a proven race (which Verify would have flagged)
+       or an unproven verdict — downgrades to the always-legal
+       sequential order. *)
+    let sched =
+      let s = schedule order b (Domain.enumerate b.Ir.blk_domain) in
+      match s with
+      | Fronts _ when race_guard -> (
+          match (Effects.block_race g b).Effects.rr_verdict with
+          | Effects.Proven _ -> s
+          | Effects.Unproven m ->
+              !fallback_handler b.Ir.blk_name
+                ("same-front disjointness unproven: " ^ m);
+              schedule Sequential b (Domain.enumerate b.Ir.blk_domain)
+          | Effects.Race (_, m) ->
+              !fallback_handler b.Ir.blk_name ("statically-proven race: " ^ m);
+              schedule Sequential b (Domain.enumerate b.Ir.blk_domain))
+      | _ -> s
+    in
+    (* Sequential orders give every point its own front id so the
+       shadow recorder never sees two points share an anti-chain. *)
+    let seq_front = ref (-1) in
+    let exec_seq point =
+      incr seq_front;
+      exec_point !seq_front point
+    in
+    match sched with
+    | Ordered points -> List.iter exec_seq points
     | Fronts fronts ->
         let run_fronts () =
           List.iter
@@ -259,8 +323,8 @@ let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
                 match pool with
                 | Some p when width > 1 ->
                     Domain_pool.parallel_for ?chunk p ~lo:0 ~hi:width
-                      (fun i -> exec_point pts.(i))
-                | _ -> Array.iter exec_point pts
+                      (fun i -> exec_point front pts.(i))
+                | _ -> Array.iter (exec_point front) pts
               in
               if Trace.active () then
                 Trace.timed ~track:"vm" ~cat:"front"
@@ -295,6 +359,18 @@ let run ?(order = Wavefront) ?pool ?chunk (g : Ir.graph) inputs =
         else run_fronts ()
   in
   List.iter exec_block (Ir.dataflow_order g);
+  (* auto (FT_SHADOW=1) mode: every static claim must have held up
+     against the recorded run — a contradiction is a hard failure, not
+     a warning *)
+  (match shadow with
+  | Some sh when auto_shadow -> (
+      let summary = Shadow.finish sh in
+      match Shadow.cross_check g summary sh with
+      | [] -> ()
+      | issues ->
+          err "shadow memory contradicts the static analysis: %s"
+            (String.concat "; " issues))
+  | _ -> ());
   List.filter_map
     (fun (bf : Ir.buffer) ->
       if bf.Ir.buf_role = Ir.Output then

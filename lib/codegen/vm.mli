@@ -56,10 +56,18 @@ val parallelism : block_stats -> float
 (** Mean front width, [points / fronts]: the speedup an unbounded
     machine could extract from the wavefront schedule. *)
 
+val set_fallback_handler : (string -> string -> unit) -> unit
+(** Observer of race-guard downgrades: called with the block name and
+    the reason whenever a wavefront block runs sequentially because its
+    same-front disjointness is not [Proven].  Default: a warning line
+    on stderr. *)
+
 val run :
   ?order:order ->
   ?pool:Domain_pool.t ->
   ?chunk:int ->
+  ?race_guard:bool ->
+  ?shadow:Shadow.t ->
   Ir.graph ->
   (string * Fractal.t) list ->
   (string * Fractal.t) list
@@ -73,7 +81,20 @@ val run :
     auto-tuner's [vm_chunk] knob; values ≤ 0 or absent use the pool's
     default split.  Chunking never changes results: points of a front
     are mutually independent.
-    @raise Execution_error on missing inputs or un-executable blocks. *)
+
+    [race_guard] (default [true]): before running a block's anti-chains
+    in parallel, consult {!Effects.block_race}; a verdict other than
+    [Proven] downgrades that block to the sequential order and reports
+    through {!set_fallback_handler}.  Pass [false] only to study the
+    unguarded executor (tests do, under the shadow recorder).
+
+    [shadow]: record every cell access in the given {!Shadow} recorder;
+    the caller finishes and cross-checks it.  Without it, setting
+    [FT_SHADOW=1] in the environment makes the run create its own
+    recorder and cross-check the static verdicts before returning —
+    any contradiction raises [Execution_error].
+    @raise Execution_error on missing inputs or un-executable blocks.
+    @raise Shadow.Violation on a recorded same-front overlap. *)
 
 val output : (string * Fractal.t) list -> string -> Fractal.t
 (** Select one output by buffer name. @raise Not_found *)

@@ -6,8 +6,8 @@ type outcome =
 type run = { r_oracle : string; r_outcome : outcome; r_wall_ms : float }
 
 let all_oracles =
-  [ "interp"; "vm-seq"; "vm-wave1"; "vm-wave2"; "vm-wave4"; "tuned";
-    "cache-rt" ]
+  [ "interp"; "vm-seq"; "vm-wave1"; "vm-wave2"; "vm-wave4"; "shadow";
+    "tuned"; "cache-rt" ]
 
 (* ---------------------------------------------------------------- *)
 (* Context: pools + private cache/tune directories                   *)
@@ -147,6 +147,24 @@ let tuned_oracle ctx (p : Expr.program) g inputs =
       vm_value g ~order:Vm.Wavefront ~pool:(pool ctx 2)
         ~chunk:tile.Tile.cfg_vm_chunk p inputs
 
+(* Wavefront execution under the shadow recorder: every cell access is
+   logged with its anti-chain, same-front overlaps raise immediately,
+   and the recorded footprints/liveness must agree with the static
+   verdicts of Effects — a contradiction fails the oracle even when
+   the output value is right. *)
+let shadow_oracle ctx (p : Expr.program) g inputs =
+  let sh = Shadow.create g in
+  let outs =
+    Vm.run ~order:Vm.Wavefront ~pool:(pool ctx 2) ~shadow:sh g inputs
+  in
+  let summary = Shadow.finish sh in
+  match Shadow.cross_check g summary sh with
+  | [] -> Value (Vm.output outs p.Expr.name)
+  | issues ->
+      Failed
+        ("shadow memory contradicts the static analysis: "
+        ^ String.concat "; " issues)
+
 let cache_rt_oracle (p : Expr.program) g inputs =
   let key = Pipeline.program_key p in
   let plan1 = Pipeline.plan_cached p in
@@ -178,6 +196,7 @@ let run_one ctx (p : Expr.program) inputs graph name =
                 vm_value g ~order:Vm.Wavefront ~pool:(pool ctx 2) p inputs
             | "vm-wave4" ->
                 vm_value g ~order:Vm.Wavefront ~pool:(pool ctx 4) p inputs
+            | "shadow" -> shadow_oracle ctx p g inputs
             | "tuned" -> tuned_oracle ctx p g inputs
             | "cache-rt" -> cache_rt_oracle p g inputs
             | other -> Failed (Printf.sprintf "unknown oracle %S" other)

@@ -14,6 +14,13 @@
     - ["vm-wave1"] / ["vm-wave2"] / ["vm-wave4"]
                    — the VM in [Wavefront] order on a 1/2/4-domain
                      pool (schedule + parallelism invariance);
+    - ["shadow"]   — the VM in [Wavefront] order on a 2-domain pool
+                     under the {!Shadow} cell-level recorder: a
+                     same-front overlap raises at the access, and the
+                     recorded footprints are cross-checked against the
+                     static verdicts of [Effects] after the run — a
+                     static/dynamic contradiction fails the oracle
+                     even when the output value is right;
     - ["tuned"]    — a tuned configuration is stored in the tuning
                      database for the program, resolved through
                      [Tune_db.install] / [Pipeline.tuned_config_for],

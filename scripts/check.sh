@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification entry point: full build, the complete test suite,
-# and the static linter over every example .ft program.
+# and the static linter and memory-effect analyzer over every example
+# .ft program.
 #
 #   scripts/check.sh
 #
@@ -21,8 +22,9 @@ for n in 1 4; do
 done
 
 # Conformance sweep: seeded random programs through every oracle
-# (interpreter, sequential VM, wavefront VM at 1/2/4 domains, tuned
-# configs, plan-cache roundtrip) plus the metamorphic access laws.
+# (interpreter, sequential VM, wavefront VM at 1/2/4 domains, the
+# shadow-memory recorder, tuned configs, plan-cache roundtrip) plus
+# the metamorphic access laws.
 # The text report includes the per-oracle pass counts.  Then replay
 # the minimized-repro corpus — the regression programs the harness
 # wrote for previously-found compiler bugs.
@@ -31,9 +33,30 @@ dune exec --no-build bin/ftc.exe -- conform --seed 42 --budget 50
 echo "conform: corpus replay"
 dune exec --no-build bin/ftc.exe -- conform --replay test/corpus
 
+# One sweep with the VM's shadow memory armed: every cell access is
+# recorded per anti-chain and cross-checked against the static
+# memory-effect verdicts after each run — a static "disjoint" that a
+# dynamic overlap contradicts fails the sweep.
+echo "conform under FT_SHADOW=1 (seed 7, budget 25)"
+FT_SHADOW=1 dune exec --no-build bin/ftc.exe -- conform --seed 7 --budget 25
+
 for f in examples/programs/*.ft; do
   echo "lint $f"
   dune exec --no-build bin/ftc.exe -- lint "$f"
+done
+
+# Static memory-effect analysis of every example: footprints, wavefront
+# race verdicts, liveness and the arena proposal.  The JSON document is
+# re-validated with an independent parser, like the profile reports.
+for f in examples/programs/*.ft; do
+  echo "analyze $f"
+  dune exec --no-build bin/ftc.exe -- analyze "$f" --format text > /dev/null
+  if command -v python3 > /dev/null 2>&1; then
+    dune exec --no-build bin/ftc.exe -- analyze "$f" --format json \
+      | python3 -m json.tool > /dev/null
+  else
+    echo "  (python3 not found; skipping JSON validation)"
+  fi
 done
 
 # Profile every example program and validate the emitted JSON (both the

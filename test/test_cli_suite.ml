@@ -1,0 +1,136 @@
+(* Subprocess tests for the ftc driver's exit codes and stream
+   discipline: analysis/lint/conform failures exit 1, human-readable
+   diagnostics go to stderr, and in --format json mode stdout carries
+   exactly one JSON document and nothing else. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ftc = Filename.concat ".." (Filename.concat "bin" "ftc.exe")
+let example name = "../examples/programs/" ^ name ^ ".ft"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Run `ftc args`, capturing exit code, stdout and stderr. *)
+let run_ftc args =
+  let out = Filename.temp_file "ftc-cli" ".out" in
+  let err = Filename.temp_file "ftc-cli" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove out with Sys_error _ -> ());
+      try Sys.remove err with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2> %s" (Filename.quote ftc) args
+          (Filename.quote out) (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, read_file out, read_file err))
+
+let check_json what s =
+  match Jsonw.validate (String.trim s) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: stdout is not one JSON document: %s" what m
+
+(* A program the linter rejects (unused binding is L-level, so use a
+   type error: matmul of mismatched shapes) and one the parser rejects. *)
+let bad_types_ft = "cli-bad-types.ft"
+let bad_syntax_ft = "cli-bad-syntax.ft"
+
+let setup () =
+  write_file bad_types_ft
+    "program bad\ninput xs: [4]f32[1,4]\nreturn xs.map { |x| x @ x }\n";
+  write_file bad_syntax_ft "program bad\ninput xs: [4]f32[1,4]\nreturn xs.map { |x|\n"
+
+let cli_tests =
+  [
+    Alcotest.test_case "analyze --format json: clean stdout, exit 0" `Quick
+      (fun () ->
+        let code, out, err = run_ftc ("analyze " ^ example "stacked_rnn" ^ " --format json") in
+        checki "exit code" 0 code;
+        check_json "analyze" out;
+        checkb "stderr is silent on success" true (String.trim err = ""));
+    Alcotest.test_case "analyze on a syntax error: exit 1, stderr only"
+      `Quick (fun () ->
+        setup ();
+        let code, out, err =
+          run_ftc ("analyze " ^ bad_syntax_ft ^ " --format json")
+        in
+        checki "exit code" 1 code;
+        checkb "stdout stays empty" true (String.trim out = "");
+        checkb "diagnostic on stderr" true (String.trim err <> ""));
+    Alcotest.test_case "analyze on a type error: exit 1, stderr only"
+      `Quick (fun () ->
+        setup ();
+        let code, out, err = run_ftc ("analyze " ^ bad_types_ft) in
+        checki "exit code" 1 code;
+        checkb "stdout stays empty" true (String.trim out = "");
+        checkb "diagnostic on stderr" true (String.trim err <> ""));
+    Alcotest.test_case "lint --format json: clean stdout, exit 0" `Quick
+      (fun () ->
+        let code, out, err =
+          run_ftc ("lint " ^ example "stacked_rnn" ^ " --format json")
+        in
+        checki "exit code" 0 code;
+        check_json "lint" out;
+        checkb "stderr is silent on success" true (String.trim err = ""));
+    Alcotest.test_case "lint failure: exit 1, JSON on stdout, text on stderr"
+      `Quick (fun () ->
+        setup ();
+        let code, out, err =
+          run_ftc ("lint " ^ bad_syntax_ft ^ " --format json")
+        in
+        checki "exit code" 1 code;
+        check_json "lint (failing)" out;
+        checkb "diagnostics on stderr" true (String.trim err <> ""));
+    Alcotest.test_case "lint text mode keeps stdout free of diagnostics"
+      `Quick (fun () ->
+        setup ();
+        let code, out, err = run_ftc ("lint " ^ bad_syntax_ft) in
+        checki "exit code" 1 code;
+        checkb "stdout stays empty" true (String.trim out = "");
+        checkb "diagnostics on stderr" true (String.trim err <> ""));
+    Alcotest.test_case "lint JSON carries check_id fields" `Quick (fun () ->
+        setup ();
+        let _, out, _ = run_ftc ("lint " ^ bad_syntax_ft ^ " --format json") in
+        checkb "check_id present" true
+          (let re = Str.regexp_string "\"check_id\"" in
+           match Str.search_forward re out 0 with
+           | _ -> true
+           | exception Not_found -> false));
+    Alcotest.test_case "conform replay: PASS on stdout, exit 0" `Quick
+      (fun () ->
+        let code, out, err =
+          run_ftc
+            "conform --replay corpus/conform-11a05bcc4b.ft --oracles \
+             interp,vm-seq"
+        in
+        checki "exit code" 0 code;
+        checkb "PASS line on stdout" true
+          (let re = Str.regexp_string "PASS" in
+           match Str.search_forward re out 0 with
+           | _ -> true
+           | exception Not_found -> false);
+        checkb "stderr is silent on success" true (String.trim err = ""));
+    Alcotest.test_case "conform replay --json: stdout is one document"
+      `Quick (fun () ->
+        let code, out, _ =
+          run_ftc
+            "conform --replay corpus/conform-11a05bcc4b.ft --oracles \
+             interp,vm-seq --json"
+        in
+        checki "exit code" 0 code;
+        check_json "conform replay" out);
+  ]
+
+let suites = [ ("cli", cli_tests) ]

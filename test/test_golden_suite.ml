@@ -23,7 +23,7 @@ let golden_src_dir = "../../../test/golden"
 let update_mode = Sys.getenv_opt "FT_GOLDEN_UPDATE" = Some "1"
 
 let examples =
-  [ "attention_block"; "conv1d"; "ffn_block"; "stacked_rnn" ]
+  [ "attention_block"; "conv1d"; "ffn_block"; "mlp_chain"; "stacked_rnn" ]
 
 let example_path name = Filename.concat example_dir (name ^ ".ft")
 
@@ -119,10 +119,22 @@ let tune_test name =
           check_valid ("tune " ^ name) (Jsonw.to_string full);
           check_golden ("tune-" ^ name) (Jsonw.to_string (redact full))))
 
+(* ----------------------------- analyze ----------------------------- *)
+
+let analyze_test name =
+  Alcotest.test_case ("analyze json: " ^ name) `Quick (fun () ->
+      let r = Analyze.file (example_path name) in
+      let full = Analyze.to_jsonv r in
+      check_valid ("analyze " ^ name) (Jsonw.to_string full);
+      (* analyze documents are all-integer/string by construction, but
+         redact anyway so the stable-subset rule stays uniform *)
+      check_golden ("analyze-" ^ name) (Jsonw.to_string (redact full)))
+
 let suites =
   [
     ( "golden",
       List.map lint_test examples
       @ List.map profile_test examples
+      @ List.map analyze_test examples
       @ List.map tune_test [ "conv1d"; "stacked_rnn" ] );
   ]
