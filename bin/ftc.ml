@@ -261,12 +261,6 @@ let verify_cmd =
        ~doc:"Check the interpreter against the imperative reference")
     Term.(const run $ arg)
 
-let format_arg =
-  Arg.(
-    value
-    & opt (enum [ ("text", `Text); ("dot", `Dot) ]) `Text
-    & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or dot")
-
 (* The --stage vocabulary is Pipeline's: the same names label verifier
    hooks, trace spans and these flags. *)
 let stage_arg =
@@ -299,7 +293,7 @@ let show_cmd =
     | `Dot -> print_string (Dot.graph g)
   in
   Cmd.v (Cmd.info "show" ~doc:"Dump the ETDG after a pipeline stage")
-    Term.(const run $ workload_arg $ stage_arg $ format_arg)
+    Term.(const run $ workload_arg $ stage_arg $ Cli_args.show_format_arg)
 
 let verify_flag =
   Arg.(
@@ -354,7 +348,7 @@ let compile_one verify failed w =
       @ [ ("emit", Option.value t.Pipeline.p_emit_diagnostics ~default:[]) ]);
   Format.printf "emitted plan: %d kernels@." (Plan.total_kernels t.Pipeline.p_plan);
   Format.printf "simulated: %a@." Engine.pp_metrics
-    (Exec.metrics t.Pipeline.p_plan)
+    (Executor.metrics t.Pipeline.p_plan)
 
 let compile_cmd =
   let run name verify =
@@ -379,15 +373,6 @@ let compile_cmd =
           named), statically verifying every stage")
     Term.(const run $ arg $ verify_flag)
 
-let device_arg =
-  Arg.(
-    value
-    & opt
-        (enum [ ("a100", Device.a100); ("h100", Device.h100);
-                ("v100", Device.v100) ])
-        Device.a100
-    & info [ "device" ] ~docv:"DEVICE" ~doc:"Device model: a100, h100 or v100")
-
 let simulate_cmd =
   let run name device =
     let w = find_workload name in
@@ -396,7 +381,7 @@ let simulate_cmd =
       "kernels" "DRAM(GB)" "L1(GB)" "L2(GB)";
     List.iter
       (fun (p : Plan.t) ->
-        let m = (Exec.run ~device p).Exec.r_metrics in
+        let m = (Executor.simulate ~device p).Exec.r_metrics in
         Format.printf "%-18s %10.3f %8d %10.2f %10.2f %10.2f@."
           p.Plan.plan_name m.Engine.time_ms m.Engine.kernels m.Engine.dram_gb
           m.Engine.l1_gb m.Engine.l2_gb)
@@ -405,20 +390,10 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute every system's schedule on a simulated device")
-    Term.(const run $ workload_arg $ device_arg)
-
-let domains_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "domains" ] ~docv:"N"
-        ~doc:
-          "Size of the domain pool the wavefront executor runs on \
-           (default: \\$(b,FT_NUM_DOMAINS) when set, else the machine's \
-           recommended domain count)")
+    Term.(const run $ workload_arg $ Cli_args.device_arg)
 
 let run_cmd =
-  let run path domains =
+  let run path domains seed repeat =
     Domain_pool.set_num_domains domains;
     warn_if_oversubscribed ();
     match Parse.program_file path with
@@ -433,7 +408,7 @@ let run_cmd =
         | ty ->
             Format.printf "program %s : %s@." p.Expr.name
               (Expr.ty_to_string ty);
-            let r = Rng.create 7 in
+            let r = Rng.create seed in
             let env =
               List.map (fun (x, t) -> (x, random_value r t)) p.Expr.inputs
             in
@@ -459,13 +434,20 @@ let run_cmd =
                 Format.printf "tuned: %s@." (Tile.config_to_string t))
               tuned;
             let plan = Pipeline.plan_of_graph ~tile g in
-            Format.printf "compiled: %a@." Engine.pp_metrics (Exec.metrics plan);
-            (* execute the compiled schedule for real, both orders, and
-               demand bitwise-identical outputs — the differential check
-               behind the wavefront executor's determinism guarantee *)
+            Format.printf "compiled: %a@." Engine.pp_metrics
+              (Executor.metrics plan);
+            (* execute the schedule for real on both engines — the
+               interpreter in sequential order as the reference, and
+               the compiled executor in wavefront order — and demand
+               bitwise-identical outputs: the differential check behind
+               the executor's determinism guarantee *)
             let chunk = tile.Tile.cfg_vm_chunk in
-            let seq = Vm.run ~order:Vm.Sequential g env in
-            let par = Vm.run ~order:Vm.Wavefront ~chunk g env in
+            let seq =
+              Executor.run ~opts:(Run_opts.interpreted Vm.Sequential) g env
+            in
+            let opts = { Run_opts.default with Run_opts.chunk = Some chunk } in
+            let pr = Executor.prepare ~opts g in
+            let par = Executor.execute pr env in
             let bitwise =
               List.length seq = List.length par
               && List.for_all2
@@ -473,6 +455,10 @@ let run_cmd =
                      n1 = n2 && Fractal.equal_exact v1 v2)
                    seq par
             in
+            Format.printf "engine: %s%s@." (Executor.engine pr)
+              (match Executor.fallback_reason pr with
+              | None -> ""
+              | Some m -> " (" ^ m ^ ")");
             Format.printf "vm: wavefront over %d domain(s) %s sequential@."
               (Domain_pool.num_domains ())
               (if bitwise then "bitwise-matches" else "DIFFERS from");
@@ -483,21 +469,37 @@ let run_cmd =
                   st.Vm.bs_block st.Vm.bs_points st.Vm.bs_fronts
                   st.Vm.bs_max_width (Vm.parallelism st))
               (Vm.wavefront_stats g);
+            if repeat > 1 then begin
+              (* the prepared executable is reused across timed runs —
+                 steady state, no recompilation, no arena re-layout *)
+              let times =
+                Array.init repeat (fun _ ->
+                    let t0 = Unix.gettimeofday () in
+                    ignore (Executor.execute pr env);
+                    (Unix.gettimeofday () -. t0) *. 1e3)
+              in
+              Array.sort compare times;
+              let median = times.(repeat / 2) in
+              let gflops = Emit.graph_flops g /. (median *. 1e6) in
+              Format.printf
+                "measured: median %.3f ms over %d run(s), %.2f GFLOP/s@."
+                median repeat gflops
+            end;
             if not bitwise then exit 1)
-  in
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ft")
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Parse, type-check, interpret and compile a .ft program file, then \
-          execute its schedule sequentially and in parallel wavefront order \
+          execute it for real — the interpreter sequentially as the \
+          reference and the compiled executor in parallel wavefront order — \
           and check the outputs are bitwise identical")
-    Term.(const run $ file $ domains_arg)
+    Term.(
+      const run $ Cli_args.ft_file $ Cli_args.domains_arg
+      $ Cli_args.seed_arg ~default:7 $ Cli_args.repeat_arg)
 
 let profile_cmd =
-  let run path format device domains =
+  let run path format device domains seed =
     Domain_pool.set_num_domains domains;
     warn_if_oversubscribed ();
     match Parse.program_file path with
@@ -530,20 +532,27 @@ let profile_cmd =
                 t.Pipeline.p_plan
               end
             in
-            ignore (Exec.run ~device ~trace:sink plan);
+            ignore (Executor.simulate ~device ~trace:sink plan);
             (* wavefront execution under the same sink: the "vm" track
                records per-block and per-front spans with widths and
-               achieved parallelism *)
-            let r = Rng.create 7 in
+               achieved parallelism.  The compiled executor emits the
+               same spans as the interpreter, so the trace is engine-
+               independent. *)
+            let r = Rng.create seed in
             let env =
               List.map (fun (x, t) -> (x, random_value r t)) p.Expr.inputs
             in
             let g = Build.build p in
-            Trace.with_sink sink (fun () ->
-                ignore
-                  (Vm.run ~order:Vm.Wavefront ~chunk:tile.Tile.cfg_vm_chunk g
-                     env));
-            let prof = Exec.profile ~device plan in
+            let pr =
+              Executor.prepare
+                ~opts:
+                  { Run_opts.default with
+                    Run_opts.chunk = Some tile.Tile.cfg_vm_chunk
+                  }
+                g
+            in
+            Trace.with_sink sink (fun () -> ignore (Executor.execute pr env));
+            let prof = Executor.profile ~device plan in
             let tuned_str =
               match tuned with
               | Some t -> Tile.config_to_string t
@@ -568,20 +577,6 @@ let profile_cmd =
                           ("trace", Trace.to_jsonv sink) ]))
             | `Chrome -> print_endline (Trace.to_chrome sink)))
   in
-  let file =
-    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
-  in
-  let fmt =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json); ("chrome", `Chrome) ])
-          `Text
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:
-            "Output format: text (profile report + trace listing), json \
-             (profile and trace in one document), or chrome (trace-event \
-             JSON for chrome://tracing / Perfetto)")
-  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -592,7 +587,10 @@ let profile_cmd =
           set \\$(b,FT_PLAN_CACHE) to a directory to persist across \
           processes); the wavefront executor also runs under the trace, \
           contributing a \"vm\" track of per-front spans")
-    Term.(const run $ file $ fmt $ device_arg $ domains_arg)
+    Term.(
+      const run $ Cli_args.ft_file $ Cli_args.trace_format_arg
+      $ Cli_args.device_arg $ Cli_args.domains_arg
+      $ Cli_args.seed_arg ~default:7)
 
 let lint_cmd =
   let run path format =
@@ -606,22 +604,13 @@ let lint_cmd =
         if ds <> [] then Format.eprintf "%a" (Diagnostic.pp_list ~path) ds);
     if List.exists Diagnostic.is_error ds then exit 1
   in
-  let file =
-    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
-  in
-  let fmt =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or json")
-  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically check a .ft program: syntax, scoping (unused/shadowed \
           bindings), shape and depth inference, and operator-nest \
           composability — without executing anything")
-    Term.(const run $ file $ fmt)
+    Term.(const run $ Cli_args.ft_file $ Cli_args.format_arg)
 
 let analyze_cmd =
   let run path format =
@@ -645,15 +634,6 @@ let analyze_cmd =
                 r.Analyze.rp_diagnostics);
         if Analyze.errors r then exit 1
   in
-  let file =
-    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
-  in
-  let fmt =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or json")
-  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -664,7 +644,7 @@ let analyze_cmd =
           uninitialized-read findings, buffer live ranges over the block \
           dataflow order, and a proposed arena layout in which buffers \
           with disjoint lifetimes share storage")
-    Term.(const run $ file $ fmt)
+    Term.(const run $ Cli_args.ft_file $ Cli_args.format_arg)
 
 let tune_cmd =
   let run path budget strategy oracle seed device format =
@@ -686,9 +666,6 @@ let tune_cmd =
         | `Text -> print_string (Tuner.report_to_text report)
         | `Json ->
             print_endline (Jsonw.to_string (Tuner.report_to_jsonv report)))
-  in
-  let file =
-    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ft")
   in
   let budget =
     Arg.(
@@ -721,21 +698,6 @@ let tune_cmd =
              instant) or measure (simulated device time plus wall-clock of \
              the reference VM, median of 3)")
   in
-  let seed =
-    Arg.(
-      value
-      & opt int 2024
-      & info [ "seed" ] ~docv:"SEED"
-          ~doc:
-            "PRNG seed; the whole search is a pure function of (seed, \
-             budget, strategy, oracle)")
-  in
-  let fmt =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: text or json")
-  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:
@@ -745,8 +707,10 @@ let tune_cmd =
           (set \\$(b,FT_TUNE_DB) to a directory to persist it); \
           subsequent \\$(b,ftc run) / \\$(b,ftc profile) of the same file \
           apply it without re-searching")
-    Term.(const run $ file $ budget $ strategy $ oracle $ seed $ device_arg
-          $ fmt)
+    Term.(
+      const run $ Cli_args.ft_file $ budget $ strategy $ oracle
+      $ Cli_args.seed_arg ~default:2024 $ Cli_args.device_arg
+      $ Cli_args.format_arg)
 
 let plan_cache_disk_entries () =
   match Sys.getenv_opt "FT_PLAN_CACHE" with
@@ -764,8 +728,46 @@ let plan_cache_disk_entries () =
                      && Filename.check_suffix f ".bin") ))
 
 let cache_cmd =
-  let run action disk =
+  let run action disk json =
     match action with
+    | `Stats when json ->
+        let cs = Pipeline.Cache.stats () in
+        let ts = Tune_db.stats () in
+        let plan_dir, plan_entries =
+          match plan_cache_disk_entries () with
+          | None -> (Jsonw.Null, 0)
+          | Some (d, fs) -> (Jsonw.String d, List.length fs)
+        in
+        let tune_dir =
+          match Sys.getenv_opt Tune_db.env_var with
+          | None | Some "" -> Jsonw.Null
+          | Some d -> Jsonw.String d
+        in
+        print_endline
+          (Jsonw.to_string
+             (Jsonw.Obj
+                [
+                  ( "plan_cache",
+                    Jsonw.Obj
+                      [
+                        ("dir", plan_dir);
+                        ("disk_entries", Jsonw.Int plan_entries);
+                        ("hits", Jsonw.Int cs.Pipeline.Cache.hits);
+                        ("misses", Jsonw.Int cs.Pipeline.Cache.misses);
+                        ("disk_hits", Jsonw.Int cs.Pipeline.Cache.disk_hits);
+                      ] );
+                  ( "tune_db",
+                    Jsonw.Obj
+                      [
+                        ("dir", tune_dir);
+                        ( "disk_entries",
+                          Jsonw.Int (List.length (Tune_db.disk_entries ())) );
+                        ("hits", Jsonw.Int ts.Tune_db.hits);
+                        ("misses", Jsonw.Int ts.Tune_db.misses);
+                        ("disk_hits", Jsonw.Int ts.Tune_db.disk_hits);
+                        ("stores", Jsonw.Int ts.Tune_db.stores);
+                      ] );
+                ]))
     | `Stats ->
         let cs = Pipeline.Cache.stats () in
         (match plan_cache_disk_entries () with
@@ -835,7 +837,7 @@ let cache_cmd =
        ~doc:
          "Inspect or clear the compiled-plan cache (\\$(b,FT_PLAN_CACHE)) \
           and the tuning database (\\$(b,FT_TUNE_DB))")
-    Term.(const run $ action $ disk)
+    Term.(const run $ action $ disk $ Cli_args.json_flag)
 
 let conform_cmd =
   let run seed budget oracles corpus replay json meta_iters =
@@ -902,9 +904,6 @@ let conform_cmd =
         else print_string (Conform.report_to_text rp);
         if not (Conform.passed rp) then exit 1
   in
-  let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed")
-  in
   let budget =
     Arg.(
       value & opt int 100
@@ -939,11 +938,6 @@ let conform_cmd =
              re-derive its inputs from the recorded seed, and re-run every \
              oracle")
   in
-  let json =
-    Arg.(
-      value & flag
-      & info [ "json" ] ~doc:"Emit the report as a JSON document")
-  in
   let meta_iters =
     Arg.(
       value & opt int 3
@@ -958,8 +952,9 @@ let conform_cmd =
           VM at several domain counts, tuned configs, cache round trips) \
           with bitwise comparison, shrinking, and a minimized-repro corpus")
     Term.(
-      const run $ seed $ budget $ oracles $ corpus $ replay $ json
-      $ meta_iters)
+      const run
+      $ Cli_args.seed_arg ~default:42
+      $ budget $ oracles $ corpus $ replay $ Cli_args.json_flag $ meta_iters)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

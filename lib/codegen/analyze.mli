@@ -34,6 +34,12 @@ val graph : ?name:string -> Ir.graph -> report
     dataflow order; [Input] buffers are live-in, [Output] buffers
     live-out (both fixed, never placed in the arena). *)
 
+val steps : Ir.graph -> Liveness.step list
+(** The liveness schedule {!graph} analyzes: one step per top-level
+    block in dataflow order, accessing whole buffers at allocation
+    size.  Exposed so the compiled executor ({!Compiled}) can size its
+    arena from exactly the layout the analyzer reports. *)
+
 val program : Expr.program -> report
 (** [graph (Build.build p)], named after the program. *)
 

@@ -1,0 +1,693 @@
+(* The compiled executor.  See compiled.mli for the contract; the
+   load-bearing invariants of the implementation:
+
+   - Point execution ([cb_exec]) is straight-line: flat-offset
+     arithmetic over precomputed weight vectors, opcode kernels from
+     {!Lower}, preallocated per-worker scratch, and byte flags for the
+     single-assignment/unwritten-read checks.  Nothing in that path
+     allocates — verified by the Gc assertion in the test suite.
+   - Every closure is built once, at compile time.  [execute] itself
+     only walks int arrays and calls stored closures, so a steady-state
+     run allocates zero minor words at [workers = 1].
+   - Bitwise parity with {!Vm.run}: same schedule ({!Vm.schedule}),
+     same kernels modulo boxing (see {!Lower}), same check order per
+     point (write destinations may be validated slightly earlier, but
+     any program that fails here fails there and vice versa).
+   - Write-in-place redirect: when a write edge's result is [O_op k]
+     with the cell's element shape, worker scratch slot [k] is aliased
+     to the destination cell for the duration of the point, so the
+     kernel computes directly into the buffer and the epilogue copy
+     disappears.  The alias is restored before the point ends. *)
+
+module A = Bigarray.Array1
+
+exception Unsupported_graph of string
+
+let unsup fmt = Format.kasprintf (fun s -> raise (Unsupported_graph s)) fmt
+let err fmt = Format.kasprintf (fun s -> raise (Vm.Execution_error s)) fmt
+
+(* Where an operand's tensor comes from at one iteration point. *)
+type src =
+  | S_fixed of Tensor.t  (* literal / block-const: same tensor always *)
+  | S_scratch of int  (* result of an earlier op node this point *)
+  | S_cell of int * int array
+      (* store index + flat-offset weights [base; w_0 .. w_{dim-1}] *)
+
+type store = {
+  cs_buffer : Ir.buffer;
+  cs_dims : int array;
+  cs_cells : Tensor.t array;
+  cs_written : Bytes.t;
+}
+
+type cop = {
+  co_srcs : src array;
+  co_edges : Ir.edge option array;  (* read edge per operand, for shadow *)
+  co_kernels : (Tensor.t array -> Tensor.t -> unit) array;  (* per worker *)
+  co_args : Tensor.t array array;  (* per worker *)
+}
+
+type cwrite = {
+  cw_store : int;
+  cw_weights : int array;
+  cw_src : src;
+  cw_alias : int;  (* scratch slot redirected in place, or -1 *)
+  cw_edge : Ir.edge;
+  cw_redge : Ir.edge option;  (* read edge behind the result operand *)
+}
+
+type cblock = {
+  cb_name : string;
+  cb_fronts : int array;  (* nfronts+1 offsets into the point sequence *)
+  cb_front_ids : int array;  (* schedule front id per front *)
+  cb_parallel : bool;
+  cb_stats : Vm.block_stats;
+  cb_exec : int -> int -> unit;  (* worker, point index *)
+  cb_shadow : Shadow.t -> int -> int -> unit;  (* recorder, front id, point *)
+}
+
+type t = {
+  ex_blocks : cblock array;
+  ex_stores : store array;
+  ex_arena : Arena.t option;
+  ex_workers : int;
+  ex_chunk : int option;
+  ex_fallbacks : string list;
+}
+
+let strides dims =
+  let n = Array.length dims in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * dims.(i + 1)
+  done;
+  st
+
+let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
+    (g : Ir.graph) =
+  let workers = Stdlib.max 1 workers in
+  let chunk = match chunk with Some c when c > 0 -> Some c | _ -> None in
+  let dummy = Tensor.scalar 0.0 in
+  try
+    (* ---- storage: one preallocated tensor per buffer cell ---- *)
+    let role_names role =
+      List.filter_map
+        (fun (bf : Ir.buffer) ->
+          if bf.Ir.buf_role = role then Some bf.Ir.buf_name else None)
+        g.Ir.g_buffers
+    in
+    let arena_t, slot_of =
+      if not arena then (None, fun _ -> None)
+      else begin
+        (* [Liveness.layout] speaks the 4-byte/f32 convention of
+           [Effects.buffer_bytes]; real cells are float64.  Dividing the
+           64-aligned byte offsets by 4 converts them to float64 element
+           offsets scaled by the 8/4 ratio — a linear map, so slot
+           disjointness and containment carry over verbatim. *)
+        let intervals =
+          Liveness.intervals ~live_in:(role_names Ir.Input)
+            ~live_out:(role_names Ir.Output) (Analyze.steps g)
+        in
+        let ar = Liveness.layout intervals in
+        if ar.Liveness.ar_slots = [] then (None, fun _ -> None)
+        else
+          let a = Arena.create ~floats:((ar.Liveness.ar_total + 3) / 4) in
+          ( Some a,
+            fun name ->
+              List.find_opt
+                (fun s -> s.Liveness.sl_buffer = name)
+                ar.Liveness.ar_slots )
+      end
+    in
+    let buffers = Array.of_list g.Ir.g_buffers in
+    let store_ix = Hashtbl.create 16 in
+    Array.iteri (fun i (bf : Ir.buffer) -> Hashtbl.replace store_ix bf.Ir.buf_id i) buffers;
+    let stores =
+      Array.map
+        (fun (bf : Ir.buffer) ->
+          let ncells = Stdlib.max 1 (Array.fold_left ( * ) 1 bf.Ir.buf_dims) in
+          let cellfloats = Shape.numel bf.Ir.buf_elem in
+          let cells =
+            match bf.Ir.buf_role with
+            | Ir.Input -> Array.make ncells dummy
+            | Ir.Output | Ir.Intermediate -> (
+                let dedicated () =
+                  Array.init ncells (fun _ -> Tensor.uninit bf.Ir.buf_elem)
+                in
+                if bf.Ir.buf_role = Ir.Output then dedicated ()
+                else
+                  match (arena_t, slot_of bf.Ir.buf_name) with
+                  | Some a, Some sl
+                    when sl.Liveness.sl_bytes = 4 * ncells * cellfloats
+                         && sl.Liveness.sl_offset mod 4 = 0 ->
+                      let base = sl.Liveness.sl_offset / 4 in
+                      Array.init ncells (fun ci ->
+                          Tensor.of_buffer bf.Ir.buf_elem
+                            (Arena.view a
+                               ~off:(base + (ci * cellfloats))
+                               ~len:cellfloats))
+                  | _ -> dedicated ())
+          in
+          {
+            cs_buffer = bf;
+            cs_dims = bf.Ir.buf_dims;
+            cs_cells = cells;
+            cs_written = Bytes.make ncells '\000';
+          })
+        buffers
+    in
+    (* ---- per-block compilation ---- *)
+    let fallbacks = ref [] in
+    let compile_block (b : Ir.block) =
+      let all_points = Domain.enumerate b.Ir.blk_domain in
+      let dim =
+        match all_points with p :: _ -> Array.length p | [] -> 0
+      in
+      let sched =
+        let s = Vm.schedule Vm.Wavefront b all_points in
+        match s with
+        | Vm.Fronts _ when race_guard -> (
+            match (Effects.block_race g b).Effects.rr_verdict with
+            | Effects.Proven _ -> s
+            | Effects.Unproven m ->
+                Vm.report_fallback b.Ir.blk_name
+                  ("same-front disjointness unproven: " ^ m);
+                fallbacks := b.Ir.blk_name :: !fallbacks;
+                Vm.schedule Vm.Sequential b all_points
+            | Effects.Race (_, m) ->
+                Vm.report_fallback b.Ir.blk_name
+                  ("statically-proven race: " ^ m);
+                fallbacks := b.Ir.blk_name :: !fallbacks;
+                Vm.schedule Vm.Sequential b all_points)
+        | _ -> s
+      in
+      let stats = Vm.stats_of_schedule b.Ir.blk_name sched in
+      (* Sequential orders give every point its own front id, exactly
+         like the interpreter's shadow bookkeeping. *)
+      let fronts_list, parallel =
+        match sched with
+        | Vm.Ordered ps -> (List.mapi (fun i p -> (i, [| p |])) ps, false)
+        | Vm.Fronts fs -> (fs, true)
+      in
+      let nfronts = List.length fronts_list in
+      let npoints =
+        List.fold_left (fun a (_, ps) -> a + Array.length ps) 0 fronts_list
+      in
+      let pts = Array.make (Stdlib.max 1 (npoints * dim)) 0 in
+      let fronts = Array.make (nfronts + 1) 0 in
+      let front_ids = Array.make (Stdlib.max 1 nfronts) 0 in
+      let pos = ref 0 and fi = ref 0 in
+      List.iter
+        (fun (id, ps) ->
+          front_ids.(!fi) <- id;
+          Array.iter
+            (fun p ->
+              Array.blit p 0 pts (!pos * dim) dim;
+              incr pos)
+            ps;
+          incr fi;
+          fronts.(!fi) <- !pos)
+        fronts_list;
+      (* ---- operand resolution: strides folded to flat weights ---- *)
+      let reads = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Ir.edge) ->
+          if e.Ir.e_dir = Ir.Read then Hashtbl.replace reads e.Ir.e_label e)
+        b.Ir.blk_edges;
+      let weights_of (e : Ir.edge) =
+        let sti =
+          match Hashtbl.find_opt store_ix e.Ir.e_buffer with
+          | Some i -> i
+          | None -> err "block %s: edge names unknown buffer %d"
+                      b.Ir.blk_name e.Ir.e_buffer
+        in
+        let st = stores.(sti) in
+        let rank = Array.length st.cs_dims in
+        if Access_map.out_dim e.Ir.e_access <> rank then
+          unsup "block %s: partial access of buffer %d" b.Ir.blk_name
+            e.Ir.e_buffer;
+        if Access_map.in_dim e.Ir.e_access <> dim then
+          unsup "block %s: access arity %d over a %d-dimensional domain"
+            b.Ir.blk_name
+            (Access_map.in_dim e.Ir.e_access)
+            dim;
+        (* Per-axis bounds over the whole domain, proven now so the run
+           loop can use raw flat offsets.  Any violation falls back to
+           the interpreter, which reports it at the right point. *)
+        List.iter
+          (fun p ->
+            let idx = Access_map.apply e.Ir.e_access p in
+            Array.iteri
+              (fun j v ->
+                if v < 0 || v >= st.cs_dims.(j) then
+                  unsup "block %s: buffer %d index %d out of extent %d"
+                    b.Ir.blk_name e.Ir.e_buffer v st.cs_dims.(j))
+              idx)
+          all_points;
+        let sstrides = strides st.cs_dims in
+        let am = e.Ir.e_access in
+        let w = Array.make (dim + 1) 0 in
+        Array.iteri
+          (fun j oj -> w.(0) <- w.(0) + (sstrides.(j) * oj))
+          am.Access_map.offset;
+        for i = 0 to dim - 1 do
+          let acc = ref 0 in
+          for j = 0 to rank - 1 do
+            acc := !acc + (sstrides.(j) * am.Access_map.matrix.(j).(i))
+          done;
+          w.(i + 1) <- !acc
+        done;
+        (sti, w)
+      in
+      let resolve (o : Ir.operand) =
+        match o with
+        | Ir.O_const t -> (S_fixed t, None)
+        | Ir.O_op k -> (S_scratch k, None)
+        | Ir.O_var tag -> (
+            match List.assoc_opt tag b.Ir.blk_consts with
+            | Some t -> (S_fixed t, None)
+            | None -> (
+                match Hashtbl.find_opt reads tag with
+                | Some e ->
+                    let sti, w = weights_of e in
+                    (S_cell (sti, w), Some e)
+                | None ->
+                    err "block %s: operand %s has no edge or literal"
+                      b.Ir.blk_name tag))
+      in
+      let ops = Array.of_list b.Ir.blk_body in
+      let nops = Array.length ops in
+      let cops =
+        Array.map
+          (fun (o : Ir.op_node) ->
+            let rs = List.map resolve o.Ir.operands in
+            let factory =
+              Lower.kernel o.Ir.op ~operand_shapes:o.Ir.operand_shapes
+                ~result_shape:o.Ir.result_shape
+            in
+            {
+              co_srcs = Array.of_list (List.map fst rs);
+              co_edges = Array.of_list (List.map snd rs);
+              co_kernels = Array.init workers (fun _ -> factory ());
+              co_args =
+                Array.init workers (fun _ ->
+                    Array.make (List.length rs) dummy);
+            })
+          ops
+      in
+      let scratch =
+        Array.init workers (fun _ ->
+            Array.map
+              (fun (o : Ir.op_node) -> Tensor.uninit o.Ir.result_shape)
+              ops)
+      in
+      let scratch_orig = Array.map Array.copy scratch in
+      (* ---- write edges ---- *)
+      let writes = Ir.writes b in
+      if List.length writes <> List.length b.Ir.blk_results then
+        err "block %s: %d write edges for %d results" b.Ir.blk_name
+          (List.length writes)
+          (List.length b.Ir.blk_results);
+      let aliased = Hashtbl.create 4 in
+      let cwrites =
+        Array.of_list
+          (List.map2
+             (fun (w : Ir.edge) result ->
+               let sti, wt = weights_of w in
+               let elem = stores.(sti).cs_buffer.Ir.buf_elem in
+               let src, redge = resolve result in
+               let src_shape =
+                 match src with
+                 | S_scratch k -> ops.(k).Ir.result_shape
+                 | S_fixed t -> Tensor.shape t
+                 | S_cell (si, _) -> stores.(si).cs_buffer.Ir.buf_elem
+               in
+               if not (Shape.equal src_shape elem) then
+                 unsup
+                   "block %s: stored value shape %s differs from buffer \
+                    element shape %s"
+                   b.Ir.blk_name (Shape.to_string src_shape)
+                   (Shape.to_string elem);
+               let alias =
+                 match src with
+                 | S_scratch k when not (Hashtbl.mem aliased k) ->
+                     Hashtbl.add aliased k ();
+                     k
+                 | _ -> -1
+               in
+               {
+                 cw_store = sti;
+                 cw_weights = wt;
+                 cw_src = src;
+                 cw_alias = alias;
+                 cw_edge = w;
+                 cw_redge = redge;
+               })
+             writes b.Ir.blk_results)
+      in
+      let nwrites = Array.length cwrites in
+      let alias_slots =
+        Array.of_seq (Hashtbl.to_seq_keys aliased)
+      in
+      let woffs =
+        Array.init workers (fun _ -> Array.make (Stdlib.max 1 nwrites) 0)
+      in
+      let name = b.Ir.blk_name in
+      (* ---- the straight-line point closure (the hot path) ---- *)
+      let exec w i =
+        let p = i * dim in
+        let scr = scratch.(w) in
+        let offs = woffs.(w) in
+        (* write destinations: single-assignment check + in-place
+           redirect, offsets memoised for the epilogue *)
+        for wi = 0 to nwrites - 1 do
+          let cw = Array.unsafe_get cwrites wi in
+          let st = Array.unsafe_get stores cw.cw_store in
+          let ws = cw.cw_weights in
+          let off = ref (Array.unsafe_get ws 0) in
+          for k = 0 to dim - 1 do
+            off :=
+              !off
+              + (Array.unsafe_get ws (k + 1) * Array.unsafe_get pts (p + k))
+          done;
+          if Bytes.unsafe_get st.cs_written !off <> '\000' then
+            err "block %s writes a cell twice — single assignment violated"
+              name;
+          Array.unsafe_set offs wi !off;
+          if cw.cw_alias >= 0 then
+            scr.(cw.cw_alias) <- Array.unsafe_get st.cs_cells !off
+        done;
+        (* body ops into (possibly redirected) scratch *)
+        for oi = 0 to nops - 1 do
+          let cop = Array.unsafe_get cops oi in
+          let args = Array.unsafe_get cop.co_args w in
+          let srcs = cop.co_srcs in
+          for ai = 0 to Array.length srcs - 1 do
+            match Array.unsafe_get srcs ai with
+            | S_fixed t -> Array.unsafe_set args ai t
+            | S_scratch k -> Array.unsafe_set args ai (Array.unsafe_get scr k)
+            | S_cell (si, ws) ->
+                let st = Array.unsafe_get stores si in
+                let off = ref (Array.unsafe_get ws 0) in
+                for k = 0 to dim - 1 do
+                  off :=
+                    !off
+                    + (Array.unsafe_get ws (k + 1)
+                      * Array.unsafe_get pts (p + k))
+                done;
+                if Bytes.unsafe_get st.cs_written !off = '\000' then
+                  err
+                    "block %s reads an unwritten cell of buffer %d — illegal \
+                     order"
+                    name st.cs_buffer.Ir.buf_id;
+                Array.unsafe_set args ai (Array.unsafe_get st.cs_cells !off)
+          done;
+          (Array.unsafe_get cop.co_kernels w) args (Array.unsafe_get scr oi)
+        done;
+        (* epilogue: copy non-redirected results, set written flags *)
+        for wi = 0 to nwrites - 1 do
+          let cw = Array.unsafe_get cwrites wi in
+          let st = Array.unsafe_get stores cw.cw_store in
+          let off = Array.unsafe_get offs wi in
+          if cw.cw_alias < 0 then begin
+            let v =
+              match cw.cw_src with
+              | S_scratch k -> Array.unsafe_get scr k
+              | S_fixed t -> t
+              | S_cell (si, ws) ->
+                  let sst = Array.unsafe_get stores si in
+                  let soff = ref (Array.unsafe_get ws 0) in
+                  for k = 0 to dim - 1 do
+                    soff :=
+                      !soff
+                      + (Array.unsafe_get ws (k + 1)
+                        * Array.unsafe_get pts (p + k))
+                  done;
+                  if Bytes.unsafe_get sst.cs_written !soff = '\000' then
+                    err
+                      "block %s reads an unwritten cell of buffer %d — \
+                       illegal order"
+                      name sst.cs_buffer.Ir.buf_id;
+                  Array.unsafe_get sst.cs_cells !soff
+            in
+            Tensor.copy_into v ~dst:(Array.unsafe_get st.cs_cells off)
+          end;
+          Bytes.unsafe_set st.cs_written off '\001'
+        done;
+        for k = 0 to Array.length alias_slots - 1 do
+          let s = Array.unsafe_get alias_slots k in
+          scr.(s) <- Array.unsafe_get (Array.unsafe_get scratch_orig w) s
+        done
+      in
+      (* ---- the shadow path: sequential, interpreter event order ---- *)
+      let flat (ws : int array) (point : int array) =
+        let off = ref ws.(0) in
+        for k = 0 to dim - 1 do
+          off := !off + (ws.(k + 1) * point.(k))
+        done;
+        !off
+      in
+      let shadow_exec sh front i =
+        let p = i * dim in
+        let point = Array.init dim (fun k -> pts.(p + k)) in
+        let scr = scratch.(0) in
+        for oi = 0 to nops - 1 do
+          let cop = cops.(oi) in
+          let args = cop.co_args.(0) in
+          for ai = 0 to Array.length cop.co_srcs - 1 do
+            (match cop.co_edges.(ai) with
+            | Some e ->
+                let idx = Access_map.apply e.Ir.e_access point in
+                Shadow.on_read sh ~block:name ~front ~point
+                  ~buffer:e.Ir.e_buffer idx
+            | None -> ());
+            match cop.co_srcs.(ai) with
+            | S_fixed t -> args.(ai) <- t
+            | S_scratch k -> args.(ai) <- scr.(k)
+            | S_cell (si, ws) ->
+                let st = stores.(si) in
+                let off = flat ws point in
+                if Bytes.get st.cs_written off = '\000' then
+                  err
+                    "block %s reads an unwritten cell of buffer %d — illegal \
+                     order"
+                    name st.cs_buffer.Ir.buf_id;
+                args.(ai) <- st.cs_cells.(off)
+          done;
+          cop.co_kernels.(0) args scr.(oi)
+        done;
+        for wi = 0 to nwrites - 1 do
+          let cw = cwrites.(wi) in
+          let st = stores.(cw.cw_store) in
+          let idx = Access_map.apply cw.cw_edge.Ir.e_access point in
+          Shadow.on_write sh ~block:name ~front ~point
+            ~buffer:cw.cw_edge.Ir.e_buffer idx;
+          let off = flat cw.cw_weights point in
+          if Bytes.get st.cs_written off <> '\000' then
+            err "block %s writes a cell twice — single assignment violated"
+              name;
+          (match cw.cw_redge with
+          | Some e ->
+              let ridx = Access_map.apply e.Ir.e_access point in
+              Shadow.on_read sh ~block:name ~front ~point
+                ~buffer:e.Ir.e_buffer ridx
+          | None -> ());
+          let v =
+            match cw.cw_src with
+            | S_scratch k -> scr.(k)
+            | S_fixed t -> t
+            | S_cell (si, ws) ->
+                let sst = stores.(si) in
+                let soff = flat ws point in
+                if Bytes.get sst.cs_written soff = '\000' then
+                  err
+                    "block %s reads an unwritten cell of buffer %d — illegal \
+                     order"
+                    name sst.cs_buffer.Ir.buf_id;
+                sst.cs_cells.(soff)
+          in
+          Tensor.copy_into v ~dst:st.cs_cells.(off);
+          Bytes.set st.cs_written off '\001'
+        done
+      in
+      {
+        cb_name = name;
+        cb_fronts = fronts;
+        cb_front_ids = front_ids;
+        cb_parallel = parallel;
+        cb_stats = stats;
+        cb_exec = exec;
+        cb_shadow = shadow_exec;
+      }
+    in
+    let blocks =
+      Array.of_list (List.map compile_block (Ir.dataflow_order g))
+    in
+    {
+      ex_blocks = blocks;
+      ex_stores = stores;
+      ex_arena = arena_t;
+      ex_workers = workers;
+      ex_chunk = chunk;
+      ex_fallbacks = List.rev !fallbacks;
+    }
+  with Lower.Unsupported m -> unsup "%s" m
+
+(* ------------------------------ running ------------------------------ *)
+
+let load exe inputs =
+  Array.iter
+    (fun st ->
+      match st.cs_buffer.Ir.buf_role with
+      | Ir.Input -> (
+          match List.assoc_opt st.cs_buffer.Ir.buf_name inputs with
+          | None -> err "missing input %s" st.cs_buffer.Ir.buf_name
+          | Some v ->
+              let dims = st.cs_buffer.Ir.buf_dims in
+              let pos = ref 0 in
+              let rec go depth v =
+                match v with
+                | Fractal.Leaf t ->
+                    if depth <> Array.length dims then
+                      err "input nesting depth does not match the buffer rank";
+                    st.cs_cells.(!pos) <- t;
+                    incr pos
+                | Fractal.Node elems ->
+                    if depth >= Array.length dims then
+                      err "input nesting exceeds the buffer rank";
+                    if Array.length elems <> dims.(depth) then
+                      err "input extent %d differs from buffer extent %d"
+                        (Array.length elems) dims.(depth);
+                    Array.iter (go (depth + 1)) elems
+              in
+              go 0 v;
+              Bytes.fill st.cs_written 0 (Bytes.length st.cs_written) '\001')
+      | Ir.Intermediate | Ir.Output -> ())
+    exe.ex_stores
+
+let run_front chunk pool cb lo hi =
+  if cb.cb_parallel && hi - lo > 1 then
+    match pool with
+    | Some p -> Domain_pool.parallel_for_workers ?chunk p ~lo ~hi cb.cb_exec
+    | None ->
+        for i = lo to hi - 1 do
+          cb.cb_exec 0 i
+        done
+  else
+    for i = lo to hi - 1 do
+      cb.cb_exec 0 i
+    done
+
+let run_block chunk pool cb =
+  for f = 0 to Array.length cb.cb_fronts - 2 do
+    run_front chunk pool cb
+      (Array.unsafe_get cb.cb_fronts f)
+      (Array.unsafe_get cb.cb_fronts (f + 1))
+  done
+
+(* Span parity with the interpreter: wavefront-scheduled blocks emit
+   one "vm.block" span and one "vm.front" per anti-chain; downgraded
+   (sequential) blocks emit nothing, exactly like Vm.run's Ordered
+   path. *)
+let run_block_traced chunk pool cb =
+  if not cb.cb_parallel then run_block chunk pool cb
+  else begin
+    let st = cb.cb_stats in
+    Trace.timed ~track:"vm" ~cat:"block"
+      ~args:
+        [
+          ("block", Trace.String cb.cb_name);
+          ("points", Trace.Int st.Vm.bs_points);
+          ("fronts", Trace.Int st.Vm.bs_fronts);
+          ("max_width", Trace.Int st.Vm.bs_max_width);
+          ("parallelism", Trace.Float (Vm.parallelism st));
+        ]
+      "vm.block"
+      (fun () ->
+        for f = 0 to Array.length cb.cb_fronts - 2 do
+          let lo = cb.cb_fronts.(f) and hi = cb.cb_fronts.(f + 1) in
+          Trace.timed ~track:"vm" ~cat:"front"
+            ~args:
+              [
+                ("block", Trace.String cb.cb_name);
+                ("front", Trace.Int cb.cb_front_ids.(f));
+                ("width", Trace.Int (hi - lo));
+                ( "domains",
+                  Trace.Int
+                    (match pool with
+                    | Some p -> Domain_pool.size p
+                    | None -> 1) );
+              ]
+            "vm.front"
+            (fun () -> run_front chunk pool cb lo hi)
+        done)
+  end
+
+let execute ?pool ?shadow exe =
+  (match pool with
+  | Some p when Domain_pool.size p > exe.ex_workers ->
+      err "compiled executable supports %d worker(s), pool has %d"
+        exe.ex_workers (Domain_pool.size p)
+  | _ -> ());
+  let stores = exe.ex_stores in
+  for si = 0 to Array.length stores - 1 do
+    let st = Array.unsafe_get stores si in
+    if st.cs_buffer.Ir.buf_role <> Ir.Input then
+      Bytes.fill st.cs_written 0 (Bytes.length st.cs_written) '\000'
+  done;
+  let blocks = exe.ex_blocks in
+  match shadow with
+  | Some sh ->
+      Array.iter
+        (fun cb ->
+          for f = 0 to Array.length cb.cb_fronts - 2 do
+            let lo = cb.cb_fronts.(f) and hi = cb.cb_fronts.(f + 1) in
+            let front = cb.cb_front_ids.(f) in
+            for i = lo to hi - 1 do
+              cb.cb_shadow sh front i
+            done
+          done)
+        blocks
+  | None ->
+      if Trace.active () then
+        for bi = 0 to Array.length blocks - 1 do
+          run_block_traced exe.ex_chunk pool (Array.unsafe_get blocks bi)
+        done
+      else
+        for bi = 0 to Array.length blocks - 1 do
+          run_block exe.ex_chunk pool (Array.unsafe_get blocks bi)
+        done
+
+let outputs exe =
+  List.filter_map
+    (fun st ->
+      if st.cs_buffer.Ir.buf_role = Ir.Output then begin
+        let dims = st.cs_buffer.Ir.buf_dims in
+        let pos = ref 0 in
+        let rec go depth =
+          if depth = Array.length dims then begin
+            if Bytes.get st.cs_written !pos = '\000' then
+              err "output buffer %s has an unwritten cell"
+                st.cs_buffer.Ir.buf_name;
+            let t = Tensor.copy st.cs_cells.(!pos) in
+            incr pos;
+            Fractal.Leaf t
+          end
+          else Fractal.Node (Array.init dims.(depth) (fun _ -> go (depth + 1)))
+        in
+        Some (st.cs_buffer.Ir.buf_name, go 0)
+      end
+      else None)
+    (Array.to_list exe.ex_stores)
+
+let run ?pool ?shadow exe inputs =
+  load exe inputs;
+  execute ?pool ?shadow exe;
+  outputs exe
+
+let arena_floats exe =
+  match exe.ex_arena with Some a -> Arena.floats a | None -> 0
+
+let workers exe = exe.ex_workers
+let stats exe = Array.to_list (Array.map (fun cb -> cb.cb_stats) exe.ex_blocks)
+let sequential_fallbacks exe = exe.ex_fallbacks

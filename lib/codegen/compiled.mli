@@ -1,0 +1,95 @@
+(** The compiled plan executor: straight-line block closures over
+    preallocated storage.
+
+    The interpreting {!Vm} pays, at {e every} iteration point, for
+    operand-map application, hashtable store lookups, primitive
+    dispatch through {!Interp.eval_prim}, and a fresh tensor per
+    intermediate.  [Compiled.compile] hoists all of it to plan time:
+
+    - {b kernels}: each block body op is lowered once ({!Lower.kernel})
+      to a monomorphic destination-passing kernel — no per-point
+      dispatch, no closure-boxed floats;
+    - {b strides}: every cell access map is folded into a flat-offset
+      base + per-axis weight vector, with bounds validated over the
+      whole iteration domain at compile time;
+    - {b storage}: intermediate buffers live in a single {!Arena} sized
+      by the static liveness layout ({!Liveness.layout}), so the
+      steady-state run loop performs {e zero} heap allocation (the
+      [arena:false] variant preallocates per-cell tensors instead —
+      same schedule, same values, for differential testing);
+    - {b schedule}: the wavefront anti-chains are precomputed into flat
+      int arrays ({!Vm.schedule} flattened), and blocks whose
+      same-front disjointness is not statically [Proven] are downgraded
+      to the sequential order at compile time (reported through
+      {!Vm.set_fallback_handler});
+    - {b results}: bitwise identical to the interpreter — the kernels
+      reproduce its exact float operation order.
+
+    An executable owns its storage: it is reusable across runs
+    ([load] / [execute] / [outputs]) but not thread-safe — callers that
+    want concurrent runs compile one executable each.  Graphs using
+    features the compiler does not cover raise {!Unsupported_graph} at
+    compile time; {!Executor} falls back to the interpreter, preserving
+    reference semantics (including runtime errors) exactly. *)
+
+exception Unsupported_graph of string
+
+type t
+
+val compile :
+  ?arena:bool ->
+  ?race_guard:bool ->
+  ?chunk:int ->
+  ?workers:int ->
+  Ir.graph ->
+  t
+(** [compile g] builds an executable for the wavefront schedule.
+    [arena] (default [true]): back intermediates with the single
+    liveness-sized arena.  [race_guard] (default [true]): downgrade
+    unproven blocks to sequential.  [chunk]: the pool claim size for
+    parallel fronts.  [workers] (default 1): how many domains may
+    execute fronts concurrently — sizes the per-worker kernel scratch;
+    {!execute}'s pool must not be larger.
+    @raise Unsupported_graph on uncovered graphs
+    @raise Vm.Execution_error on graphs the interpreter would also
+    reject at plan time (e.g. an operand with no edge or literal). *)
+
+val load : t -> (string * Fractal.t) list -> unit
+(** Bind the named input FractalTensors (leaves are aliased, not
+    copied), clearing all intermediate/output cells.
+    @raise Vm.Execution_error on a missing or mis-shaped input. *)
+
+val execute : ?pool:Domain_pool.t -> ?shadow:Shadow.t -> t -> unit
+(** One run over the loaded inputs.  Without [pool] (or with a pool of
+    size 1) every front runs inline on the caller — this path allocates
+    zero minor words.  With [shadow], the run records every cell access
+    in the interpreter's exact event order (sequentially, preserving
+    front ids).
+    @raise Vm.Execution_error on unwritten reads / double writes. *)
+
+val outputs : t -> (string * Fractal.t) list
+(** The contents of every [Output] buffer (copied — safe across
+    subsequent runs), in buffer order.
+    @raise Vm.Execution_error if an output cell is unwritten. *)
+
+val run :
+  ?pool:Domain_pool.t ->
+  ?shadow:Shadow.t ->
+  t ->
+  (string * Fractal.t) list ->
+  (string * Fractal.t) list
+(** [load]; [execute]; [outputs]. *)
+
+(** {1 Introspection} *)
+
+val arena_floats : t -> int
+(** Arena capacity in float64 elements (0 when compiled with
+    [arena:false] or when no intermediate was placed). *)
+
+val workers : t -> int
+
+val stats : t -> Vm.block_stats list
+(** Per-block schedule shape, in dataflow order. *)
+
+val sequential_fallbacks : t -> string list
+(** Names of blocks the compile-time race guard downgraded. *)

@@ -306,3 +306,9 @@ let emit_plan ?(collapse_reuse = true) ?(tile = Tile.default_config)
             (fun b -> block_kernels ~others:blocks ~collapse_reuse ~tile g b)
             blocks;
       })
+
+let graph_flops (g : Ir.graph) =
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      acc +. (block_point_flops b *. float_of_int (domain_size b.Ir.blk_domain)))
+    0.0 g.Ir.g_blocks

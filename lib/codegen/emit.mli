@@ -44,3 +44,9 @@ val emit_plan : ?collapse_reuse:bool -> ?tile:Tile.config -> Ir.graph -> Plan.t
 
 val block_plan : Ir.graph -> Ir.block -> Plan.kernel_spec list
 (** Kernels for a single block (exposed for tests and ablations). *)
+
+val graph_flops : Ir.graph -> float
+(** Total arithmetic cost of one full execution: Σ over blocks of
+    [block_point_flops × domain_size] — the numerator of the
+    throughput figures [ftc run --repeat] and the benchmark harness
+    report. *)

@@ -26,18 +26,25 @@ type report = {
 val run : ?device:Device.t -> ?trace:Trace.sink -> Plan.t -> report
 (** Execute a plan (default device: {!Device.a100}).  [trace] installs
     the sink for the duration, mirroring the simulated timeline as
-    ["gpu"]-track spans. *)
+    ["gpu"]-track spans.
+    @deprecated Transition shim for one release: call
+    {!Executor.simulate} — the unified front door carries both value
+    execution and simulation. *)
 
 val run_many :
   ?device:Device.t -> ?trace:Trace.sink -> Plan.t list ->
   (string * report) list
+(** @deprecated Use {!Executor.simulate_many}. *)
 
 val metrics : ?device:Device.t -> Plan.t -> Engine.metrics
-(** [(run p).r_metrics] — for call sites that only want aggregates. *)
+(** [(run p).r_metrics] — for call sites that only want aggregates.
+    @deprecated Use {!Executor.metrics}. *)
 
 val time_ms : ?device:Device.t -> Plan.t -> float
-(** [(metrics p).time_ms] — the benchmark harness's shorthand. *)
+(** [(metrics p).time_ms] — the benchmark harness's shorthand.
+    @deprecated Use {!Executor.time_ms}. *)
 
 val profile : ?device:Device.t -> Plan.t -> Profile.t
 (** Execute and attribute: the per-kernel / per-block roofline report
-    over the same simulated timeline as {!run}. *)
+    over the same simulated timeline as {!run}.
+    @deprecated Use {!Executor.profile}. *)

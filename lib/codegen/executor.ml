@@ -1,0 +1,174 @@
+let err fmt = Format.kasprintf (fun s -> raise (Vm.Execution_error s)) fmt
+
+type engine_kind =
+  | E_compiled of Compiled.t
+  | E_vm of Vm.order * string option
+      (* fallback reason when compilation was requested *)
+
+type prepared = {
+  pr_graph : Ir.graph;
+  pr_opts : Run_opts.t;
+  pr_pool : Domain_pool.t option;  (* resolved once, at prepare time *)
+  pr_engine : engine_kind;
+}
+
+(* Pools for explicit [domains = Some n] requests that do not match the
+   ambient shared pool.  Cached per size for the process lifetime —
+   spawning domains is expensive, and benchmark/conformance loops
+   prepare many executables at the same few sizes. *)
+let pools : (int, Domain_pool.t) Hashtbl.t = Hashtbl.create 4
+let pools_mu = Mutex.create ()
+
+let explicit_pool n =
+  let shared = Domain_pool.get () in
+  if Domain_pool.size shared = n then shared
+  else begin
+    Mutex.lock pools_mu;
+    let p =
+      match Hashtbl.find_opt pools n with
+      | Some p -> p
+      | None ->
+          let p = Domain_pool.create ~domains:n in
+          Hashtbl.add pools n p;
+          p
+    in
+    Mutex.unlock pools_mu;
+    p
+  end
+
+(* Idle OCaml 5 domains still join every stop-the-world minor
+   collection, so cached pools tax allocation-heavy code running
+   alongside them.  Benchmarks shut them down between measurements to
+   keep baselines clean; prepared plans holding a reset pool must not
+   be executed afterwards. *)
+let reset_pools () =
+  Mutex.lock pools_mu;
+  let ps = Hashtbl.fold (fun _ p acc -> p :: acc) pools [] in
+  Hashtbl.reset pools;
+  Mutex.unlock pools_mu;
+  List.iter Domain_pool.shutdown ps
+
+(* [None] means "run inline": no pool object at all, which is what lets
+   the compiled engine's steady state stay allocation-free. *)
+let resolve_pool (opts : Run_opts.t) =
+  match opts.Run_opts.domains with
+  | Some n when n > 1 -> Some (explicit_pool n)
+  | Some _ -> None
+  | None ->
+      let shared = Domain_pool.get () in
+      if Domain_pool.size shared > 1 then Some shared else None
+
+let prepare ?(opts = Run_opts.default) (g : Ir.graph) =
+  let pool = resolve_pool opts in
+  let engine =
+    match opts.Run_opts.mode with
+    | Run_opts.Interpret order -> E_vm (order, None)
+    | Run_opts.Compiled -> (
+        let workers =
+          match pool with Some p -> Domain_pool.size p | None -> 1
+        in
+        try
+          E_compiled
+            (Compiled.compile ~arena:opts.Run_opts.arena
+               ~race_guard:opts.Run_opts.race_guard ?chunk:opts.Run_opts.chunk
+               ~workers g)
+        with Compiled.Unsupported_graph m -> E_vm (Vm.Wavefront, Some m))
+  in
+  { pr_graph = g; pr_opts = opts; pr_pool = pool; pr_engine = engine }
+
+let shadow_wanted (opts : Run_opts.t) =
+  match opts.Run_opts.shadow with
+  | Run_opts.Shadow_on -> true
+  | Run_opts.Shadow_env -> Vm.shadow_env ()
+  | Run_opts.Shadow_off -> false
+
+let cross_check g sh =
+  let summary = Shadow.finish sh in
+  match Shadow.cross_check g summary sh with
+  | [] -> ()
+  | issues ->
+      err "shadow memory contradicts the static analysis: %s"
+        (String.concat "; " issues)
+
+let execute pr inputs =
+  let g = pr.pr_graph in
+  let opts = pr.pr_opts in
+  let want_shadow = shadow_wanted opts in
+  match pr.pr_engine with
+  | E_compiled exe ->
+      if want_shadow then begin
+        let sh = Shadow.create g in
+        let outs = Compiled.run ?pool:pr.pr_pool ~shadow:sh exe inputs in
+        cross_check g sh;
+        outs
+      end
+      else Compiled.run ?pool:pr.pr_pool exe inputs
+  | E_vm (order, _) ->
+      (* The interpreter defaults to the shared pool when given none;
+         an explicit [domains = Some 1] must therefore pass a real
+         size-1 pool to mean "single-threaded". *)
+      let pool =
+        match (pr.pr_pool, opts.Run_opts.domains) with
+        | (Some _ as p), _ -> p
+        | None, Some _ -> Some (explicit_pool 1)
+        | None, None -> None
+      in
+      let run shadow =
+        match pool with
+        | Some p ->
+            Vm.run ~order ~pool:p ?chunk:opts.Run_opts.chunk
+              ~race_guard:opts.Run_opts.race_guard ?shadow g inputs
+        | None ->
+            Vm.run ~order ?chunk:opts.Run_opts.chunk
+              ~race_guard:opts.Run_opts.race_guard ?shadow g inputs
+      in
+      if want_shadow then begin
+        let sh = Shadow.create g in
+        let outs = run (Some sh) in
+        cross_check g sh;
+        outs
+      end
+      else run None
+
+let run ?opts g inputs = execute (prepare ?opts g) inputs
+
+(* ---- prepared cache (in-memory: compiled closures cannot marshal) ---- *)
+
+let cache : (string, prepared) Hashtbl.t = Hashtbl.create 16
+let cache_mu = Mutex.create ()
+
+let prepare_cached ~key ?(opts = Run_opts.default) g =
+  let k = key ^ "\x00" ^ Run_opts.to_string opts in
+  Mutex.lock cache_mu;
+  let hit = Hashtbl.find_opt cache k in
+  Mutex.unlock cache_mu;
+  match hit with
+  | Some pr -> pr
+  | None ->
+      let pr = prepare ~opts g in
+      Mutex.lock cache_mu;
+      Hashtbl.replace cache k pr;
+      Mutex.unlock cache_mu;
+      pr
+
+(* ------------------------------ introspection ------------------------ *)
+
+let engine pr =
+  match pr.pr_engine with
+  | E_compiled _ -> "compiled"
+  | E_vm (_, Some _) -> "vm-fallback"
+  | E_vm (order, None) -> Run_opts.mode_name (Run_opts.Interpret order)
+
+let fallback_reason pr =
+  match pr.pr_engine with E_vm (_, r) -> r | E_compiled _ -> None
+
+let compiled pr =
+  match pr.pr_engine with E_compiled c -> Some c | E_vm _ -> None
+
+(* ------------------------------ simulator front ----------------------- *)
+
+let simulate = Exec.run
+let simulate_many = Exec.run_many
+let metrics = Exec.metrics
+let time_ms = Exec.time_ms
+let profile = Exec.profile

@@ -1,0 +1,98 @@
+(** The execution front door: one entry point, one options record.
+
+    Running a compiled graph used to mean choosing among [Vm.run]'s
+    optional arguments and the simulator's [Exec] calls, each with its
+    own spelling of domains/chunk/shadow.  This module unifies them: a
+    {!Run_opts.t} selects the engine and every execution knob, and
+    [run]/[prepare] + [execute] is the whole API.  The engines:
+
+    - [Run_opts.Compiled] (the default): {!Compiled} — straight-line
+      block closures over arena-backed storage, zero steady-state
+      allocation.  Graphs the compiler cannot cover fall back to the
+      interpreting VM transparently ({!engine} reports it), preserving
+      reference semantics — including runtime errors — exactly.
+    - [Run_opts.Interpret order]: the {!Vm} interpreter in the given
+      order — the reference semantics, and the only way to run the
+      deliberately-illegal [Reverse] order.
+
+    Both engines produce bitwise-identical outputs on every legal
+    graph; the conformance suite pins that down. *)
+
+type prepared
+(** A graph readied for repeated execution: the compiled executable
+    (or the interpreter closure after a fallback), the resolved pool,
+    and the shadow policy.  Stateful — reusable across sequential
+    [execute] calls, not thread-safe. *)
+
+val prepare : ?opts:Run_opts.t -> Ir.graph -> prepared
+(** Resolve options (default {!Run_opts.default}) and compile.  With
+    [opts.mode = Compiled] this is where {!Compiled.compile} runs —
+    plan-time lowering, arena layout, schedule precomputation, race
+    verdicts; an {!Compiled.Unsupported_graph} graph silently falls
+    back to the interpreter (see {!engine}/{!fallback_reason}).
+    @raise Vm.Execution_error on graphs both engines reject at plan
+    time (e.g. an operand with no edge or literal). *)
+
+val execute :
+  prepared -> (string * Fractal.t) list -> (string * Fractal.t) list
+(** One run over the named inputs; returns every [Output] buffer in
+    buffer order.  Honors the prepared options: domains (pool), chunk,
+    race guard, shadow.  When shadow recording is active (explicitly,
+    or [FT_SHADOW=1] under the default [Shadow_env] policy) the run is
+    recorded, finished and cross-checked against the static analysis;
+    a contradiction raises [Vm.Execution_error].
+    @raise Vm.Execution_error on missing inputs / un-executable blocks
+    @raise Shadow.Violation on a recorded same-front overlap *)
+
+val run :
+  ?opts:Run_opts.t ->
+  Ir.graph ->
+  (string * Fractal.t) list ->
+  (string * Fractal.t) list
+(** [execute (prepare ?opts g) inputs] — the one-shot spelling. *)
+
+val prepare_cached : key:string -> ?opts:Run_opts.t -> Ir.graph -> prepared
+(** Like {!prepare}, memoised on [(key, opts)] for the process
+    lifetime.  [key] must identify the graph — use
+    {!Pipeline.program_key} / {!Pipeline.source_key} digests (compiled
+    closures cannot be marshalled, so unlike the plan cache this table
+    is in-memory only).  Callers sharing a cached [prepared] must not
+    execute it concurrently. *)
+
+(** {1 Introspection} *)
+
+val engine : prepared -> string
+(** Which engine will run: ["compiled"], ["interpret-seq"] /
+    ["interpret-wave"] / ["interpret-rev"] (requested interpretation), or
+    ["vm-fallback"] (compilation was requested but unsupported). *)
+
+val fallback_reason : prepared -> string option
+(** Why a [Compiled] request fell back to the interpreter, if it did. *)
+
+val compiled : prepared -> Compiled.t option
+(** The underlying executable when [engine = "compiled"]. *)
+
+val reset_pools : unit -> unit
+(** Shut down every pool cached for explicit [domains = Some n]
+    requests (the ambient shared pool is untouched).  Idle OCaml 5
+    domains still join each stop-the-world minor collection, so a
+    cached pool taxes allocation-heavy code running alongside it —
+    benchmarks call this between measurements to keep baselines clean.
+    Any [prepared] still holding a reset pool must not be executed. *)
+
+(** {1 Simulator front}
+
+    The cost-model side of execution, unified under the same roof —
+    thin delegates to {!Exec} so call sites need one module for both
+    value execution and simulation. *)
+
+val simulate : ?device:Device.t -> ?trace:Trace.sink -> Plan.t -> Exec.report
+val simulate_many :
+  ?device:Device.t ->
+  ?trace:Trace.sink ->
+  Plan.t list ->
+  (string * Exec.report) list
+
+val metrics : ?device:Device.t -> Plan.t -> Engine.metrics
+val time_ms : ?device:Device.t -> Plan.t -> float
+val profile : ?device:Device.t -> Plan.t -> Profile.t

@@ -1,0 +1,39 @@
+(** Lowering of primitive operations to straight-line, allocation-free
+    kernels over preallocated destinations.
+
+    The interpreting VM pays {!Interp.eval_prim}'s price at every
+    iteration point: a dispatch on the primitive, a fresh result
+    tensor, and (for the closure-based elementwise ops) a float boxing
+    per element.  [Lower.kernel] resolves all of that once, at plan
+    time: it returns a kernel closure specialised to the primitive and
+    the operands' declared shapes that computes into a caller-owned
+    destination using only the opcode-dispatch [Tensor] [_into]
+    kernels — the same loops in the same order as the interpreter, so
+    results are bitwise identical, with zero heap allocation in the
+    steady state. *)
+
+exception Unsupported of string
+(** Raised at plan time for primitive/shape combinations the lowering
+    does not cover; the caller falls back to the interpreting VM, which
+    preserves the reference semantics (including its runtime errors). *)
+
+val kernel :
+  Expr.prim ->
+  operand_shapes:Shape.t list ->
+  result_shape:Shape.t ->
+  unit ->
+  Tensor.t array ->
+  Tensor.t ->
+  unit
+(** [kernel p ~operand_shapes ~result_shape] validates the combination
+    at plan time and returns a {e factory}: each application [()]
+    yields a fresh kernel instance [fun args dst -> ...] with its own
+    private scratch (e.g. the materialised transpose of [a @ bᵀ], kept
+    so the contraction runs in the interpreter's exact accumulation
+    order).  The compiled executor instantiates one kernel per worker,
+    making concurrent points race-free without sharing.
+
+    The kernel reads [Array.length operand_shapes] operands from
+    [args] and writes the full [result_shape] destination; it never
+    reads stale [dst] contents.
+    @raise Unsupported at plan time on uncovered combinations. *)

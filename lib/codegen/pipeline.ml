@@ -223,8 +223,11 @@ module Cache = struct
 
   (* Bump when Plan.t (or anything reachable from it) changes layout:
      stale disk entries then fail the version check and recompile.
-     v2: kernel_spec gained ks_gemm. *)
-  let version = 2
+     v2: kernel_spec gained ks_gemm.
+     v3: the compiled-executor release — {!Executor} keys its in-memory
+     executable cache by the same program/source digests, so bumping
+     here keeps disk plans and compiled artifacts in lockstep. *)
+  let version = 3
 
   let table : (string, Plan.t) Hashtbl.t = Hashtbl.create 16
   let m = Mutex.create ()

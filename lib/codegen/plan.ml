@@ -54,3 +54,5 @@ let repeat n p =
   { p with kernels = List.concat (List.init n (fun _ -> p.kernels)) }
 
 let total_kernels p = List.length p.kernels
+
+let digest p = Digest.to_hex (Digest.string (Marshal.to_string p []))

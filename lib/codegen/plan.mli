@@ -61,3 +61,7 @@ val repeat : int -> t -> t
     loop the policy cannot fuse). *)
 
 val total_kernels : t -> int
+
+val digest : t -> string
+(** Stable hex digest of the whole plan (structure and costs) — the
+    {!Executor} prepared-cache and tooling key for "same plan". *)

@@ -1,0 +1,42 @@
+type mode = Interpret of Vm.order | Compiled
+
+type shadow = Shadow_off | Shadow_env | Shadow_on
+
+type t = {
+  mode : mode;
+  domains : int option;
+  chunk : int option;
+  race_guard : bool;
+  shadow : shadow;
+  arena : bool;
+}
+
+let default =
+  {
+    mode = Compiled;
+    domains = None;
+    chunk = None;
+    race_guard = true;
+    shadow = Shadow_env;
+    arena = true;
+  }
+
+let interpreted order = { default with mode = Interpret order }
+
+let mode_name = function
+  | Interpret Vm.Sequential -> "interpret-seq"
+  | Interpret Vm.Wavefront -> "interpret-wave"
+  | Interpret Vm.Reverse -> "interpret-rev"
+  | Compiled -> "compiled"
+
+let to_string o =
+  Printf.sprintf "%s domains=%s chunk=%s race_guard=%b shadow=%s arena=%b"
+    (mode_name o.mode)
+    (match o.domains with Some d -> string_of_int d | None -> "auto")
+    (match o.chunk with Some c -> string_of_int c | None -> "auto")
+    o.race_guard
+    (match o.shadow with
+    | Shadow_off -> "off"
+    | Shadow_env -> "env"
+    | Shadow_on -> "on")
+    o.arena

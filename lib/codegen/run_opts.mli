@@ -1,0 +1,54 @@
+(** One record for every execution knob — the argument of the unified
+    {!Executor} front door.
+
+    Before this existed, execution options sprawled across ad-hoc
+    optional arguments ([Vm.run ?order ?pool ?chunk ?race_guard
+    ?shadow], [Exec.run ?device ?trace], per-call race-guard toggles in
+    tests).  A [Run_opts.t] names them all once; callers build one with
+    [{ Run_opts.default with ... }] and hand it to {!Executor.run}. *)
+
+(** How to execute:
+    - [Compiled]: the straight-line closure engine ({!Compiled}) —
+      schedules, kernels, strides and storage resolved at plan time;
+      falls back to the interpreting VM (in wavefront order) when the
+      graph uses a feature the compiler does not support, so results
+      and errors are identical either way;
+    - [Interpret order]: the reference interpreter ({!Vm.run}) in the
+      given order. *)
+type mode = Interpret of Vm.order | Compiled
+
+(** Shadow-memory recording: [Shadow_off] never records, [Shadow_env]
+    obeys [FT_SHADOW] (the default — what bare [Vm.run] always did),
+    [Shadow_on] records and cross-checks unconditionally. *)
+type shadow = Shadow_off | Shadow_env | Shadow_on
+
+type t = {
+  mode : mode;
+  domains : int option;
+      (** pool size; [None] uses the ambient {!Domain_pool.num_domains}.
+          [Some 1] guarantees a pool-free, allocation-free run loop. *)
+  chunk : int option;
+      (** points of a front one domain claims at a time (the tuner's
+          [vm_chunk] knob); [None] or non-positive = pool default. *)
+  race_guard : bool;
+      (** consult {!Effects.block_race} before fanning a block out;
+          anything but [Proven] downgrades that block to sequential. *)
+  shadow : shadow;
+  arena : bool;
+      (** back compiled intermediates with the single liveness-sized
+          {!Arena} (zero steady-state allocation); [false] gives each
+          cell its own preallocated tensor.  Interpreted modes ignore
+          it. *)
+}
+
+val default : t
+(** [Compiled], ambient domains, default chunking, race guard on,
+    [Shadow_env], arena on. *)
+
+val interpreted : Vm.order -> t
+(** [default] with [mode = Interpret order]. *)
+
+val mode_name : mode -> string
+
+val to_string : t -> string
+(** One-line rendering for reports and traces. *)

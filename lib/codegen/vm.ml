@@ -181,6 +181,7 @@ let fallback_handler =
         blk reason)
 
 let set_fallback_handler f = fallback_handler := f
+let report_fallback blk reason = !fallback_handler blk reason
 
 let shadow_env () =
   match Sys.getenv_opt "FT_SHADOW" with

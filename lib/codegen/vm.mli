@@ -39,6 +39,32 @@ type order = Sequential | Wavefront | Reverse
 
 exception Execution_error of string
 
+(** How a block's points run: [Ordered] is one strict sequence (the
+    directional lexicographic order or its reverse); [Fronts] is the
+    wavefront anti-chains in hyperplane order, each an array of
+    mutually-independent points.  Exposed so the compiled executor
+    ({!Compiled}) can precompute exactly the schedule this interpreter
+    would follow — flattened to int arrays at plan time — and stay
+    bitwise-identical to it. *)
+type schedule =
+  | Ordered of int array list
+  | Fronts of (int * int array array) list
+
+val schedule : order -> Ir.block -> int array list -> schedule
+(** [schedule order b points] groups the block's iteration points the
+    way {!run} executes them: directional lexicographic for
+    [Sequential] (right-directional foldr/scanr dimensions descend),
+    its reverse for [Reverse], hyperplane anti-chains for
+    [Wavefront]. *)
+
+val directional_points : Ir.block -> int array list -> int array list
+(** The naive legal order: lexicographic with each dimension iterated
+    in its recurrence direction. *)
+
+val shadow_env : unit -> bool
+(** Whether [FT_SHADOW] requests a shadow-memory recorder ([1], [true]
+    or [on]). *)
+
 type block_stats = {
   bs_block : string;  (** block name *)
   bs_points : int;  (** total iteration points *)
@@ -56,11 +82,18 @@ val parallelism : block_stats -> float
 (** Mean front width, [points / fronts]: the speedup an unbounded
     machine could extract from the wavefront schedule. *)
 
+val stats_of_schedule : string -> schedule -> block_stats
+(** Shape of one block's schedule (see {!wavefront_stats}). *)
+
 val set_fallback_handler : (string -> string -> unit) -> unit
 (** Observer of race-guard downgrades: called with the block name and
     the reason whenever a wavefront block runs sequentially because its
     same-front disjointness is not [Proven].  Default: a warning line
     on stderr. *)
+
+val report_fallback : string -> string -> unit
+(** Invoke the current fallback handler — the compiled executor routes
+    its plan-time downgrades through the same observer. *)
 
 val run :
   ?order:order ->
@@ -71,7 +104,12 @@ val run :
   Ir.graph ->
   (string * Fractal.t) list ->
   (string * Fractal.t) list
-(** [run g inputs] executes the graph over the named input
+(** @deprecated Direct calls are a transition shim for one release:
+    {!Executor.run} with a {!Run_opts.t} is the front door — it reaches
+    this interpreter via [Run_opts.mode = Interpret _] and the compiled
+    engine via [Compiled] — and every in-tree caller has migrated.
+
+    [run g inputs] executes the graph over the named input
     FractalTensors and returns the contents of every [Output] buffer as
     a nested FractalTensor (in buffer order).  Default order:
     [Wavefront], which executes each anti-chain across [pool]

@@ -7,7 +7,8 @@ type run = { r_oracle : string; r_outcome : outcome; r_wall_ms : float }
 
 let all_oracles =
   [ "interp"; "vm-seq"; "vm-wave1"; "vm-wave2"; "vm-wave4"; "shadow";
-    "tuned"; "cache-rt" ]
+    "tuned"; "cache-rt"; "compiled"; "compiled2"; "compiled4";
+    "compiled-noarena" ]
 
 (* ---------------------------------------------------------------- *)
 (* Context: pools + private cache/tune directories                   *)
@@ -165,6 +166,20 @@ let shadow_oracle ctx (p : Expr.program) g inputs =
         ("shadow memory contradicts the static analysis: "
         ^ String.concat "; " issues)
 
+(* The compiled executor through the unified front door.  Run_opts
+   defaults keep [Shadow_env], so corpus replay under FT_SHADOW=1 also
+   cross-checks the recorded accesses against the static analysis.  A
+   graph outside the compiled fragment falls back to the interpreting
+   VM inside Executor — still a legitimate differential point: the
+   front door must be value-transparent either way. *)
+let compiled_oracle ?(domains = 1) ?(arena = true) (p : Expr.program) g inputs
+    =
+  let opts =
+    { Run_opts.default with Run_opts.domains = Some domains; arena }
+  in
+  let outs = Executor.run ~opts g inputs in
+  Value (Vm.output outs p.Expr.name)
+
 let cache_rt_oracle (p : Expr.program) g inputs =
   let key = Pipeline.program_key p in
   let plan1 = Pipeline.plan_cached p in
@@ -199,6 +214,10 @@ let run_one ctx (p : Expr.program) inputs graph name =
             | "shadow" -> shadow_oracle ctx p g inputs
             | "tuned" -> tuned_oracle ctx p g inputs
             | "cache-rt" -> cache_rt_oracle p g inputs
+            | "compiled" -> compiled_oracle p g inputs
+            | "compiled2" -> compiled_oracle ~domains:2 p g inputs
+            | "compiled4" -> compiled_oracle ~domains:4 p g inputs
+            | "compiled-noarena" -> compiled_oracle ~arena:false p g inputs
             | other -> Failed (Printf.sprintf "unknown oracle %S" other)
           with e -> Failed (Printexc.to_string e)))
 

@@ -30,7 +30,19 @@
     - ["cache-rt"] — the plan is compiled, round-tripped through the
                      [FT_PLAN_CACHE] disk cache (memory cleared, then
                      reloaded), the two plans compared structurally,
-                     and the VM run as usual (cache transparency).
+                     and the VM run as usual (cache transparency);
+    - ["compiled"] / ["compiled2"] / ["compiled4"]
+                   — the compiled executor ({!Executor} with the
+                     default [Run_opts], arena on) at an explicit
+                     1/2/4-domain pool: straight-line closures over
+                     arena storage must be bitwise-identical to the
+                     interpreting VM at every domain count.  Under
+                     [FT_SHADOW=1] the run is also recorded and
+                     cross-checked against the static analysis;
+    - ["compiled-noarena"]
+                   — the compiled executor with [arena = false]
+                     (dedicated per-cell tensors): storage layout must
+                     not change a single bit.
 
     VM-family oracles return the {e raw} VM output, which materialises
     fold/reduce accumulator history; {!project} maps it down to the

@@ -22,8 +22,15 @@ type t = {
    its own pool would deadlock it. *)
 let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let worker_loop pool =
+(* Each spawned worker carries its 1-based index in the pool that owns
+   it; the calling domain is index 0.  A domain belongs to at most one
+   pool, so one key suffices, and loops that run inline (trivial pool,
+   single index, nested issue) always report index 0. *)
+let worker_ix_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let worker_loop ix pool =
   Domain.DLS.set in_worker_key true;
+  Domain.DLS.set worker_ix_key ix;
   let my_gen = ref 0 in
   let rec loop () =
     Mutex.lock pool.m;
@@ -61,7 +68,8 @@ let create ~domains =
     }
   in
   pool.workers <-
-    List.init pool.nworkers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init pool.nworkers (fun i ->
+        Domain.spawn (fun () -> worker_loop (i + 1) pool));
   pool
 
 let size pool = pool.nworkers + 1
@@ -141,6 +149,39 @@ let parallel_for ?chunk pool ~lo ~hi f =
       chunked_job ~lo ~chunk ~nchunks exn_slot (fun _ clo chi ->
           for i = clo to Stdlib.min hi chi - 1 do
             f i
+          done)
+    in
+    run_job pool job;
+    reraise_first exn_slot
+  end
+
+(* Like [parallel_for], but the body also receives the index of the
+   domain running it — the compiled VM uses it to pick per-worker
+   scratch buffers.  The inline path (trivial pool, single iteration,
+   issued from a worker) passes 0 and performs no allocation at all;
+   that path is what makes `domains=1` a strict no-op passthrough. *)
+let parallel_for_workers ?chunk pool ~lo ~hi f =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else if size pool = 1 || n = 1 || Domain.DLS.get in_worker_key then
+    for i = lo to hi - 1 do
+      f 0 i
+    done
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ ->
+          invalid_arg "Domain_pool.parallel_for_workers: chunk must be >= 1"
+      | None -> Stdlib.max 1 (n / (size pool * 4))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let exn_slot = Atomic.make None in
+    let job =
+      chunked_job ~lo ~chunk ~nchunks exn_slot (fun _ clo chi ->
+          let w = Domain.DLS.get worker_ix_key in
+          for i = clo to Stdlib.min hi chi - 1 do
+            f w i
           done)
     in
     run_job pool job;

@@ -43,6 +43,16 @@ val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
     raised by any [f i] is re-raised in the caller (with its
     backtrace) after the loop quiesces. *)
 
+val parallel_for_workers :
+  ?chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for_workers pool ~lo ~hi f] is {!parallel_for} except the
+    body receives [f worker i] where [worker] identifies the domain
+    running the iteration: [0] for the calling domain, [1..size-1] for
+    spawned workers.  Bodies that index per-worker scratch by [worker]
+    are race-free.  The inline paths (pool of one, single iteration,
+    call issued from inside a worker) always pass [worker = 0] and
+    allocate nothing. *)
+
 val map_reduce :
   ?chunk:int ->
   t ->

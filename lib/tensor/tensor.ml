@@ -192,9 +192,116 @@ let tanh = map Stdlib.tanh
 let sigmoid = map (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
 let relu = map (fun x -> if x > 0.0 then x else 0.0)
 
-let add_into a b ~dst = map2_into ( +. ) a b ~dst
-let sub_into a b ~dst = map2_into ( -. ) a b ~dst
-let mul_into a b ~dst = map2_into ( *. ) a b ~dst
+(* Opcode-dispatch kernels ------------------------------------------
+
+   [map2_into f] calls an unknown closure per element, and on this
+   compiler every such call boxes its float arguments — fatal for the
+   compiled VM's zero-allocation steady state.  The variants below take
+   the operator as a constant constructor matched {e inside} the loop
+   (a test and branch, no closure, no boxing) while mirroring
+   [map2_into]'s broadcast dispatch and loop order case for case, so
+   results are bitwise identical to the closure path. *)
+
+type bin_op = Badd | Bsub | Bmul | Bdiv | Bmax
+type un_op = Utanh | Usigmoid | Uexp | Uneg | Urelu | Uscale of float
+
+(* [Float.max]'s exact body ([is_nan x] spelled [x <> x]), restated so
+   it compiles to straight float code instead of a cross-module call. *)
+let[@inline] fmax (x : float) (y : float) =
+  if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x) then
+    if x <> x then x else y
+  else if y <> y then y else x
+
+let[@inline] apply2 op (x : float) (y : float) =
+  match op with
+  | Badd -> x +. y
+  | Bsub -> x -. y
+  | Bmul -> x *. y
+  | Bdiv -> x /. y
+  | Bmax -> fmax x y
+
+(* Toplevel (not a local closure: a closure would allocate on every
+   call, and [binop_into] is the compiled executor's hot path). *)
+let binop_full_check t dst =
+  if not (Shape.equal t.shape dst.shape) then
+    invalid_arg "Tensor.map2_into: dst shape mismatch"
+
+let binop_into op a b ~dst =
+  let ad = a.data and bd = b.data and dd = dst.data in
+  if Shape.equal a.shape b.shape then begin
+    binop_full_check a dst;
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i (apply2 op (A.unsafe_get ad i) (A.unsafe_get bd i))
+    done
+  end
+  else if Shape.rank b.shape = 0 then begin
+    binop_full_check a dst;
+    let v = A.get bd 0 in
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i (apply2 op (A.unsafe_get ad i) v)
+    done
+  end
+  else if Shape.rank a.shape = 0 then begin
+    binop_full_check b dst;
+    let v = A.get ad 0 in
+    for i = 0 to numel b - 1 do
+      A.unsafe_set dd i (apply2 op v (A.unsafe_get bd i))
+    done
+  end
+  else if col_vector_against a b then begin
+    binop_full_check a dst;
+    let n = Shape.dim a.shape 1 in
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i (apply2 op (A.unsafe_get ad i) (A.unsafe_get bd (i / n)))
+    done
+  end
+  else if col_vector_against b a then begin
+    binop_full_check b dst;
+    let n = Shape.dim b.shape 1 in
+    for i = 0 to numel b - 1 do
+      A.unsafe_set dd i (apply2 op (A.unsafe_get ad (i / n)) (A.unsafe_get bd i))
+    done
+  end
+  else if row_vector_against a b then begin
+    binop_full_check a dst;
+    let n = Shape.dim a.shape 1 in
+    for i = 0 to numel a - 1 do
+      A.unsafe_set dd i
+        (apply2 op (A.unsafe_get ad i) (A.unsafe_get bd (i mod n)))
+    done
+  end
+  else if row_vector_against b a then begin
+    binop_full_check b dst;
+    let n = Shape.dim b.shape 1 in
+    for i = 0 to numel b - 1 do
+      A.unsafe_set dd i
+        (apply2 op (A.unsafe_get ad (i mod n)) (A.unsafe_get bd i))
+    done
+  end
+  else
+    invalid_arg
+      (Printf.sprintf "Tensor.map2: incompatible shapes %s and %s"
+         (Shape.to_string a.shape) (Shape.to_string b.shape))
+
+let unop_into op src ~dst =
+  if not (Shape.equal src.shape dst.shape) then
+    invalid_arg "Tensor.unop_into: shape mismatch";
+  let sd = src.data and dd = dst.data in
+  for i = 0 to numel src - 1 do
+    let x = A.unsafe_get sd i in
+    A.unsafe_set dd i
+      (match op with
+      | Utanh -> Stdlib.tanh x
+      | Usigmoid -> 1.0 /. (1.0 +. Stdlib.exp (-.x))
+      | Uexp -> Stdlib.exp x
+      | Uneg -> -.x
+      | Urelu -> if x > 0.0 then x else 0.0
+      | Uscale k -> k *. x)
+  done
+
+let add_into a b ~dst = binop_into Badd a b ~dst
+let sub_into a b ~dst = binop_into Bsub a b ~dst
+let mul_into a b ~dst = binop_into Bmul a b ~dst
 
 let map_inplace f t = map_into f t ~dst:t
 let tanh_inplace t = map_inplace Stdlib.tanh t
@@ -369,6 +476,99 @@ let softmax t =
   out
 
 let softmax_inplace t = softmax_into t ~dst:t
+
+(* Destination-passing mirrors of the remaining pure structural ops the
+   VM interprets, for the compiled engine's preallocated scratch.  Loop
+   order matches the allocating variant in each case, and none of them
+   allocate (no [Bigarray.Array1.sub], whose view header is a heap
+   block — plain element loops instead). *)
+
+let require_dims2 name t m n =
+  if Shape.rank t.shape <> 2 || Shape.dim t.shape 0 <> m
+     || Shape.dim t.shape 1 <> n
+  then invalid_arg (name ^ ": dst shape mismatch")
+
+let row_max_into src ~dst =
+  require_rank2 "Tensor.row_max" src;
+  let m = Shape.dim src.shape 0 and n = Shape.dim src.shape 1 in
+  require_dims2 "Tensor.row_max_into" dst m 1;
+  let sd = src.data and dd = dst.data in
+  for i = 0 to m - 1 do
+    let acc = ref (A.unsafe_get sd (i * n)) in
+    for j = 1 to n - 1 do
+      acc := fmax !acc (A.unsafe_get sd ((i * n) + j))
+    done;
+    A.unsafe_set dd i !acc
+  done
+
+let row_sum_into src ~dst =
+  require_rank2 "Tensor.row_sum" src;
+  let m = Shape.dim src.shape 0 and n = Shape.dim src.shape 1 in
+  require_dims2 "Tensor.row_sum_into" dst m 1;
+  let sd = src.data and dd = dst.data in
+  for i = 0 to m - 1 do
+    let acc = ref (A.unsafe_get sd (i * n)) in
+    for j = 1 to n - 1 do
+      acc := !acc +. A.unsafe_get sd ((i * n) + j)
+    done;
+    A.unsafe_set dd i !acc
+  done
+
+let transpose_into src ~dst =
+  require_rank2 "Tensor.transpose" src;
+  let m = Shape.dim src.shape 0 and n = Shape.dim src.shape 1 in
+  require_dims2 "Tensor.transpose_into" dst n m;
+  let sd = src.data and dd = dst.data in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      A.unsafe_set dd ((j * m) + i) (A.unsafe_get sd ((i * n) + j))
+    done
+  done
+
+let slice_cols_into src lo hi ~dst =
+  require_rank2 "Tensor.slice_cols" src;
+  let m = Shape.dim src.shape 0 and n = Shape.dim src.shape 1 in
+  if lo < 0 || hi > n || lo >= hi then
+    invalid_arg
+      (Printf.sprintf "Tensor.slice_cols: [%d,%d) out of %d columns" lo hi n);
+  let w = hi - lo in
+  require_dims2 "Tensor.slice_cols_into" dst m w;
+  let sd = src.data and dd = dst.data in
+  for i = 0 to m - 1 do
+    let sbase = (i * n) + lo and dbase = i * w in
+    for j = 0 to w - 1 do
+      A.unsafe_set dd (dbase + j) (A.unsafe_get sd (sbase + j))
+    done
+  done
+
+let concat_cols_into ts ~dst =
+  if Array.length ts = 0 then invalid_arg "Tensor.concat_cols: empty list";
+  require_rank2 "Tensor.concat_cols" ts.(0);
+  let m = Shape.dim ts.(0).shape 0 in
+  require_rank2 "Tensor.concat_cols_into" dst;
+  if Shape.dim dst.shape 0 <> m then
+    invalid_arg "Tensor.concat_cols_into: dst shape mismatch";
+  let total = Shape.dim dst.shape 1 in
+  let dd = dst.data in
+  let col = ref 0 in
+  for ti = 0 to Array.length ts - 1 do
+    let t = ts.(ti) in
+    require_rank2 "Tensor.concat_cols" t;
+    if Shape.dim t.shape 0 <> m then
+      invalid_arg "Tensor.concat_cols: row mismatch";
+    let n = Shape.dim t.shape 1 in
+    if !col + n > total then
+      invalid_arg "Tensor.concat_cols_into: dst shape mismatch";
+    let td = t.data in
+    for i = 0 to m - 1 do
+      let sbase = i * n and dbase = (i * total) + !col in
+      for j = 0 to n - 1 do
+        A.unsafe_set dd (dbase + j) (A.unsafe_get td (sbase + j))
+      done
+    done;
+    col := !col + n
+  done;
+  if !col <> total then invalid_arg "Tensor.concat_cols_into: dst shape mismatch"
 
 let reshape t shape =
   if Shape.numel shape <> numel t then

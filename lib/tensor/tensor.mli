@@ -108,6 +108,48 @@ val add_into : t -> t -> dst:t -> unit
 val sub_into : t -> t -> dst:t -> unit
 val mul_into : t -> t -> dst:t -> unit
 
+(** {2 Opcode-dispatch kernels}
+
+    The compiled VM must not allocate in its steady state, but calling
+    a closure per element ([map2_into f]) boxes every float argument on
+    this compiler.  These variants take the operator as a constant
+    constructor matched inside the loop instead; broadcast dispatch and
+    loop order mirror {!map2_into} case for case, so results are
+    bitwise identical to the closure path (including [Bmax], which
+    restates [Float.max]'s exact body). *)
+
+type bin_op = Badd | Bsub | Bmul | Bdiv | Bmax
+type un_op = Utanh | Usigmoid | Uexp | Uneg | Urelu | Uscale of float
+
+val binop_into : bin_op -> t -> t -> dst:t -> unit
+(** Same broadcasting and aliasing rules as {!map2_into}; allocation-free. *)
+
+val unop_into : un_op -> t -> dst:t -> unit
+(** Elementwise unary op into a same-shape [dst] (which may alias the
+    source); allocation-free. *)
+
+val softmax_into : t -> dst:t -> unit
+(** Row-wise softmax of a 2-D tensor into a same-shape [dst] (which may
+    alias the source); allocation-free, bitwise identical to {!softmax}. *)
+
+val row_max_into : t -> dst:t -> unit
+(** {!row_max} into a preallocated [[m,1]] destination; allocation-free. *)
+
+val row_sum_into : t -> dst:t -> unit
+(** {!row_sum} into a preallocated [[m,1]] destination; allocation-free. *)
+
+val transpose_into : t -> dst:t -> unit
+(** {!transpose} into a preallocated [[n,m]] destination (must not
+    alias the source); allocation-free. *)
+
+val slice_cols_into : t -> int -> int -> dst:t -> unit
+(** {!slice_cols} into a preallocated [[m,hi-lo]] destination;
+    allocation-free (plain element loops, no sub-views). *)
+
+val concat_cols_into : t array -> dst:t -> unit
+(** {!concat_cols} into a preallocated destination whose column count
+    is the sum of the operands'; allocation-free. *)
+
 val tanh_inplace : t -> unit
 val sigmoid_inplace : t -> unit
 

@@ -7,7 +7,7 @@
      byte counts against the memory-level bandwidths.  Instant, and
      (at fixed tiles) monotone non-decreasing in problem size, which
      the property tests rely on.
-   - [simulated]: [Exec.time_ms] — the full simulator including the
+   - [simulated]: [Executor.time_ms] — the full simulator including the
      L2 residency model.  Still fast, but stateful across kernels.
    - [measured]: caller-supplied runner (wall-clock of the reference
      VM and/or the simulator), median of [repeats] runs.
@@ -112,7 +112,7 @@ let analytical ?(device = Device.a100) plan_of =
 let simulated ?(device = Device.a100) plan_of =
   {
     o_name = "simulated";
-    o_eval = (fun c -> Exec.time_ms ~device (plan_of c) *. 1e3);
+    o_eval = (fun c -> Executor.time_ms ~device (plan_of c) *. 1e3);
   }
 
 let median xs =

@@ -100,4 +100,33 @@ dune exec --no-build bin/ftc.exe -- profile "$tune_target" --format text \
   | grep "tuned config:"
 dune exec --no-build bin/ftc.exe -- cache stats
 
+# VM benchmark smoke: regenerate BENCH_vm.json and demand the compiled
+# wavefront executor at one domain is never slower than the sequential
+# interpreter (and stays bitwise-identical).  The per-block dispatch,
+# stride math and storage the interpreter re-derives per cell are all
+# resolved at plan time, so a regression here means the compiled path
+# lost its reason to exist.
+if command -v python3 > /dev/null 2>&1; then
+  echo "bench_vm smoke (repeat 5, domains 1,2,4)"
+  scripts/bench_vm.sh 5 1,2,4 BENCH_vm.json > /dev/null
+  python3 - <<'EOF'
+import json
+recs = json.load(open("BENCH_vm.json"))
+rows = [r for r in recs if r["order"] == "wavefront" and r["domains"] == 1]
+assert rows, "BENCH_vm.json has no wavefront@1-domain records"
+bad = [r for r in rows
+       if r["speedup_vs_sequential"] < 1.0 or not r["bitwise_equal"]]
+for r in rows:
+    tag = "FAIL" if r in bad else "ok"
+    print(f"  {tag} {r['workload']}: {r['engine']} wavefront@1 "
+          f"{r['speedup_vs_sequential']:.2f}x sequential, "
+          f"bitwise_equal={r['bitwise_equal']}")
+if bad:
+    raise SystemExit("bench_vm smoke: compiled wavefront lost to the "
+                     "sequential interpreter at one domain")
+EOF
+else
+  echo "  (python3 not found; skipping bench_vm smoke)"
+fi
+
 echo "check.sh: all green"

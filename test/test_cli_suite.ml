@@ -15,12 +15,6 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_file path s =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc s)
-
 (* Run `ftc args`, capturing exit code, stdout and stderr. *)
 let run_ftc args =
   let out = Filename.temp_file "ftc-cli" ".out" in
@@ -43,17 +37,60 @@ let check_json what s =
   | Error m -> Alcotest.failf "%s: stdout is not one JSON document: %s" what m
 
 (* A program the linter rejects (unused binding is L-level, so use a
-   type error: matmul of mismatched shapes) and one the parser rejects. *)
-let bad_types_ft = "cli-bad-types.ft"
-let bad_syntax_ft = "cli-bad-syntax.ft"
+   type error: matmul of mismatched shapes) and one the parser rejects
+   — committed fixtures under test/fixtures/. *)
+let bad_types_ft = "fixtures/cli-bad-types.ft"
+let bad_syntax_ft = "fixtures/cli-bad-syntax.ft"
 
-let setup () =
-  write_file bad_types_ft
-    "program bad\ninput xs: [4]f32[1,4]\nreturn xs.map { |x| x @ x }\n";
-  write_file bad_syntax_ft "program bad\ninput xs: [4]f32[1,4]\nreturn xs.map { |x|\n"
+(* The doc paragraph of [flag] in `ftc cmd --help=plain`: the option
+   line plus its indented description, whitespace-normalized, with the
+   per-command default hidden (seed defaults legitimately differ). *)
+let ws_re = Str.regexp "[ \t\n]+"
+let absent_re = Str.regexp "(absent=[^)]*)"
+
+let help_entry cmd flag =
+  let code, out, _ = run_ftc (cmd ^ " --help=plain") in
+  if code <> 0 then Alcotest.failf "ftc %s --help exited %d" cmd code;
+  let lines = String.split_on_char '\n' out in
+  let starts_with_flag l =
+    let t = String.trim l in
+    String.length t >= String.length flag
+    && String.sub t 0 (String.length flag) = flag
+  in
+  let rec find = function
+    | [] -> Alcotest.failf "ftc %s --help has no %s entry" cmd flag
+    | l :: rest -> if starts_with_flag l then collect [ String.trim l ] rest
+                   else find rest
+  and collect acc = function
+    | l :: rest when String.trim l <> "" -> collect (String.trim l :: acc) rest
+    | _ -> String.concat " " (List.rev acc)
+  in
+  let entry = find lines in
+  let entry = Str.global_replace absent_re "(absent=_)" entry in
+  Str.global_replace ws_re " " entry
 
 let cli_tests =
   [
+    Alcotest.test_case "--help: shared flags document identically" `Quick
+      (fun () ->
+        (* Cli_args declares each shared flag once; the help paragraphs
+           must therefore be literally identical across subcommands. *)
+        let same flag cmds =
+          match List.map (fun c -> (c, help_entry c flag)) cmds with
+          | [] -> ()
+          | (c0, e0) :: rest ->
+              List.iter
+                (fun (c, e) ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s: %s vs %s" flag c0 c)
+                    e0 e)
+                rest
+        in
+        same "--format" [ "lint"; "analyze"; "tune" ];
+        same "--seed" [ "run"; "profile"; "tune"; "conform" ];
+        same "--domains" [ "run"; "profile" ];
+        same "--device" [ "simulate"; "profile"; "tune" ];
+        same "--json" [ "conform"; "cache" ]);
     Alcotest.test_case "analyze --format json: clean stdout, exit 0" `Quick
       (fun () ->
         let code, out, err = run_ftc ("analyze " ^ example "stacked_rnn" ^ " --format json") in
@@ -62,7 +99,6 @@ let cli_tests =
         checkb "stderr is silent on success" true (String.trim err = ""));
     Alcotest.test_case "analyze on a syntax error: exit 1, stderr only"
       `Quick (fun () ->
-        setup ();
         let code, out, err =
           run_ftc ("analyze " ^ bad_syntax_ft ^ " --format json")
         in
@@ -71,7 +107,6 @@ let cli_tests =
         checkb "diagnostic on stderr" true (String.trim err <> ""));
     Alcotest.test_case "analyze on a type error: exit 1, stderr only"
       `Quick (fun () ->
-        setup ();
         let code, out, err = run_ftc ("analyze " ^ bad_types_ft) in
         checki "exit code" 1 code;
         checkb "stdout stays empty" true (String.trim out = "");
@@ -86,7 +121,6 @@ let cli_tests =
         checkb "stderr is silent on success" true (String.trim err = ""));
     Alcotest.test_case "lint failure: exit 1, JSON on stdout, text on stderr"
       `Quick (fun () ->
-        setup ();
         let code, out, err =
           run_ftc ("lint " ^ bad_syntax_ft ^ " --format json")
         in
@@ -95,13 +129,11 @@ let cli_tests =
         checkb "diagnostics on stderr" true (String.trim err <> ""));
     Alcotest.test_case "lint text mode keeps stdout free of diagnostics"
       `Quick (fun () ->
-        setup ();
         let code, out, err = run_ftc ("lint " ^ bad_syntax_ft) in
         checki "exit code" 1 code;
         checkb "stdout stays empty" true (String.trim out = "");
         checkb "diagnostics on stderr" true (String.trim err <> ""));
     Alcotest.test_case "lint JSON carries check_id fields" `Quick (fun () ->
-        setup ();
         let _, out, _ = run_ftc ("lint " ^ bad_syntax_ft ^ " --format json") in
         checkb "check_id present" true
           (let re = Str.regexp_string "\"check_id\"" in

@@ -1,0 +1,202 @@
+(* The compiled executor: for every workload, the straight-line
+   closure engine must be *bitwise* identical to the interpreting VM —
+   with and without the arena, at one and several domains — and its
+   steady-state execute loop must allocate zero minor words. *)
+
+let checkb = Alcotest.(check bool)
+
+(* name, graph builder, bindings — one entry per workload family *)
+let workloads () =
+  [
+    ( "stacked_rnn",
+      Build.build (Stacked_rnn.program Stacked_rnn.default),
+      Stacked_rnn.bindings
+        (Stacked_rnn.gen_inputs (Rng.create 7) Stacked_rnn.default) );
+    ( "stacked_lstm",
+      Build.build (Stacked_lstm.program Stacked_lstm.default),
+      Stacked_lstm.bindings
+        (Stacked_lstm.gen_inputs (Rng.create 7) Stacked_lstm.default) );
+    ( "grid_rnn",
+      Build.build (Grid_rnn.program Grid_rnn.default),
+      Grid_rnn.bindings (Grid_rnn.gen_inputs (Rng.create 7) Grid_rnn.default)
+    );
+    ( "dilated_rnn",
+      Build.build (Dilated_rnn.program Dilated_rnn.default),
+      Dilated_rnn.bindings
+        (Dilated_rnn.gen_inputs (Rng.create 7) Dilated_rnn.default) );
+    ( "b2b_gemm",
+      Build.build (B2b_gemm.program B2b_gemm.default),
+      B2b_gemm.bindings (B2b_gemm.gen_inputs (Rng.create 7) B2b_gemm.default)
+    );
+    ( "flash_attention",
+      Build.build (Flash_attention.program Flash_attention.default),
+      Flash_attention.bindings
+        (Flash_attention.gen_inputs (Rng.create 7) Flash_attention.default) );
+    ( "bigbird",
+      Build.build (Bigbird.program Bigbird.default),
+      Bigbird.bindings (Bigbird.gen_inputs (Rng.create 7) Bigbird.default) );
+    ( "selective_scan",
+      Build.build (Selective_scan.program Selective_scan.default),
+      Selective_scan.bindings
+        (Selective_scan.gen_inputs (Rng.create 7) Selective_scan.default) );
+    ( "retention",
+      Build.build (Retention.program Retention.default),
+      Retention.bindings
+        (Retention.gen_inputs (Rng.create 7) Retention.default) );
+    ( "conv1d",
+      Build.build (Conv1d.program Conv1d.default),
+      Conv1d.bindings (Conv1d.gen_inputs (Rng.create 7) Conv1d.default) );
+  ]
+
+let outputs_equal_exact a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> n1 = n2 && Fractal.equal_exact v1 v2)
+       a b
+
+let opts ?(arena = true) ?domains ?(shadow = Run_opts.Shadow_off) () =
+  { Run_opts.default with Run_opts.domains; arena; shadow }
+
+let compiled_tests =
+  [
+    Alcotest.test_case "compiled = interpreter bitwise, every workload" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, g, binds) ->
+            let reference = Vm.run ~order:Vm.Sequential g binds in
+            let pr = Executor.prepare ~opts:(opts ~domains:1 ()) g in
+            checkb (name ^ " compiles") true (Executor.engine pr = "compiled");
+            let got = Executor.execute pr binds in
+            checkb (name ^ " bitwise") true (outputs_equal_exact reference got))
+          (workloads ()));
+    Alcotest.test_case "compiled multi-domain stays bitwise identical" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, g, binds) ->
+            let reference = Vm.run ~order:Vm.Sequential g binds in
+            List.iter
+              (fun d ->
+                let got = Executor.run ~opts:(opts ~domains:d ()) g binds in
+                checkb
+                  (Printf.sprintf "%s @ %d domains" name d)
+                  true
+                  (outputs_equal_exact reference got))
+              [ 2; 4 ])
+          (workloads ()));
+    Alcotest.test_case "arena off = arena on, bitwise" `Quick (fun () ->
+        List.iter
+          (fun (name, g, binds) ->
+            let w = Executor.run ~opts:(opts ~domains:1 ()) g binds in
+            let wo =
+              Executor.run ~opts:(opts ~arena:false ~domains:1 ()) g binds
+            in
+            checkb name true (outputs_equal_exact w wo))
+          (workloads ()));
+    Alcotest.test_case "executable reuse across runs is stable" `Quick
+      (fun () ->
+        let g = Build.build (Stacked_lstm.program Stacked_lstm.default) in
+        let binds =
+          Stacked_lstm.bindings
+            (Stacked_lstm.gen_inputs (Rng.create 11) Stacked_lstm.default)
+        in
+        let pr = Executor.prepare ~opts:(opts ~domains:1 ()) g in
+        let first = Executor.execute pr binds in
+        let second = Executor.execute pr binds in
+        let third = Executor.execute pr binds in
+        checkb "run 2" true (outputs_equal_exact first second);
+        checkb "run 3" true (outputs_equal_exact first third));
+    Alcotest.test_case "steady-state execute allocates zero minor words"
+      `Quick (fun () ->
+        let g = Build.build (Stacked_lstm.program Stacked_lstm.default) in
+        let binds =
+          Stacked_lstm.bindings
+            (Stacked_lstm.gen_inputs (Rng.create 5) Stacked_lstm.default)
+        in
+        let pr = Executor.prepare ~opts:(opts ~domains:1 ()) g in
+        let exe =
+          match Executor.compiled pr with
+          | Some e -> e
+          | None -> Alcotest.fail "stacked_lstm should compile"
+        in
+        Compiled.load exe binds;
+        (* warm-up: fault in any lazy runtime state *)
+        Compiled.execute exe;
+        Compiled.execute exe;
+        (* [Gc.minor_words ()] boxes its float result on the minor
+           heap, so bracket an empty section first and subtract that
+           constant. *)
+        let a = Gc.minor_words () in
+        let b = Gc.minor_words () in
+        let overhead = b -. a in
+        let c = Gc.minor_words () in
+        Compiled.execute exe;
+        let d = Gc.minor_words () in
+        let allocated = d -. c -. overhead in
+        Alcotest.(check (float 0.0)) "minor words per execute" 0.0 allocated);
+    Alcotest.test_case "arena is live: intermediates share one backing"
+      `Quick (fun () ->
+        let g =
+          Build.build (Flash_attention.program Flash_attention.default)
+        in
+        let pr = Executor.prepare ~opts:(opts ~domains:1 ()) g in
+        let exe =
+          match Executor.compiled pr with
+          | Some e -> e
+          | None -> Alcotest.fail "should compile"
+        in
+        checkb "arena sized" true (Compiled.arena_floats exe > 0);
+        let pr' = Executor.prepare ~opts:(opts ~arena:false ~domains:1 ()) g in
+        let exe' =
+          match Executor.compiled pr' with
+          | Some e -> e
+          | None -> Alcotest.fail "should compile"
+        in
+        checkb "arena:false has none" true (Compiled.arena_floats exe' = 0));
+    Alcotest.test_case "engine names: compiled, interpret, cache" `Quick
+      (fun () ->
+        let g = Build.build (Stacked_rnn.program Stacked_rnn.default) in
+        checkb "compiled" true
+          (Executor.engine (Executor.prepare g) = "compiled");
+        checkb "interpret-seq" true
+          (Executor.engine
+             (Executor.prepare
+                ~opts:(Run_opts.interpreted Vm.Sequential)
+                g)
+          = "interpret-seq");
+        checkb "interpret-wave" true
+          (Executor.engine
+             (Executor.prepare
+                ~opts:(Run_opts.interpreted Vm.Wavefront)
+                g)
+          = "interpret-wave");
+        let o = opts ~domains:1 () in
+        let p1 = Executor.prepare_cached ~key:"test-rnn" ~opts:o g in
+        let p2 = Executor.prepare_cached ~key:"test-rnn" ~opts:o g in
+        checkb "cached hit is the same prepared" true (p1 == p2);
+        let p3 =
+          Executor.prepare_cached ~key:"test-rnn" ~opts:(opts ~domains:2 ()) g
+        in
+        checkb "different opts, different entry" true (p1 != p3));
+    Alcotest.test_case "shadow recording over the compiled engine is clean"
+      `Quick (fun () ->
+        List.iter
+          (fun (name, g, binds) ->
+            let reference = Vm.run ~order:Vm.Sequential g binds in
+            let got =
+              Executor.run
+                ~opts:(opts ~domains:1 ~shadow:Run_opts.Shadow_on ())
+                g binds
+            in
+            checkb (name ^ " under shadow") true
+              (outputs_equal_exact reference got))
+          [ List.nth (workloads ()) 1; List.nth (workloads ()) 2 ]);
+    Alcotest.test_case "missing inputs are reported" `Quick (fun () ->
+        let g = Build.build (Stacked_rnn.program Stacked_rnn.default) in
+        checkb "raises" true
+          (try
+             ignore (Executor.run ~opts:(opts ~domains:1 ()) g []);
+             false
+           with Vm.Execution_error _ -> true));
+  ]
+
+let suites = [ ("compiled", compiled_tests) ]

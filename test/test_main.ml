@@ -7,5 +7,6 @@ let () =
     @ Test_analysis_suite.suites @ Test_effects_suite.suites
     @ Test_observe_suite.suites
     @ Test_runtime_suite.suites @ Test_tune_suite.suites
+    @ Test_compiled_suite.suites
     @ Test_golden_suite.suites @ Test_conform_suite.suites
     @ Test_cli_suite.suites)
