@@ -5,7 +5,8 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe fig2       -- one experiment
-     (fig2 | fig7 | fig8 | table7 | ablation | devices | vm | tuned | micro)
+     (fig2 | fig7 | fig8 | table7 | ablation | devices | vm | kernels |
+      tuned | micro)
 
    Flags: --json OUT      dump every measurement as a JSON array
           --repeat N      timed runs per vm measurement (median-of-N)
@@ -451,47 +452,57 @@ let vm () =
         done;
         (Array.map median samples, outs)
       in
-      let prep d =
-        let opts = { Run_opts.default with Run_opts.domains = Some d } in
+      let prep ?(fuse = true) d =
+        let opts =
+          { Run_opts.default with Run_opts.domains = Some d; fuse }
+        in
         Executor.prepare ~opts g
       in
       let singles, pooled = List.partition (fun d -> d <= 1) !domain_counts in
       let single_cfgs = List.map (fun d -> (d, prep d)) singles in
+      (* fusion ablation rides along at one domain: same engine, same
+         schedule, epilogue fusion and panel packing switched off — the
+         pair the check.sh fusion gate compares *)
+      let nofuse_pr = prep ~fuse:false 1 in
       let mss, outss =
         time_rounds
-          ((fun () -> Vm.run ~order:Vm.Sequential g binds)
-          :: List.map
-               (fun (_, pr) () -> Executor.execute pr binds)
-               single_cfgs)
+          (((fun () -> Vm.run ~order:Vm.Sequential g binds)
+           :: List.map
+                (fun (_, pr) () -> Executor.execute pr binds)
+                single_cfgs)
+          @ [ (fun () -> Executor.execute nofuse_pr binds) ])
       in
       let seq_ms = mss.(0) in
       let seq_outs = outss.(0) in
       Format.printf "  %-34s %10.3f ms@." "sequential (baseline)" seq_ms;
       record_vm ~workload:wname ~order:"sequential" ~engine:"interpret-seq"
         ~domains:1 ~time_ms:seq_ms ~speedup:1.0 ~bitwise:true;
-      let report d pr med outs =
+      let report ?engine d pr med outs =
         let bitwise =
           List.for_all2
             (fun (n1, v1) (n2, v2) -> n1 = n2 && Fractal.equal_exact v1 v2)
             seq_outs outs
         in
         let speedup = seq_ms /. med in
+        let engine =
+          match engine with Some e -> e | None -> Executor.engine pr
+        in
         Format.printf
-          "  wavefront, %d domain%s %*s %10.3f ms  (%.2fx vs sequential%s)@."
+          "  wavefront, %d domain%s %-18s %10.3f ms  (%.2fx vs sequential%s)@."
           d
           (if d = 1 then " " else "s")
-          (20 - String.length (string_of_int d))
-          "" med speedup
+          engine med speedup
           (if bitwise then ", bitwise equal" else ", OUTPUTS DIFFER");
         if not bitwise then
           Format.printf "  WARNING: parallel output differs from sequential@.";
-        record_vm ~workload:wname ~order:"wavefront"
-          ~engine:(Executor.engine pr) ~domains:d ~time_ms:med ~speedup
-          ~bitwise
+        record_vm ~workload:wname ~order:"wavefront" ~engine ~domains:d
+          ~time_ms:med ~speedup ~bitwise
       in
       List.iteri
         (fun i (d, pr) -> report d pr mss.(i + 1) outss.(i + 1))
         single_cfgs;
+      let last = List.length single_cfgs + 1 in
+      report ~engine:"compiled-nofuse" 1 nofuse_pr mss.(last) outss.(last);
       List.iter
         (fun d ->
           let pr = prep d in
@@ -502,6 +513,129 @@ let vm () =
         pooled;
       Executor.reset_pools ())
     workloads
+
+(* ------------------------------------------------------------------ *)
+(* Kernels: packed vs naive GEMM, fused vs unfused epilogues           *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock GFLOP/s of the two kernel-level optimisations the fused
+   compiled engine is built on, at the per-cell shapes the workloads
+   actually run.  Each timed sample executes the kernel [iters] times
+   so that tiny shapes (an LSTM gate GEMM is 73 Kflop) rise above
+   clock granularity; rounds interleave baseline and candidate so
+   machine drift hits both sides of every ratio equally.  Every pair
+   is also checked bitwise — a kernel variant that wins by changing
+   results is a bug, not a speedup. *)
+
+let record_kernel ~shape ~kernel ~variant ~iters ~time_ms ~gflops ~speedup
+    ~bitwise =
+  push_record
+    (Jsonw.Obj
+       [
+         ("experiment", Jsonw.String "kernels");
+         ("shape", Jsonw.String shape);
+         ("kernel", Jsonw.String kernel);
+         ("variant", Jsonw.String variant);
+         ("iters", Jsonw.Int iters);
+         ("time_ms", Jsonw.Float time_ms);
+         ("gflops", Jsonw.Float gflops);
+         ("repeats", Jsonw.Int !repeat);
+         ("warmup", Jsonw.Int !warmup);
+         ("speedup_vs_baseline", Jsonw.Float speedup);
+         ("bitwise_equal", Jsonw.Bool bitwise);
+       ])
+
+let kernels () =
+  cur_experiment := "kernels";
+  section "Kernels: packed GEMM + fused epilogues (wall clock, GFLOP/s)";
+  let rng = Rng.create 17 in
+  let shapes =
+    [
+      ("LSTM gate (4x96 @ 96x96)", 4, 96, 96);
+      ("RNN cell (256x256 @ 256x256)", 256, 256, 256);
+      ("FFN block (256x512 @ 512x512)", 256, 512, 512);
+      ("b2b GEMM (8192x64 @ 64x64)", 8192, 64, 64);
+    ]
+  in
+  let repeat = Stdlib.max 1 !repeat in
+  Format.printf "median of %d rounds, %d warmup@." repeat !warmup;
+  print_row "kernel / shape"
+    [ "baseline"; "candidate"; "speedup"; "bitwise" ];
+  let bench ~shape ~kernel ~flops ~check base cand =
+    (* one timed sample = [iters] kernel executions, >= ~2 ms each *)
+    let iters =
+      Stdlib.max 1 (int_of_float (2e6 /. Stdlib.max 1.0 flops))
+    in
+    let run f =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e3
+    in
+    for _ = 1 to !warmup do
+      ignore (run base);
+      ignore (run cand)
+    done;
+    let sb = ref [] and sc = ref [] in
+    for _round = 1 to repeat do
+      sb := run base :: !sb;
+      sc := run cand :: !sc
+    done;
+    let mb = median !sb and mc = median !sc in
+    let gf ms = flops *. float_of_int iters /. (ms *. 1e6) in
+    let bitwise = check () in
+    let speedup = mb /. mc in
+    print_row
+      (Printf.sprintf "%s %s" kernel shape)
+      [
+        Printf.sprintf "%.2f GF/s" (gf mb);
+        Printf.sprintf "%.2f GF/s" (gf mc);
+        Printf.sprintf "%.2fx" speedup;
+        (if bitwise then "equal" else "DIFFER");
+      ];
+    let rec_v variant ms other =
+      record_kernel ~shape ~kernel ~variant ~iters ~time_ms:ms
+        ~gflops:(gf ms) ~speedup:other ~bitwise
+    in
+    rec_v "baseline" mb 1.0;
+    rec_v "candidate" mc speedup
+  in
+  List.iter
+    (fun (shape, m, k, n) ->
+      let a = Tensor.rand rng (Shape.of_array [| m; k |]) in
+      let b = Tensor.rand rng (Shape.of_array [| k; n |]) in
+      let bias = Tensor.rand rng (Shape.of_array [| 1; n |]) in
+      let d1 = Tensor.zeros (Shape.of_array [| m; n |]) in
+      let d2 = Tensor.zeros (Shape.of_array [| m; n |]) in
+      let flops = 2.0 *. float_of_int (m * k * n) in
+      (* packed vs naive GEMM: pack once outside the timed region —
+         that is the reuse the fused engine gets across a front *)
+      let pb = Tensor.pack_b b in
+      bench ~shape ~kernel:"gemm-packed" ~flops
+        ~check:(fun () ->
+          Tensor.matmul_into ~beta:0.0 ~dst:d1 a b;
+          Tensor.matmul_packed_into ~beta:0.0 ~dst:d2 a pb;
+          Tensor.data d1 = Tensor.data d2)
+        (fun () -> Tensor.matmul_into ~beta:0.0 ~dst:d1 a b)
+        (fun () -> Tensor.matmul_packed_into ~beta:0.0 ~dst:d2 a pb);
+      (* fused epilogue vs the three-kernel chain it replaces *)
+      let ep = Tensor.epilogue ~bias ~act:Tensor.Utanh () in
+      let chain () =
+        Tensor.matmul_into ~beta:0.0 ~dst:d1 a b;
+        Tensor.binop_into Tensor.Badd d1 bias ~dst:d1;
+        Tensor.unop_into Tensor.Utanh d1 ~dst:d1
+      in
+      let fused () =
+        Tensor.matmul_packed_into ~beta:0.0 ~epilogue:ep ~dst:d2 a pb
+      in
+      bench ~shape ~kernel:"gemm-bias-tanh" ~flops
+        ~check:(fun () ->
+          chain ();
+          fused ();
+          Tensor.data d1 = Tensor.data d2)
+        chain fused)
+    shapes
 
 (* ------------------------------------------------------------------ *)
 (* Tuned: default vs auto-tuned configuration per workload             *)
@@ -713,6 +847,7 @@ let () =
   | "ablation" -> ablation ()
   | "devices" -> devices ()
   | "vm" -> vm ()
+  | "kernels" -> kernels ()
   | "tuned" -> tuned ()
   | "micro" -> micro ()
   | "all" ->
@@ -723,10 +858,11 @@ let () =
       ablation ();
       devices ();
       vm ();
+      kernels ();
       tuned ();
       micro ()
   | other ->
-      Format.printf "unknown experiment %s (fig2|fig7|fig8|table7|ablation|devices|vm|tuned|micro|all)@." other;
+      Format.printf "unknown experiment %s (fig2|fig7|fig8|table7|ablation|devices|vm|kernels|tuned|micro|all)@." other;
       exit 1);
   (match !json_path with
   | None -> ()

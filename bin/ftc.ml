@@ -441,11 +441,20 @@ let run_cmd =
                the compiled executor in wavefront order — and demand
                bitwise-identical outputs: the differential check behind
                the executor's determinism guarantee *)
-            let chunk = tile.Tile.cfg_vm_chunk in
             let seq =
               Executor.run ~opts:(Run_opts.interpreted Vm.Sequential) g env
             in
-            let opts = { Run_opts.default with Run_opts.chunk = Some chunk } in
+            (* a tuned config also carries the compiled engine's fusion
+               and pack-blocking knobs — both bitwise-neutral, so the
+               differential check below is unaffected *)
+            let opts =
+              {
+                Run_opts.default with
+                Run_opts.chunk = Some tile.Tile.cfg_vm_chunk;
+                fuse = tile.Tile.cfg_fuse;
+                pack = tile.Tile.cfg_pack;
+              }
+            in
             let pr = Executor.prepare ~opts g in
             let par = Executor.execute pr env in
             let bitwise =
@@ -546,8 +555,11 @@ let profile_cmd =
             let pr =
               Executor.prepare
                 ~opts:
-                  { Run_opts.default with
-                    Run_opts.chunk = Some tile.Tile.cfg_vm_chunk
+                  {
+                    Run_opts.default with
+                    Run_opts.chunk = Some tile.Tile.cfg_vm_chunk;
+                    fuse = tile.Tile.cfg_fuse;
+                    pack = tile.Tile.cfg_pack;
                   }
                 g
             in

@@ -17,7 +17,23 @@
      with the cell's element shape, worker scratch slot [k] is aliased
      to the destination cell for the duration of the point, so the
      kernel computes directly into the buffer and the epilogue copy
-     disappears.  The alias is restored before the point ends. *)
+     disappears.  The alias is restored before the point ends.
+   - Fusion (the [fuse] flag, default on) is scratch-slot coalescing:
+     when an elementwise op's only-consumed chain operand has the same
+     full shape as its result, both ops share one scratch slot and the
+     tail computes in place ([tg] maps every op to its group's final
+     slot).  Elementwise [_into] kernels read index [i] before writing
+     it when [dst] aliases the full-shape operand, so the coalesced
+     chain produces the same bits as the buffered one.  On top of
+     that, [Matmul]/[Matmul_t] heads swallow a fused
+     fixed-bias [Add] and/or activation tail into a GEMM epilogue
+     ({!Tensor.apply_epilogue} — same per-element value chain), and
+     fixed (block-constant) B operands are prepacked at compile time
+     into cache-blocked panels shared read-only by every point, front
+     and worker ({!Tensor.pack_b}); both transformations are
+     bitwise-neutral by construction.  Composed with the write-in-place
+     redirect, an entire fused chain computes directly in its
+     destination cell. *)
 
 module A = Bigarray.Array1
 
@@ -56,6 +72,14 @@ type cwrite = {
   cw_redge : Ir.edge option;  (* read edge behind the result operand *)
 }
 
+type fusion_stats = {
+  fs_block : string;
+  fs_groups : int;  (* fusion groups with >= 2 members *)
+  fs_fused_ops : int;  (* ops coalesced into another op's slot *)
+  fs_swallowed : int;  (* tails folded into GEMM epilogues *)
+  fs_packed : int;  (* GEMMs dispatched through a prepacked B panel *)
+}
+
 type cblock = {
   cb_name : string;
   cb_fronts : int array;  (* nfronts+1 offsets into the point sequence *)
@@ -63,7 +87,10 @@ type cblock = {
   cb_parallel : bool;
   cb_stats : Vm.block_stats;
   cb_exec : int -> int -> unit;  (* worker, point index *)
+  cb_exec_range : int -> int -> int -> unit;
+      (* worker, lo, hi: a whole front (or chunk) as one batched loop *)
   cb_shadow : Shadow.t -> int -> int -> unit;  (* recorder, front id, point *)
+  cb_fusion : fusion_stats;
 }
 
 type t = {
@@ -83,10 +110,34 @@ let strides dims =
   done;
   st
 
+(* Elementwise ops whose [_into] kernel may run with [dst] aliasing the
+   full-shape operand (each reads index [i] before writing it), so they
+   are safe to coalesce onto their chain producer's slot. *)
+let elementwise (p : Expr.prim) =
+  match p with
+  | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Maximum | Expr.Tanh
+  | Expr.Sigmoid | Expr.Exp | Expr.Neg | Expr.Relu | Expr.Scale _
+  | Expr.Softmax ->
+      true
+  | _ -> false
+
+let un_op_of_prim (p : Expr.prim) =
+  match p with
+  | Expr.Tanh -> Some Tensor.Utanh
+  | Expr.Sigmoid -> Some Tensor.Usigmoid
+  | Expr.Exp -> Some Tensor.Uexp
+  | Expr.Neg -> Some Tensor.Uneg
+  | Expr.Relu -> Some Tensor.Urelu
+  | Expr.Scale k -> Some (Tensor.Uscale k)
+  | _ -> None
+
 let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
-    (g : Ir.graph) =
+    ?(fuse = true) ?pack (g : Ir.graph) =
   let workers = Stdlib.max 1 workers in
   let chunk = match chunk with Some c when c > 0 -> Some c | _ -> None in
+  let blocking =
+    match pack with Some p -> p | None -> Tensor.default_pack_blocking
+  in
   let dummy = Tensor.scalar 0.0 in
   try
     (* ---- storage: one preallocated tensor per buffer cell ---- *)
@@ -259,10 +310,121 @@ let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
         done;
         (sti, w)
       in
+      let ops = Array.of_list b.Ir.blk_body in
+      let nops = Array.length ops in
+      (* ---- fusion planning: scratch-slot coalescing -------------
+         [tg.(i)] is the final slot of [i]'s fusion group (identity
+         when fusion is off or the op stands alone).  An elementwise
+         op [j] joins producer [k]'s group when [O_op k] is the
+         full-shape chain operand, shapes match along the chain, and
+         [j] is [k]'s only consumer (counting block results).  Kernels
+         then write [scr.(tg.(oi))], so the whole chain computes in
+         one tensor — and, composed with the write-in-place redirect,
+         often directly in the destination cell. *)
+      let tg = Array.init (Stdlib.max 1 nops) (fun i -> i) in
+      let succ = Array.make (Stdlib.max 1 nops) (-1) in
+      let consumers = Array.make (Stdlib.max 1 nops) 0 in
+      let count_operand = function
+        | Ir.O_op k -> consumers.(k) <- consumers.(k) + 1
+        | Ir.O_var _ | Ir.O_const _ -> ()
+      in
+      Array.iter
+        (fun (o : Ir.op_node) -> List.iter count_operand o.Ir.operands)
+        ops;
+      List.iter count_operand b.Ir.blk_results;
+      if fuse then
+        Array.iteri
+          (fun j (o : Ir.op_node) ->
+            if elementwise o.Ir.op then begin
+              let rec chain operands shapes =
+                match (operands, shapes) with
+                | Ir.O_op k :: _, s :: _
+                  when consumers.(k) = 1
+                       && Shape.equal s o.Ir.result_shape
+                       && Shape.equal ops.(k).Ir.result_shape
+                            o.Ir.result_shape ->
+                    Some k
+                | _ :: os, _ :: ss -> chain os ss
+                | _, _ -> None
+              in
+              match chain o.Ir.operands o.Ir.operand_shapes with
+              | Some k ->
+                  succ.(k) <- j;
+                  for i = 0 to nops - 1 do
+                    if tg.(i) = k then tg.(i) <- j
+                  done
+              | None -> ()
+            end)
+          ops;
+      (* ---- epilogue swallowing: GEMM + fused Add(fixed bias) and/or
+         activation tails become one [matmul_into ~epilogue] call.
+         Only an [Add] whose chain operand is on the left with a
+         block-constant bias qualifies (the fused pass then computes
+         the exact per-element value chain of the separate passes). *)
+      let fixed_tensor = function
+        | Ir.O_const t -> Some t
+        | Ir.O_var tag -> List.assoc_opt tag b.Ir.blk_consts
+        | Ir.O_op _ -> None
+      in
+      let swallowed = Array.make (Stdlib.max 1 nops) false in
+      let epilogues = Array.make (Stdlib.max 1 nops) None in
+      let swallow_count = ref 0 in
+      if fuse then
+        Array.iteri
+          (fun h (o : Ir.op_node) ->
+            match o.Ir.op with
+            | Expr.Matmul | Expr.Matmul_t ->
+                let bias, after_bias =
+                  match succ.(h) with
+                  | j when j >= 0 -> (
+                      match ops.(j) with
+                      | {
+                          Ir.op = Expr.Add;
+                          operands = [ Ir.O_op k; bo ];
+                          result_shape;
+                          _;
+                        }
+                        when k = h -> (
+                          match fixed_tensor bo with
+                          | Some bt
+                            when Tensor.epilogue_bias_ok ~bias:bt
+                                   ~dst:(Tensor.uninit result_shape) ->
+                              (Some (j, bt), succ.(j))
+                          | _ -> (None, j))
+                      | _ -> (None, j))
+                  | _ -> (None, -1)
+                in
+                let act =
+                  match after_bias with
+                  | j when j >= 0 -> (
+                      match un_op_of_prim ops.(j).Ir.op with
+                      | Some u -> Some (j, u)
+                      | None -> None)
+                  | _ -> None
+                in
+                if bias <> None || act <> None then begin
+                  (match bias with
+                  | Some (j, _) ->
+                      swallowed.(j) <- true;
+                      incr swallow_count
+                  | None -> ());
+                  (match act with
+                  | Some (j, _) ->
+                      swallowed.(j) <- true;
+                      incr swallow_count
+                  | None -> ());
+                  epilogues.(h) <-
+                    Some
+                      (Tensor.epilogue
+                         ?bias:(Option.map snd bias)
+                         ?act:(Option.map snd act) ())
+                end
+            | _ -> ())
+          ops;
       let resolve (o : Ir.operand) =
         match o with
         | Ir.O_const t -> (S_fixed t, None)
-        | Ir.O_op k -> (S_scratch k, None)
+        | Ir.O_op k -> (S_scratch tg.(k), None)
         | Ir.O_var tag -> (
             match List.assoc_opt tag b.Ir.blk_consts with
             | Some t -> (S_fixed t, None)
@@ -275,33 +437,210 @@ let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
                     err "block %s: operand %s has no edge or literal"
                       b.Ir.blk_name tag))
       in
-      let ops = Array.of_list b.Ir.blk_body in
-      let nops = Array.length ops in
+      let noop_kernel = fun (_ : Tensor.t array) (_ : Tensor.t) -> () in
+      let packed_count = ref 0 in
+      let fixed_rank2 srcs i =
+        i < Array.length srcs
+        &&
+        match srcs.(i) with
+        | S_fixed t -> Shape.rank (Tensor.shape t) = 2
+        | _ -> false
+      in
+      (* A read of rank-2 [Input] cells: the bound tensors change only
+         at [load] (input cells are flagged written at load time, so an
+         in-run write would fault), and the access map reaches a small,
+         statically-known set of cells — LSTM/RNN weight matrices are
+         the canonical case (one cell per layer/gate).  Such operands
+         are packed lazily, memoized per worker on the bound tensor's
+         identity: the first front after a [load] packs each distinct
+         weight once, the steady state reuses.  [cell_span] bounds the
+         cache so stale entries from previous loads are dropped without
+         ever evicting a live one. *)
+      let input_rank2_cell srcs i =
+        i < Array.length srcs
+        &&
+        match srcs.(i) with
+        | S_cell (si, _) ->
+            stores.(si).cs_buffer.Ir.buf_role = Ir.Input
+            && Shape.rank stores.(si).cs_buffer.Ir.buf_elem = 2
+        | _ -> false
+      in
+      let cell_span (o : Ir.op_node) i =
+        match List.nth_opt o.Ir.operands i with
+        | Some (Ir.O_var tag) -> (
+            match Hashtbl.find_opt reads tag with
+            | Some e ->
+                let tbl = Hashtbl.create 8 in
+                List.iter
+                  (fun p ->
+                    Hashtbl.replace tbl
+                      (Array.to_list (Access_map.apply e.Ir.e_access p))
+                      ())
+                  all_points;
+                Hashtbl.length tbl
+            | None -> 1)
+        | _ -> 1
+      in
+      (* args.(1) -> its packed panel, packing on first sight.  The
+         cache walk is a handful of pointer compares against GEMM-sized
+         work, and allocates nothing on a hit (no [assq_opt] option
+         boxing — the steady state must stay at zero minor words);
+         [cap] (2x the live cell count) only triggers on re-load
+         churn. *)
+      let packed_of_arg ~cap ~transposed =
+        let cache = ref [] in
+        let rec find (b : Tensor.t) = function
+          | (key, pb) :: _ when key == b -> pb
+          | _ :: tl -> find b tl
+          | [] ->
+              let pb =
+                Tensor.pack_b ~blocking
+                  (if transposed then Tensor.transpose b else b)
+              in
+              if List.length !cache >= cap then cache := [];
+              cache := (b, pb) :: !cache;
+              pb
+        in
+        fun (b : Tensor.t) -> find b !cache
+      in
       let cops =
-        Array.map
-          (fun (o : Ir.op_node) ->
-            let rs = List.map resolve o.Ir.operands in
-            let factory =
-              Lower.kernel o.Ir.op ~operand_shapes:o.Ir.operand_shapes
-                ~result_shape:o.Ir.result_shape
-            in
-            {
-              co_srcs = Array.of_list (List.map fst rs);
-              co_edges = Array.of_list (List.map snd rs);
-              co_kernels = Array.init workers (fun _ -> factory ());
-              co_args =
-                Array.init workers (fun _ ->
-                    Array.make (List.length rs) dummy);
-            })
+        Array.mapi
+          (fun oi (o : Ir.op_node) ->
+            if swallowed.(oi) then
+              {
+                co_srcs = [||];
+                co_edges = [||];
+                co_kernels = Array.make workers noop_kernel;
+                co_args = Array.make workers [||];
+              }
+            else begin
+              let rs = List.map resolve o.Ir.operands in
+              let srcs = Array.of_list (List.map fst rs) in
+              let ep = epilogues.(oi) in
+              let kernels =
+                match o.Ir.op with
+                | Expr.Matmul when fuse && fixed_rank2 srcs 1 ->
+                    (* Prepack the block-constant B panel once; the
+                       packed buffer is read-only and shared by every
+                       point, front and worker. *)
+                    let bt =
+                      match srcs.(1) with S_fixed t -> t | _ -> assert false
+                    in
+                    let pb = Tensor.pack_b ~blocking bt in
+                    incr packed_count;
+                    Array.init workers (fun _ ->
+                        fun (args : Tensor.t array) dst ->
+                          Tensor.matmul_packed_into ~beta:0.0 ?epilogue:ep
+                            ~dst args.(0) pb)
+                | Expr.Matmul_t when fuse && fixed_rank2 srcs 1 ->
+                    (* The interpreter materialises bT then runs the
+                       plain GEMM; packing the materialised transpose
+                       reproduces that exact float sequence. *)
+                    let bt =
+                      match srcs.(1) with
+                      | S_fixed t -> Tensor.transpose t
+                      | _ -> assert false
+                    in
+                    let pb = Tensor.pack_b ~blocking bt in
+                    incr packed_count;
+                    Array.init workers (fun _ ->
+                        fun (args : Tensor.t array) dst ->
+                          Tensor.matmul_packed_into ~beta:0.0 ?epilogue:ep
+                            ~dst args.(0) pb)
+                | Expr.Matmul when fuse && input_rank2_cell srcs 1 ->
+                    incr packed_count;
+                    let cap = 2 * cell_span o 1 in
+                    Array.init workers (fun _ ->
+                        let packed = packed_of_arg ~cap ~transposed:false in
+                        fun (args : Tensor.t array) dst ->
+                          Tensor.matmul_packed_into ~beta:0.0 ?epilogue:ep
+                            ~dst args.(0) (packed args.(1)))
+                | Expr.Matmul_t when fuse && input_rank2_cell srcs 1 ->
+                    incr packed_count;
+                    let cap = 2 * cell_span o 1 in
+                    Array.init workers (fun _ ->
+                        let packed = packed_of_arg ~cap ~transposed:true in
+                        fun (args : Tensor.t array) dst ->
+                          Tensor.matmul_packed_into ~beta:0.0 ?epilogue:ep
+                            ~dst args.(0) (packed args.(1)))
+                | Expr.Matmul when ep <> None ->
+                    Array.init workers (fun _ ->
+                        fun (args : Tensor.t array) dst ->
+                          Tensor.matmul_into ~beta:0.0 ?epilogue:ep ~dst
+                            args.(0) args.(1))
+                | Expr.Matmul_t when ep <> None ->
+                    (* Lower's private scratch transpose, plus the
+                       epilogue. *)
+                    let b_shape = List.nth o.Ir.operand_shapes 1 in
+                    if Shape.rank b_shape <> 2 then
+                      unsup "block %s: matmul_t operand b has rank %d"
+                        b.Ir.blk_name (Shape.rank b_shape);
+                    let bt_shape =
+                      Shape.of_array
+                        [| Shape.dim b_shape 1; Shape.dim b_shape 0 |]
+                    in
+                    Array.init workers (fun _ ->
+                        let btc = Tensor.uninit bt_shape in
+                        fun (args : Tensor.t array) dst ->
+                          Tensor.transpose_into args.(1) ~dst:btc;
+                          Tensor.matmul_into ~beta:0.0 ?epilogue:ep ~dst
+                            args.(0) btc)
+                | _ ->
+                    let factory =
+                      Lower.kernel o.Ir.op ~operand_shapes:o.Ir.operand_shapes
+                        ~result_shape:o.Ir.result_shape
+                    in
+                    Array.init workers (fun _ -> factory ())
+              in
+              {
+                co_srcs = srcs;
+                co_edges = Array.of_list (List.map snd rs);
+                co_kernels = kernels;
+                co_args =
+                  Array.init workers (fun _ ->
+                      Array.make (List.length rs) dummy);
+              }
+            end)
           ops
       in
+      (* Ops the run loop actually executes (swallowed tails are
+         computed inside their head's epilogue). *)
+      let body_ops =
+        let l = ref [] in
+        for oi = nops - 1 downto 0 do
+          if not swallowed.(oi) then l := oi :: !l
+        done;
+        Array.of_list !l
+      in
+      let nbody = Array.length body_ops in
+      (* Coalesced slots share their group final's tensor; only finals
+         get real scratch (the run loop never reads or writes a
+         non-final slot). *)
       let scratch =
         Array.init workers (fun _ ->
-            Array.map
-              (fun (o : Ir.op_node) -> Tensor.uninit o.Ir.result_shape)
+            Array.mapi
+              (fun i (o : Ir.op_node) ->
+                if tg.(i) = i then Tensor.uninit o.Ir.result_shape else dummy)
               ops)
       in
       let scratch_orig = Array.map Array.copy scratch in
+      let fusion =
+        let fused_ops = ref 0 in
+        let finals = Hashtbl.create 4 in
+        for i = 0 to nops - 1 do
+          if tg.(i) <> i then begin
+            incr fused_ops;
+            Hashtbl.replace finals tg.(i) ()
+          end
+        done;
+        {
+          fs_block = b.Ir.blk_name;
+          fs_groups = Hashtbl.length finals;
+          fs_fused_ops = !fused_ops;
+          fs_swallowed = !swallow_count;
+          fs_packed = !packed_count;
+        }
+      in
       (* ---- write edges ---- *)
       let writes = Ir.writes b in
       if List.length writes <> List.length b.Ir.blk_results then
@@ -353,92 +692,105 @@ let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
         Array.init workers (fun _ -> Array.make (Stdlib.max 1 nwrites) 0)
       in
       let name = b.Ir.blk_name in
-      (* ---- the straight-line point closure (the hot path) ---- *)
-      let exec w i =
-        let p = i * dim in
+      (* ---- the straight-line point loop (the hot path) ----
+         One closure executes a whole range of a front's points: the
+         per-front dispatch cost (scratch/offset lookups, closure
+         calls) is paid once per range, not once per point, and the N
+         homogeneous points of an anti-chain stream through the same
+         kernels and prepacked panels as a single batched loop. *)
+      let exec_range w lo hi =
         let scr = scratch.(w) in
         let offs = woffs.(w) in
-        (* write destinations: single-assignment check + in-place
-           redirect, offsets memoised for the epilogue *)
-        for wi = 0 to nwrites - 1 do
-          let cw = Array.unsafe_get cwrites wi in
-          let st = Array.unsafe_get stores cw.cw_store in
-          let ws = cw.cw_weights in
-          let off = ref (Array.unsafe_get ws 0) in
-          for k = 0 to dim - 1 do
-            off :=
-              !off
-              + (Array.unsafe_get ws (k + 1) * Array.unsafe_get pts (p + k))
+        let orig = Array.unsafe_get scratch_orig w in
+        for i = lo to hi - 1 do
+          let p = i * dim in
+          (* write destinations: single-assignment check + in-place
+             redirect, offsets memoised for the epilogue *)
+          for wi = 0 to nwrites - 1 do
+            let cw = Array.unsafe_get cwrites wi in
+            let st = Array.unsafe_get stores cw.cw_store in
+            let ws = cw.cw_weights in
+            let off = ref (Array.unsafe_get ws 0) in
+            for k = 0 to dim - 1 do
+              off :=
+                !off
+                + (Array.unsafe_get ws (k + 1) * Array.unsafe_get pts (p + k))
+            done;
+            if Bytes.unsafe_get st.cs_written !off <> '\000' then
+              err "block %s writes a cell twice — single assignment violated"
+                name;
+            Array.unsafe_set offs wi !off;
+            if cw.cw_alias >= 0 then
+              scr.(cw.cw_alias) <- Array.unsafe_get st.cs_cells !off
           done;
-          if Bytes.unsafe_get st.cs_written !off <> '\000' then
-            err "block %s writes a cell twice — single assignment violated"
-              name;
-          Array.unsafe_set offs wi !off;
-          if cw.cw_alias >= 0 then
-            scr.(cw.cw_alias) <- Array.unsafe_get st.cs_cells !off
-        done;
-        (* body ops into (possibly redirected) scratch *)
-        for oi = 0 to nops - 1 do
-          let cop = Array.unsafe_get cops oi in
-          let args = Array.unsafe_get cop.co_args w in
-          let srcs = cop.co_srcs in
-          for ai = 0 to Array.length srcs - 1 do
-            match Array.unsafe_get srcs ai with
-            | S_fixed t -> Array.unsafe_set args ai t
-            | S_scratch k -> Array.unsafe_set args ai (Array.unsafe_get scr k)
-            | S_cell (si, ws) ->
-                let st = Array.unsafe_get stores si in
-                let off = ref (Array.unsafe_get ws 0) in
-                for k = 0 to dim - 1 do
-                  off :=
-                    !off
-                    + (Array.unsafe_get ws (k + 1)
-                      * Array.unsafe_get pts (p + k))
-                done;
-                if Bytes.unsafe_get st.cs_written !off = '\000' then
-                  err
-                    "block %s reads an unwritten cell of buffer %d — illegal \
-                     order"
-                    name st.cs_buffer.Ir.buf_id;
-                Array.unsafe_set args ai (Array.unsafe_get st.cs_cells !off)
-          done;
-          (Array.unsafe_get cop.co_kernels w) args (Array.unsafe_get scr oi)
-        done;
-        (* epilogue: copy non-redirected results, set written flags *)
-        for wi = 0 to nwrites - 1 do
-          let cw = Array.unsafe_get cwrites wi in
-          let st = Array.unsafe_get stores cw.cw_store in
-          let off = Array.unsafe_get offs wi in
-          if cw.cw_alias < 0 then begin
-            let v =
-              match cw.cw_src with
-              | S_scratch k -> Array.unsafe_get scr k
-              | S_fixed t -> t
+          (* body ops into (possibly redirected, possibly coalesced)
+             scratch; swallowed tails are skipped — their value is
+             produced by the head's epilogue *)
+          for bi = 0 to nbody - 1 do
+            let oi = Array.unsafe_get body_ops bi in
+            let cop = Array.unsafe_get cops oi in
+            let args = Array.unsafe_get cop.co_args w in
+            let srcs = cop.co_srcs in
+            for ai = 0 to Array.length srcs - 1 do
+              match Array.unsafe_get srcs ai with
+              | S_fixed t -> Array.unsafe_set args ai t
+              | S_scratch k -> Array.unsafe_set args ai (Array.unsafe_get scr k)
               | S_cell (si, ws) ->
-                  let sst = Array.unsafe_get stores si in
-                  let soff = ref (Array.unsafe_get ws 0) in
+                  let st = Array.unsafe_get stores si in
+                  let off = ref (Array.unsafe_get ws 0) in
                   for k = 0 to dim - 1 do
-                    soff :=
-                      !soff
+                    off :=
+                      !off
                       + (Array.unsafe_get ws (k + 1)
                         * Array.unsafe_get pts (p + k))
                   done;
-                  if Bytes.unsafe_get sst.cs_written !soff = '\000' then
+                  if Bytes.unsafe_get st.cs_written !off = '\000' then
                     err
                       "block %s reads an unwritten cell of buffer %d — \
                        illegal order"
-                      name sst.cs_buffer.Ir.buf_id;
-                  Array.unsafe_get sst.cs_cells !soff
-            in
-            Tensor.copy_into v ~dst:(Array.unsafe_get st.cs_cells off)
-          end;
-          Bytes.unsafe_set st.cs_written off '\001'
-        done;
-        for k = 0 to Array.length alias_slots - 1 do
-          let s = Array.unsafe_get alias_slots k in
-          scr.(s) <- Array.unsafe_get (Array.unsafe_get scratch_orig w) s
+                      name st.cs_buffer.Ir.buf_id;
+                  Array.unsafe_set args ai (Array.unsafe_get st.cs_cells !off)
+            done;
+            (Array.unsafe_get cop.co_kernels w) args
+              (Array.unsafe_get scr (Array.unsafe_get tg oi))
+          done;
+          (* epilogue: copy non-redirected results, set written flags *)
+          for wi = 0 to nwrites - 1 do
+            let cw = Array.unsafe_get cwrites wi in
+            let st = Array.unsafe_get stores cw.cw_store in
+            let off = Array.unsafe_get offs wi in
+            if cw.cw_alias < 0 then begin
+              let v =
+                match cw.cw_src with
+                | S_scratch k -> Array.unsafe_get scr k
+                | S_fixed t -> t
+                | S_cell (si, ws) ->
+                    let sst = Array.unsafe_get stores si in
+                    let soff = ref (Array.unsafe_get ws 0) in
+                    for k = 0 to dim - 1 do
+                      soff :=
+                        !soff
+                        + (Array.unsafe_get ws (k + 1)
+                          * Array.unsafe_get pts (p + k))
+                    done;
+                    if Bytes.unsafe_get sst.cs_written !soff = '\000' then
+                      err
+                        "block %s reads an unwritten cell of buffer %d — \
+                         illegal order"
+                        name sst.cs_buffer.Ir.buf_id;
+                    Array.unsafe_get sst.cs_cells !soff
+              in
+              Tensor.copy_into v ~dst:(Array.unsafe_get st.cs_cells off)
+            end;
+            Bytes.unsafe_set st.cs_written off '\001'
+          done;
+          for k = 0 to Array.length alias_slots - 1 do
+            let s = Array.unsafe_get alias_slots k in
+            scr.(s) <- Array.unsafe_get orig s
+          done
         done
       in
+      let exec w i = exec_range w i (i + 1) in
       (* ---- the shadow path: sequential, interpreter event order ---- *)
       let flat (ws : int array) (point : int array) =
         let off = ref ws.(0) in
@@ -451,7 +803,8 @@ let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
         let p = i * dim in
         let point = Array.init dim (fun k -> pts.(p + k)) in
         let scr = scratch.(0) in
-        for oi = 0 to nops - 1 do
+        for bi = 0 to nbody - 1 do
+          let oi = body_ops.(bi) in
           let cop = cops.(oi) in
           let args = cop.co_args.(0) in
           for ai = 0 to Array.length cop.co_srcs - 1 do
@@ -474,7 +827,7 @@ let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
                     name st.cs_buffer.Ir.buf_id;
                 args.(ai) <- st.cs_cells.(off)
           done;
-          cop.co_kernels.(0) args scr.(oi)
+          cop.co_kernels.(0) args scr.(tg.(oi))
         done;
         for wi = 0 to nwrites - 1 do
           let cw = cwrites.(wi) in
@@ -517,7 +870,9 @@ let compile ?(arena = true) ?(race_guard = true) ?chunk ?(workers = 1)
         cb_parallel = parallel;
         cb_stats = stats;
         cb_exec = exec;
+        cb_exec_range = exec_range;
         cb_shadow = shadow_exec;
+        cb_fusion = fusion;
       }
     in
     let blocks =
@@ -569,14 +924,8 @@ let run_front chunk pool cb lo hi =
   if cb.cb_parallel && hi - lo > 1 then
     match pool with
     | Some p -> Domain_pool.parallel_for_workers ?chunk p ~lo ~hi cb.cb_exec
-    | None ->
-        for i = lo to hi - 1 do
-          cb.cb_exec 0 i
-        done
-  else
-    for i = lo to hi - 1 do
-      cb.cb_exec 0 i
-    done
+    | None -> cb.cb_exec_range 0 lo hi
+  else cb.cb_exec_range 0 lo hi
 
 let run_block chunk pool cb =
   for f = 0 to Array.length cb.cb_fronts - 2 do
@@ -691,3 +1040,6 @@ let arena_floats exe =
 let workers exe = exe.ex_workers
 let stats exe = Array.to_list (Array.map (fun cb -> cb.cb_stats) exe.ex_blocks)
 let sequential_fallbacks exe = exe.ex_fallbacks
+
+let fusion_stats exe =
+  Array.to_list (Array.map (fun cb -> cb.cb_fusion) exe.ex_blocks)

@@ -22,8 +22,18 @@
       same-front disjointness is not statically [Proven] are downgraded
       to the sequential order at compile time (reported through
       {!Vm.set_fallback_handler});
+    - {b fusion} ([fuse], default on): elementwise tails coalesce onto
+      their producer's scratch slot (the chain computes in one tensor,
+      often directly in the destination cell via the write-in-place
+      redirect); GEMMs swallow a fused fixed-bias [Add] and/or
+      activation into a {!Tensor.matmul_into} epilogue; block-constant
+      B operands are prepacked once into cache-blocked panels
+      ({!Tensor.pack_b}) shared by every point, front and worker; and
+      each front executes as one batched range loop rather than a
+      closure call per point;
     - {b results}: bitwise identical to the interpreter — the kernels
-      reproduce its exact float operation order.
+      reproduce its exact float operation order, and every fusion
+      transformation preserves the per-element value chain.
 
     An executable owns its storage: it is reusable across runs
     ([load] / [execute] / [outputs]) but not thread-safe — callers that
@@ -41,6 +51,8 @@ val compile :
   ?race_guard:bool ->
   ?chunk:int ->
   ?workers:int ->
+  ?fuse:bool ->
+  ?pack:Tensor.pack_blocking ->
   Ir.graph ->
   t
 (** [compile g] builds an executable for the wavefront schedule.
@@ -49,7 +61,12 @@ val compile :
     unproven blocks to sequential.  [chunk]: the pool claim size for
     parallel fronts.  [workers] (default 1): how many domains may
     execute fronts concurrently — sizes the per-worker kernel scratch;
-    {!execute}'s pool must not be larger.
+    {!execute}'s pool must not be larger.  [fuse] (default [true]):
+    enable scratch-slot coalescing, GEMM epilogue swallowing and
+    B-panel prepacking — bitwise-neutral; turn off only for
+    differential testing.  [pack]: the mc/kc/nc blocking for prepacked
+    panels (default {!Tensor.default_pack_blocking}); any choice gives
+    identical bits.
     @raise Unsupported_graph on uncovered graphs
     @raise Vm.Execution_error on graphs the interpreter would also
     reject at plan time (e.g. an operand with no edge or literal). *)
@@ -93,3 +110,15 @@ val stats : t -> Vm.block_stats list
 
 val sequential_fallbacks : t -> string list
 (** Names of blocks the compile-time race guard downgraded. *)
+
+type fusion_stats = {
+  fs_block : string;
+  fs_groups : int;  (** fusion groups with >= 2 members *)
+  fs_fused_ops : int;  (** ops coalesced into another op's slot *)
+  fs_swallowed : int;  (** tails folded into GEMM epilogues *)
+  fs_packed : int;  (** GEMMs dispatched through a prepacked B panel *)
+}
+
+val fusion_stats : t -> fusion_stats list
+(** What the fusion pass did to each block, in dataflow order (all
+    zeros when compiled with [fuse:false]). *)

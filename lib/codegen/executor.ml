@@ -71,7 +71,7 @@ let prepare ?(opts = Run_opts.default) (g : Ir.graph) =
           E_compiled
             (Compiled.compile ~arena:opts.Run_opts.arena
                ~race_guard:opts.Run_opts.race_guard ?chunk:opts.Run_opts.chunk
-               ~workers g)
+               ~workers ~fuse:opts.Run_opts.fuse ?pack:opts.Run_opts.pack g)
         with Compiled.Unsupported_graph m -> E_vm (Vm.Wavefront, Some m))
   in
   { pr_graph = g; pr_opts = opts; pr_pool = pool; pr_engine = engine }

@@ -9,6 +9,8 @@ type t = {
   race_guard : bool;
   shadow : shadow;
   arena : bool;
+  fuse : bool;
+  pack : Tensor.pack_blocking option;
 }
 
 let default =
@@ -19,6 +21,8 @@ let default =
     race_guard = true;
     shadow = Shadow_env;
     arena = true;
+    fuse = true;
+    pack = None;
   }
 
 let interpreted order = { default with mode = Interpret order }
@@ -30,7 +34,8 @@ let mode_name = function
   | Compiled -> "compiled"
 
 let to_string o =
-  Printf.sprintf "%s domains=%s chunk=%s race_guard=%b shadow=%s arena=%b"
+  Printf.sprintf
+    "%s domains=%s chunk=%s race_guard=%b shadow=%s arena=%b fuse=%b pack=%s"
     (mode_name o.mode)
     (match o.domains with Some d -> string_of_int d | None -> "auto")
     (match o.chunk with Some c -> string_of_int c | None -> "auto")
@@ -39,4 +44,7 @@ let to_string o =
     | Shadow_off -> "off"
     | Shadow_env -> "env"
     | Shadow_on -> "on")
-    o.arena
+    o.arena o.fuse
+    (match o.pack with
+    | Some { Tensor.mc; kc; nc } -> Printf.sprintf "%d/%d/%d" mc kc nc
+    | None -> "default")

@@ -39,11 +39,20 @@ type t = {
           {!Arena} (zero steady-state allocation); [false] gives each
           cell its own preallocated tensor.  Interpreted modes ignore
           it. *)
+  fuse : bool;
+      (** compiled engine only: scratch-slot coalescing, GEMM epilogue
+          swallowing and B-panel prepacking ({!Compiled.compile}'s
+          [fuse]).  Bitwise-neutral; [false] exists for differential
+          testing and the [compiled-nofuse] oracle. *)
+  pack : Tensor.pack_blocking option;
+      (** mc/kc/nc blocking for prepacked B panels; [None] uses
+          {!Tensor.default_pack_blocking}.  Any choice gives identical
+          bits (the tuner searches it for speed only). *)
 }
 
 val default : t
 (** [Compiled], ambient domains, default chunking, race guard on,
-    [Shadow_env], arena on. *)
+    [Shadow_env], arena on, fusion on, default packing. *)
 
 val interpreted : Vm.order -> t
 (** [default] with [mode = Interpret order]. *)

@@ -46,12 +46,21 @@ type config = {
   cfg_default : tiles option;
   cfg_elem_chunk : int;
   cfg_vm_chunk : int;
+  cfg_fuse : bool;
+  cfg_pack : Tensor.pack_blocking option;
 }
 
 let default_tiles = { t_m = default_tile; t_n = default_tile; t_k = 32 }
 
 let default_config =
-  { cfg_tiles = []; cfg_default = None; cfg_elem_chunk = 0; cfg_vm_chunk = 0 }
+  {
+    cfg_tiles = [];
+    cfg_default = None;
+    cfg_elem_chunk = 0;
+    cfg_vm_chunk = 0;
+    cfg_fuse = true;
+    cfg_pack = None;
+  }
 
 let is_default c = c = default_config
 
@@ -73,10 +82,15 @@ let config_to_string c =
     @ (if c.cfg_elem_chunk > 0 then
          [ Printf.sprintf "elem_chunk=%d" c.cfg_elem_chunk ]
        else [])
+    @ (if c.cfg_vm_chunk > 0 then
+         [ Printf.sprintf "vm_chunk=%d" c.cfg_vm_chunk ]
+       else [])
+    @ (if c.cfg_fuse then [] else [ "fuse=off" ])
     @
-    if c.cfg_vm_chunk > 0 then
-      [ Printf.sprintf "vm_chunk=%d" c.cfg_vm_chunk ]
-    else []
+    match c.cfg_pack with
+    | Some { Tensor.mc; kc; nc } ->
+        [ Printf.sprintf "pack=%d/%d/%d" mc kc nc ]
+    | None -> []
   in
   if parts = [] then "default" else String.concat "," parts
 

@@ -128,29 +128,75 @@ let draw_law rng name =
    scaffold ~batch:b ~seq:n ~width:w rhs,
    (b, n, w), detail)
 
-let law_names =
+let access_law_names =
   [ "slice_slice"; "stride_stride"; "shift_is_slice"; "reverse_involution";
     "reverse_foldl_foldr"; "reverse_scanl_scanr"; "map_reverse_commute";
     "gather_gather"; "gather_reverse" ]
 
-let run_law rng name =
-  let lhs, rhs, (b, n, w), detail = draw_law rng name in
+let law_names = access_law_names @ [ "fused_nofuse" ]
+
+(* Fusion transparency as a law: one program, two engine
+   configurations.  The subject program is drawn from the access-law
+   pool (its LHS), so the compiled executor sees folds, scans,
+   reverses and gathers; the left side runs with fusion on under the
+   hostile {!Oracles.stress_pack} blocking, the right side with fusion
+   off (every op its own kernel, no epilogues, no packing).  Exact
+   equality is the bar: fusion only reassociates scratch storage and
+   loop structure, never the per-element float operation order. *)
+let run_fused_nofuse rng =
+  let subject =
+    List.nth access_law_names (Rng.int rng (List.length access_law_names))
+  in
+  let p, _, (b, n, w), instance = draw_law rng subject in
+  let detail = Printf.sprintf "fuse on/off over %s %s" subject instance in
   match
     let inputs = gen_inputs rng ~batch:b ~seq:n ~width:w in
-    Typecheck.check_program lhs |> ignore;
-    Typecheck.check_program rhs |> ignore;
-    let vl = Interp.run_program lhs inputs in
-    let vr = Interp.run_program rhs inputs in
-    Fractal.equal_exact vl vr
+    Typecheck.check_program p |> ignore;
+    let g = Build.build p in
+    let run fuse pack =
+      let opts = { Run_opts.default with Run_opts.fuse; pack } in
+      Vm.output (Executor.run ~opts g inputs) p.Expr.name
+    in
+    Fractal.equal_exact
+      (run true (Some Oracles.stress_pack))
+      (run false None)
   with
-  | true -> { t_law = name; t_ok = true; t_detail = detail }
+  | true -> { t_law = "fused_nofuse"; t_ok = true; t_detail = detail }
   | false ->
-      { t_law = name; t_ok = false;
-        t_detail = Printf.sprintf "%s: sides disagree (batch=%d seq=%d width=%d)"
+      { t_law = "fused_nofuse"; t_ok = false;
+        t_detail =
+          Printf.sprintf "%s: engines disagree (batch=%d seq=%d width=%d)"
             detail b n w }
+  | exception Build.Unsupported msg ->
+      (* outside the compiled fragment: nothing to compare, not a bug *)
+      { t_law = "fused_nofuse"; t_ok = true;
+        t_detail = Printf.sprintf "%s: unsupported (%s), skipped" detail msg }
   | exception e ->
-      { t_law = name; t_ok = false;
-        t_detail = Printf.sprintf "%s: raised %s" detail (Printexc.to_string e) }
+      { t_law = "fused_nofuse"; t_ok = false;
+        t_detail =
+          Printf.sprintf "%s: raised %s" detail (Printexc.to_string e) }
+
+let run_law rng name =
+  if name = "fused_nofuse" then run_fused_nofuse rng
+  else
+    let lhs, rhs, (b, n, w), detail = draw_law rng name in
+    match
+      let inputs = gen_inputs rng ~batch:b ~seq:n ~width:w in
+      Typecheck.check_program lhs |> ignore;
+      Typecheck.check_program rhs |> ignore;
+      let vl = Interp.run_program lhs inputs in
+      let vr = Interp.run_program rhs inputs in
+      Fractal.equal_exact vl vr
+    with
+    | true -> { t_law = name; t_ok = true; t_detail = detail }
+    | false ->
+        { t_law = name; t_ok = false;
+          t_detail =
+            Printf.sprintf "%s: sides disagree (batch=%d seq=%d width=%d)"
+              detail b n w }
+    | exception e ->
+        { t_law = name; t_ok = false;
+          t_detail = Printf.sprintf "%s: raised %s" detail (Printexc.to_string e) }
 
 let run_all rng ~iters =
   List.concat_map

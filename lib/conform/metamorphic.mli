@@ -23,7 +23,14 @@
                                = xs.scanr(z){f}.reverse()]
     - [map_reverse_commute] — [xs.reverse().map{f} = xs.map{f}.reverse()]
     - [gather_gather]   — [xs.gather(I).gather(J) = xs.gather(I∘J)]
-    - [gather_reverse]  — [xs.reverse() = xs.gather(n-1, …, 0)] *)
+    - [gather_reverse]  — [xs.reverse() = xs.gather(n-1, …, 0)]
+    - [fused_nofuse]    — one program drawn from the access-law pool,
+                          run through the compiled executor with
+                          fusion on (under the hostile
+                          {!Oracles.stress_pack} GEMM blocking) and
+                          with fusion off: kernel fusion, epilogues
+                          and panel packing must be value-transparent
+                          bit for bit. *)
 
 type trial = {
   t_law : string;

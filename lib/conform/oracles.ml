@@ -8,7 +8,7 @@ type run = { r_oracle : string; r_outcome : outcome; r_wall_ms : float }
 let all_oracles =
   [ "interp"; "vm-seq"; "vm-wave1"; "vm-wave2"; "vm-wave4"; "shadow";
     "tuned"; "cache-rt"; "compiled"; "compiled2"; "compiled4";
-    "compiled-noarena" ]
+    "compiled-noarena"; "fused"; "compiled-nofuse" ]
 
 (* ---------------------------------------------------------------- *)
 (* Context: pools + private cache/tune directories                   *)
@@ -172,13 +172,20 @@ let shadow_oracle ctx (p : Expr.program) g inputs =
    graph outside the compiled fragment falls back to the interpreting
    VM inside Executor — still a legitimate differential point: the
    front door must be value-transparent either way. *)
-let compiled_oracle ?(domains = 1) ?(arena = true) (p : Expr.program) g inputs
-    =
+let compiled_oracle ?(domains = 1) ?(arena = true) ?(fuse = true) ?pack
+    (p : Expr.program) g inputs =
   let opts =
-    { Run_opts.default with Run_opts.domains = Some domains; arena }
+    { Run_opts.default with Run_opts.domains = Some domains; arena; fuse; pack }
   in
   let outs = Executor.run ~opts g inputs in
   Value (Vm.output outs p.Expr.name)
+
+(* Hostile pack blocking: tiny, mutually-indivisible mc/kc/nc force
+   every edge case in the packed micro-kernel (partial panels, odd
+   k-remainders for the unroll-by-4 path).  Bitwise equality with the
+   interpreter under this blocking is the strongest cheap evidence
+   that packing is value-transparent for ANY blocking. *)
+let stress_pack = { Tensor.mc = 3; kc = 48; nc = 40 }
 
 let cache_rt_oracle (p : Expr.program) g inputs =
   let key = Pipeline.program_key p in
@@ -218,6 +225,9 @@ let run_one ctx (p : Expr.program) inputs graph name =
             | "compiled2" -> compiled_oracle ~domains:2 p g inputs
             | "compiled4" -> compiled_oracle ~domains:4 p g inputs
             | "compiled-noarena" -> compiled_oracle ~arena:false p g inputs
+            | "fused" ->
+                compiled_oracle ~pack:stress_pack p g inputs
+            | "compiled-nofuse" -> compiled_oracle ~fuse:false p g inputs
             | other -> Failed (Printf.sprintf "unknown oracle %S" other)
           with e -> Failed (Printexc.to_string e)))
 

@@ -42,7 +42,17 @@
     - ["compiled-noarena"]
                    — the compiled executor with [arena = false]
                      (dedicated per-cell tensors): storage layout must
-                     not change a single bit.
+                     not change a single bit;
+    - ["fused"]    — the compiled executor with fusion on (the
+                     default) under a deliberately hostile pack
+                     blocking (tiny, mutually-indivisible mc/kc/nc):
+                     partial panels and odd k-remainders in the packed
+                     micro-kernel must still be bitwise-identical;
+    - ["compiled-nofuse"]
+                   — the compiled executor with [fuse = false]: every
+                     op runs as its own kernel through its own scratch
+                     slot, no epilogues, no packing — fusion must not
+                     change a single bit.
 
     VM-family oracles return the {e raw} VM output, which materialises
     fold/reduce accumulator history; {!project} maps it down to the
@@ -64,6 +74,11 @@ type run = { r_oracle : string; r_outcome : outcome; r_wall_ms : float }
 
 val all_oracles : string list
 (** In registry order; ["interp"] first. *)
+
+val stress_pack : Tensor.pack_blocking
+(** The hostile GEMM pack blocking used by the ["fused"] oracle:
+    tiny, mutually-indivisible mc/kc/nc that force partial panels and
+    odd k-remainders through the packed micro-kernel. *)
 
 type ctx
 (** Shared oracle state: lazily created domain pools and private

@@ -9,6 +9,16 @@ let preact_into ~dst ~x ~w ~h ~u ~b =
   Tensor.matmul_into ~beta:1.0 ~dst h u;
   Tensor.add_into dst b ~dst
 
+(* dst <- act (x@w + h@u + b): the bias add and the activation run as
+   one fused pass over dst (the GEMM-epilogue path) instead of two.
+   Bitwise-identical to [preact_into] + [unop_into]: the fused pass
+   computes the same per-element value chain, and elementwise passes
+   have no cross-element dependence. *)
+let preact_act_into ~dst ~x ~w ~h ~u ~b ~act =
+  Tensor.matmul_into ~beta:0.0 ~dst x w;
+  Tensor.matmul_into ~beta:1.0 ~dst h u;
+  Tensor.add_bias_act_into ~bias:b ~act ~dst
+
 let gemm ?(alpha = 1.0) ?(beta = 1.0) ~c a b =
   if
     Shape.rank (Tensor.shape c) = 2
@@ -56,36 +66,34 @@ let lstm_gates ~x ~h ~ws ~us ~bs =
       preact_into ~dst:pre ~x ~w:ws.(g) ~h ~u:us.(g) ~b:bs.(g);
       pre)
 
-(* Gate order i, f, o, c~.  One scratch tensor cycles through the four
-   gate activations; only (c', h') and that scratch are allocated —
-   the float-array backend allocated a fresh tensor for every matmul,
-   add and activation (O(gates) intermediates per step). *)
+(* Gate order i, f, o, c~.  Every gate computes through the fused
+   GEMM-epilogue path (bias + activation in one pass over the
+   pre-activation), and the cell allocates only the (c', h') pair it
+   returns — the previous version cycled a third scratch tensor and
+   ran separate bias/activation/tanh passes.  The per-element value
+   chain is unchanged, so results stay bitwise identical. *)
 let lstm_cell ~x ~h ~c ~ws ~us ~bs =
   check_gates "Kernels.lstm_cell" ws us bs;
   let out_shape = Shape.of_array [| rows x; cols ws.(0) |] in
-  let gate = Tensor.uninit out_shape in
   let c' = Tensor.uninit out_shape in
   let h' = Tensor.uninit out_shape in
-  let activated g act =
-    preact_into ~dst:gate ~x ~w:ws.(g) ~h ~u:us.(g) ~b:bs.(g);
-    act gate
+  let gate g act ~dst =
+    preact_act_into ~dst ~x ~w:ws.(g) ~h ~u:us.(g) ~b:bs.(g) ~act
   in
-  activated 3 Tensor.tanh_inplace;
-  (* c~, parked in h' *)
-  Tensor.copy_into gate ~dst:h';
-  activated 0 Tensor.sigmoid_inplace;
+  gate 3 Tensor.Utanh ~dst:h';
+  (* c~ *)
+  gate 0 Tensor.Usigmoid ~dst:c';
   (* i *)
-  Tensor.mul_into gate h' ~dst:c';
+  Tensor.mul_into c' h' ~dst:c';
   (* c' = i ⊙ c~ *)
-  activated 1 Tensor.sigmoid_inplace;
+  gate 1 Tensor.Usigmoid ~dst:h';
   (* f *)
-  Tensor.mul_into gate c ~dst:gate;
-  Tensor.add_into c' gate ~dst:c';
+  Tensor.mul_into h' c ~dst:h';
+  Tensor.add_into c' h' ~dst:c';
   (* c' += f ⊙ c *)
-  activated 2 Tensor.sigmoid_inplace;
+  gate 2 Tensor.Usigmoid ~dst:h';
   (* o *)
-  Tensor.map_into Stdlib.tanh c' ~dst:h';
-  Tensor.mul_into gate h' ~dst:h';
+  Tensor.mul_tanh_into h' c' ~dst:h';
   (* h' = o ⊙ tanh c' *)
   (c', h')
 

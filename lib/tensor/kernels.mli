@@ -8,10 +8,11 @@
 
     The cell functions are destination-passing internally: gate
     pre-activations accumulate in place through {!Tensor.matmul_into}
-    and activations apply in place, so a step allocates only the
-    tensors it returns plus one scratch — not an intermediate per
-    matmul/add/activation.  Results are unchanged (addition order per
-    element is preserved). *)
+    and bias/activation tails run as fused epilogue passes
+    ({!Tensor.add_bias_act_into}), so a step allocates only the
+    tensors it returns — not an intermediate per
+    matmul/add/activation.  Results are unchanged (the per-element
+    value chain, including addition order, is preserved). *)
 
 (** {1 Functional kernels} *)
 
@@ -21,6 +22,19 @@ val gemm : ?alpha:float -> ?beta:float -> c:Tensor.t -> Tensor.t -> Tensor.t -> 
 
 val linear : Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
 (** [linear x w b = x@w + b]. *)
+
+val preact_act_into :
+  dst:Tensor.t ->
+  x:Tensor.t ->
+  w:Tensor.t ->
+  h:Tensor.t ->
+  u:Tensor.t ->
+  b:Tensor.t ->
+  act:Tensor.un_op ->
+  unit
+(** [dst <- act (x@w + h@u + b)] with the bias add and activation fused
+    into a single epilogue pass over [dst]; allocation-free and
+    bitwise-identical to the separate passes. *)
 
 val rnn_cell : x:Tensor.t -> h:Tensor.t -> w:Tensor.t -> u:Tensor.t -> b:Tensor.t -> Tensor.t
 (** Vanilla tanh RNN cell: [tanh (x@w + h@u + b)]. *)

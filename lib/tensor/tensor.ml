@@ -283,20 +283,21 @@ let binop_into op a b ~dst =
       (Printf.sprintf "Tensor.map2: incompatible shapes %s and %s"
          (Shape.to_string a.shape) (Shape.to_string b.shape))
 
+let[@inline] apply1 op (x : float) =
+  match op with
+  | Utanh -> Stdlib.tanh x
+  | Usigmoid -> 1.0 /. (1.0 +. Stdlib.exp (-.x))
+  | Uexp -> Stdlib.exp x
+  | Uneg -> -.x
+  | Urelu -> if x > 0.0 then x else 0.0
+  | Uscale k -> k *. x
+
 let unop_into op src ~dst =
   if not (Shape.equal src.shape dst.shape) then
     invalid_arg "Tensor.unop_into: shape mismatch";
   let sd = src.data and dd = dst.data in
   for i = 0 to numel src - 1 do
-    let x = A.unsafe_get sd i in
-    A.unsafe_set dd i
-      (match op with
-      | Utanh -> Stdlib.tanh x
-      | Usigmoid -> 1.0 /. (1.0 +. Stdlib.exp (-.x))
-      | Uexp -> Stdlib.exp x
-      | Uneg -> -.x
-      | Urelu -> if x > 0.0 then x else 0.0
-      | Uscale k -> k *. x)
+    A.unsafe_set dd i (apply1 op (A.unsafe_get sd i))
   done
 
 let add_into a b ~dst = binop_into Badd a b ~dst
@@ -311,13 +312,89 @@ let require_rank2 name t =
   if Shape.rank t.shape <> 2 then
     invalid_arg (name ^ ": expected a rank-2 tensor")
 
+(* GEMM epilogues ---------------------------------------------------
+
+   A fused tail applied to [dst] after the accumulation finishes:
+   optionally add a bias (full shape, scalar, [m,1] column or [1,n]
+   row — the same broadcasts [binop_into] accepts with the full-shape
+   operand on the left), then optionally apply a unary activation.
+   Per element the fused pass computes [act (dst.(i) +. bias.(..))] —
+   exactly the value the separate [binop_into Badd]-then-[unop_into]
+   passes produce, and elementwise passes have no cross-element
+   dependence, so fusing them is bitwise-neutral.  The record is built
+   once at plan/closure-creation time; applying it allocates nothing. *)
+
+type epilogue = { ep_bias : t option; ep_act : un_op option }
+
+let epilogue ?bias ?act () = { ep_bias = bias; ep_act = act }
+
+(* dst.(i) <- act (dst.(i) + bias.(..)) in one pass, no allocation.
+   Exposed directly (non-optional labels, so callers on zero-alloc
+   paths never box an option) and used by [apply_epilogue]. *)
+let add_bias_act_into ~bias ~act ~dst =
+  let bd = bias.data and dd = dst.data in
+  let total = numel dst in
+  if Shape.equal bias.shape dst.shape then
+    for i = 0 to total - 1 do
+      A.unsafe_set dd i (apply1 act (A.unsafe_get dd i +. A.unsafe_get bd i))
+    done
+  else if Shape.rank bias.shape = 0 then begin
+    let v = A.get bd 0 in
+    for i = 0 to total - 1 do
+      A.unsafe_set dd i (apply1 act (A.unsafe_get dd i +. v))
+    done
+  end
+  else if col_vector_against dst bias then begin
+    let n = Shape.dim dst.shape 1 in
+    for i = 0 to total - 1 do
+      A.unsafe_set dd i
+        (apply1 act (A.unsafe_get dd i +. A.unsafe_get bd (i / n)))
+    done
+  end
+  else if row_vector_against dst bias then begin
+    let n = Shape.dim dst.shape 1 in
+    for i = 0 to total - 1 do
+      A.unsafe_set dd i
+        (apply1 act (A.unsafe_get dd i +. A.unsafe_get bd (i mod n)))
+    done
+  end
+  else
+    invalid_arg
+      (Printf.sprintf "Tensor.add_bias_act_into: bias shape %s against %s"
+         (Shape.to_string bias.shape) (Shape.to_string dst.shape))
+
+let epilogue_bias_ok ~bias ~dst =
+  Shape.equal bias.shape dst.shape
+  || Shape.rank bias.shape = 0
+  || col_vector_against dst bias
+  || row_vector_against dst bias
+
+let apply_epilogue ep ~dst =
+  match (ep.ep_bias, ep.ep_act) with
+  | None, None -> ()
+  | Some bias, Some act -> add_bias_act_into ~bias ~act ~dst
+  | Some bias, None -> binop_into Badd dst bias ~dst
+  | None, Some act -> unop_into act dst ~dst
+
+(* dst.(i) <- a.(i) *. tanh (b.(i)); [dst] may alias [a] (index [i] is
+   read before it is written).  Bitwise-identical to the two-pass
+   [unop_into Utanh b ~dst:tmp; binop_into Bmul a tmp ~dst] chain. *)
+let mul_tanh_into a b ~dst =
+  if not (Shape.equal a.shape b.shape && Shape.equal a.shape dst.shape) then
+    invalid_arg "Tensor.mul_tanh_into: shape mismatch";
+  let ad = a.data and bd = b.data and dd = dst.data in
+  for i = 0 to numel a - 1 do
+    A.unsafe_set dd i (A.unsafe_get ad i *. Stdlib.tanh (A.unsafe_get bd i))
+  done
+
 (* Destination-passing GEMM core: dst = alpha * a @ b + beta * dst.
    The k-major inner loop streams rows of [b] (cache-resident for the
    hidden sizes used here); blocking the [p] loop bounds the [b]
    working set for the larger shapes without changing the per-element
    accumulation order (pp ascends, p within pp ascends — the same
    order as the unblocked loop, so results are bit-identical). *)
-let matmul_into ?(alpha = 1.0) ?(beta = 1.0) ?(transpose_b = false) ~dst a b =
+let matmul_into ?(alpha = 1.0) ?(beta = 1.0) ?(transpose_b = false) ?epilogue
+    ~dst a b =
   require_rank2 "Tensor.matmul_into" a;
   require_rank2 "Tensor.matmul_into" b;
   require_rank2 "Tensor.matmul_into" dst;
@@ -375,7 +452,161 @@ let matmul_into ?(alpha = 1.0) ?(beta = 1.0) ?(transpose_b = false) ~dst a b =
       done;
       pp := p_hi
     done
-  end
+  end;
+  match epilogue with None -> () | Some ep -> apply_epilogue ep ~dst
+
+(* Packed, cache-blocked GEMM ---------------------------------------
+
+   [pack_b] copies a [k,n] B operand into mc/kc/nc panel order once;
+   [matmul_packed_into] then streams the panels with a register-tiled
+   micro-kernel (the contraction loop unrolled by 4, the output row
+   kept in a register accumulator across the quad).  Values are copied
+   unchanged and, per output element, contributions are still added in
+   globally ascending [p] order with the same [alpha *. a] zero-skip —
+   jc/ic blocking only reorders work {e across} output elements, never
+   within one — so results are bit-identical to [matmul_into] for any
+   blocking choice.  OCaml floats are true IEEE float64 with separate
+   multiply and add (no FMA contraction), so the register accumulator
+   follows the identical rounding sequence as the memory round-trips
+   it replaces. *)
+
+type pack_blocking = { mc : int; kc : int; nc : int }
+
+let default_pack_blocking = { mc = 64; kc = 256; nc = 256 }
+
+type packed_b = {
+  pb_k : int;
+  pb_n : int;
+  pb_kc : int;
+  pb_nc : int;
+  pb_mc : int;
+  pb_data : buffer;
+}
+
+let packed_dims pb = (pb.pb_k, pb.pb_n)
+
+let pack_b ?(blocking = default_pack_blocking) b =
+  require_rank2 "Tensor.pack_b" b;
+  let k = Shape.dim b.shape 0 and n = Shape.dim b.shape 1 in
+  let clamp c lim = if c <= 0 then Stdlib.max 1 lim else Stdlib.min c (Stdlib.max 1 lim) in
+  let kc = clamp blocking.kc k and nc = clamp blocking.nc n in
+  let mc = if blocking.mc <= 0 then 64 else blocking.mc in
+  let data = alloc (Stdlib.max 1 (k * n)) in
+  let bd = b.data in
+  let pos = ref 0 in
+  let jc = ref 0 in
+  while !jc < n do
+    let en = Stdlib.min nc (n - !jc) in
+    let pc = ref 0 in
+    while !pc < k do
+      let ek = Stdlib.min kc (k - !pc) in
+      for p = !pc to !pc + ek - 1 do
+        let brow = (p * n) + !jc in
+        let row = !pos in
+        for j = 0 to en - 1 do
+          A.unsafe_set data (row + j) (A.unsafe_get bd (brow + j))
+        done;
+        pos := row + en
+      done;
+      pc := !pc + ek
+    done;
+    jc := !jc + en
+  done;
+  { pb_k = k; pb_n = n; pb_kc = kc; pb_nc = nc; pb_mc = mc; pb_data = data }
+
+let matmul_packed_into ?(alpha = 1.0) ?(beta = 1.0) ?epilogue ~dst a pb =
+  require_rank2 "Tensor.matmul_packed_into" a;
+  require_rank2 "Tensor.matmul_packed_into" dst;
+  if dst.data == a.data then
+    invalid_arg "Tensor.matmul_packed_into: dst must not alias an operand";
+  let m = Shape.dim a.shape 0 and k = Shape.dim a.shape 1 in
+  let n = pb.pb_n in
+  if k <> pb.pb_k then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul_packed_into: inner dims %d and %d differ"
+         k pb.pb_k);
+  if Shape.dim dst.shape 0 <> m || Shape.dim dst.shape 1 <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Tensor.matmul_packed_into: dst shape %s, expected [%d,%d]"
+         (Shape.to_string dst.shape) m n);
+  let ad = a.data and dd = dst.data and pd = pb.pb_data in
+  if beta = 0.0 then A.fill dd 0.0
+  else if beta <> 1.0 then
+    for i = 0 to (m * n) - 1 do
+      A.unsafe_set dd i (beta *. A.unsafe_get dd i)
+    done;
+  let kc = pb.pb_kc and nc = pb.pb_nc and mc = pb.pb_mc in
+  (* [panel] walks pb_data: the (jc,pc) panel holds [ek] rows of
+     width [en], row [p - pc] starting at [panel + (p - pc) * en]. *)
+  let panel = ref 0 in
+  let jc = ref 0 in
+  while !jc < n do
+    let en = Stdlib.min nc (n - !jc) in
+    let pc = ref 0 in
+    while !pc < k do
+      let ek = Stdlib.min kc (k - !pc) in
+      let ic = ref 0 in
+      while !ic < m do
+        let im = Stdlib.min mc (m - !ic) in
+        for i = !ic to !ic + im - 1 do
+          let arow = (i * k) + !pc and orow = (i * n) + !jc in
+          let p = ref 0 in
+          while !p + 4 <= ek do
+            let q = !p in
+            let av0 = alpha *. A.unsafe_get ad (arow + q)
+            and av1 = alpha *. A.unsafe_get ad (arow + q + 1)
+            and av2 = alpha *. A.unsafe_get ad (arow + q + 2)
+            and av3 = alpha *. A.unsafe_get ad (arow + q + 3) in
+            if av0 <> 0.0 && av1 <> 0.0 && av2 <> 0.0 && av3 <> 0.0 then begin
+              (* Register micro-kernel: one dst load/store per quad. *)
+              let r0 = !panel + (q * en) in
+              let r1 = r0 + en and r2 = r0 + (2 * en) and r3 = r0 + (3 * en) in
+              for j = 0 to en - 1 do
+                let acc = A.unsafe_get dd (orow + j) in
+                let acc = acc +. (av0 *. A.unsafe_get pd (r0 + j)) in
+                let acc = acc +. (av1 *. A.unsafe_get pd (r1 + j)) in
+                let acc = acc +. (av2 *. A.unsafe_get pd (r2 + j)) in
+                let acc = acc +. (av3 *. A.unsafe_get pd (r3 + j)) in
+                A.unsafe_set dd (orow + j) acc
+              done
+            end
+            else
+              (* A zero in the quad: fall back to the scalar per-p loop
+                 (same ascending order, same skip) for these four. *)
+              for pq = q to q + 3 do
+                let av = alpha *. A.unsafe_get ad (arow + pq) in
+                if av <> 0.0 then begin
+                  let row = !panel + (pq * en) in
+                  for j = 0 to en - 1 do
+                    A.unsafe_set dd (orow + j)
+                      (A.unsafe_get dd (orow + j)
+                      +. (av *. A.unsafe_get pd (row + j)))
+                  done
+                end
+              done;
+            p := !p + 4
+          done;
+          for pq = !p to ek - 1 do
+            let av = alpha *. A.unsafe_get ad (arow + pq) in
+            if av <> 0.0 then begin
+              let row = !panel + (pq * en) in
+              for j = 0 to en - 1 do
+                A.unsafe_set dd (orow + j)
+                  (A.unsafe_get dd (orow + j)
+                  +. (av *. A.unsafe_get pd (row + j)))
+              done
+            end
+          done
+        done;
+        ic := !ic + im
+      done;
+      panel := !panel + (ek * en);
+      pc := !pc + ek
+    done;
+    jc := !jc + en
+  done;
+  match epilogue with None -> () | Some ep -> apply_epilogue ep ~dst
 
 let matmul a b =
   require_rank2 "Tensor.matmul" a;

@@ -156,17 +156,101 @@ val sigmoid_inplace : t -> unit
 val softmax_inplace : t -> unit
 (** Row-wise softmax of a 2-D tensor, in place. *)
 
+(** {2 GEMM epilogues}
+
+    A fused tail applied to the GEMM destination after accumulation:
+    optionally add a bias (full shape, scalar, [[m,1]] column or
+    [[1,n]] row), then optionally apply a unary activation.  Per
+    element the fused pass computes exactly the value the separate
+    [binop_into Badd]-then-[unop_into] passes produce — elementwise
+    passes have no cross-element dependence — so fusion is
+    bitwise-neutral.  Build the record once (plan time / closure
+    creation); applying it allocates nothing. *)
+
+type epilogue = { ep_bias : t option; ep_act : un_op option }
+
+val epilogue : ?bias:t -> ?act:un_op -> unit -> epilogue
+
+val apply_epilogue : epilogue -> dst:t -> unit
+(** Apply bias-add then activation to [dst] in place; allocation-free.
+    @raise Invalid_argument if the bias shape is not one of the
+    supported broadcasts against [dst]. *)
+
+val epilogue_bias_ok : bias:t -> dst:t -> bool
+(** Whether [bias] has one of the shapes {!apply_epilogue} accepts
+    against this destination (used by the fusion pass to decide
+    eligibility at plan time). *)
+
+val add_bias_act_into : bias:t -> act:un_op -> dst:t -> unit
+(** [dst.(i) <- act (dst.(i) + bias.(..))] in a single pass — the
+    non-optional-label form hot cell functions use so that steady-state
+    calls never box an option. *)
+
+val mul_tanh_into : t -> t -> dst:t -> unit
+(** [dst.(i) <- a.(i) *. tanh b.(i)] for same-shape operands; [dst]
+    may alias [a].  Bitwise-identical to the two-pass tanh-then-mul
+    chain it fuses (used by the LSTM cell's [o ⊙ tanh c'] tail). *)
+
 val matmul_into :
-  ?alpha:float -> ?beta:float -> ?transpose_b:bool -> dst:t -> t -> t -> unit
+  ?alpha:float ->
+  ?beta:float ->
+  ?transpose_b:bool ->
+  ?epilogue:epilogue ->
+  dst:t ->
+  t ->
+  t ->
+  unit
 (** [matmul_into ~alpha ~beta ~dst a b] computes
     [dst <- alpha * a@b + beta * dst] (defaults [alpha = 1.],
     [beta = 1.]; [beta = 0.] overwrites without reading [dst], so an
     {!uninit} destination is legal).  [transpose_b] contracts against
     [b]'s rows ([a@bᵀ]) without materialising the transpose.  Blocked
     over the contraction dimension; the per-element accumulation order
-    is fixed, so results are reproducible bit for bit.
+    is fixed, so results are reproducible bit for bit.  [epilogue], if
+    given, is applied to [dst] after accumulation completes.
     @raise Invalid_argument on shape mismatch or if [dst] aliases an
     operand. *)
+
+(** {2 Packed, cache-blocked GEMM}
+
+    [pack_b] copies a [[k,n]] B operand into mc/kc/nc panel order once
+    so that every subsequent [matmul_packed_into] against it — across
+    the rows of a wavefront, across points, across workers — streams
+    cache-resident panels through a register-tiled micro-kernel (the
+    contraction loop unrolled by 4 with the output row held in a
+    register accumulator).  Packing copies values unchanged and the
+    per-output-element accumulation order (ascending [p], zero-skip on
+    [alpha *. a]) is exactly {!matmul_into}'s, so results are
+    bit-identical for {e any} blocking choice. *)
+
+type pack_blocking = { mc : int; kc : int; nc : int }
+(** Rows of A per block, contraction-panel height, B-panel width.
+    Non-positive entries mean "whole extent" (kc/nc) or the default
+    (mc). *)
+
+val default_pack_blocking : pack_blocking
+(** [{mc = 64; kc = 256; nc = 256}] — kc matches {!matmul_into}'s
+    contraction blocking. *)
+
+type packed_b
+(** A B operand repacked into panel order; read-only and safe to share
+    across domains. *)
+
+val pack_b : ?blocking:pack_blocking -> t -> packed_b
+(** Pack a rank-2 [[k,n]] tensor.  Allocates the packed buffer (do it
+    at plan time, not on the hot path). *)
+
+val packed_dims : packed_b -> int * int
+(** The [(k, n)] dims the panel was packed from. *)
+
+val matmul_packed_into :
+  ?alpha:float -> ?beta:float -> ?epilogue:epilogue -> dst:t -> t -> packed_b
+  -> unit
+(** [matmul_packed_into ~dst a pb] computes
+    [dst <- alpha * a@b + beta * dst] against a pre-packed B;
+    allocation-free and bitwise-identical to {!matmul_into} on the
+    unpacked operand.
+    @raise Invalid_argument on shape mismatch or if [dst] aliases [a]. *)
 
 (** {1 Linear algebra} *)
 

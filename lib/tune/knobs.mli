@@ -4,10 +4,12 @@
     A space is extracted from the {e default-config} plan of a program
     ({!of_plan}): every kernel carrying a per-cell matmul
     ([Plan.ks_gemm]) contributes a {e tile site} — one
-    {!Tile.tiles} choice for that block — and three global axes
+    {!Tile.tiles} choice for that block — and five global axes
     complete the space: elementwise chunk size, VM front chunk size,
-    and reuse collapsing (the §5.2 ablation knob, here a searchable
-    boolean).
+    reuse collapsing (the §5.2 ablation knob, here a searchable
+    boolean), the compiled engine's kernel-fusion switch, and the
+    mc/kc/nc blocking of its prepacked B panels (both bitwise-neutral
+    — they move only time).
 
     Points are mixed-radix index vectors ([int array]); index 0 on
     every axis is the default value, so the all-zeros point decodes to
@@ -30,6 +32,9 @@ type space = {
   s_elem_chunks : int list;    (** always starts with 0 = unchunked *)
   s_vm_chunks : int list;      (** always starts with 0 = pool default *)
   s_collapse : bool list;      (** [true] first: reuse collapsing on *)
+  s_fuse : bool list;          (** [true] first: compiled kernel fusion on *)
+  s_packs : Tensor.pack_blocking option list;
+      (** B-panel blockings; [None] first = engine default *)
   s_smem_limit : int;          (** device shared memory per SM, bytes *)
 }
 
@@ -48,7 +53,7 @@ val of_plan : ?device:Device.t -> Plan.t -> space
 
 val axes : space -> int array
 (** Axis sizes, in order: one per site ([|s_tiles| + 1]: 0 is
-    "untiled"), then elem chunks, VM chunks, collapse. *)
+    "untiled"), then elem chunks, VM chunks, collapse, fuse, pack. *)
 
 val default_point : space -> int array
 (** All zeros. *)

@@ -11,7 +11,10 @@
    already exists: the database is monotone in quality. *)
 
 let env_var = "FT_TUNE_DB"
-let version = 1
+
+(* 2: Tile.config gained cfg_fuse/cfg_pack (records under Marshal are
+   layout-sensitive; version skew reads as a miss, never an error). *)
+let version = 2
 
 type record = {
   tr_key : string;

@@ -41,10 +41,16 @@ let rec random_value rng (ty : Expr.ty) : Fractal.t =
    one-time compile. *)
 let measure_runner ~device ~plan_of ~graph ~env (c : Knobs.candidate) =
   let sim_ms = Executor.time_ms ~device (plan_of c) in
-  let chunk = c.Knobs.c_tile.Tile.cfg_vm_chunk in
+  let tile = c.Knobs.c_tile in
   let pr =
     Executor.prepare
-      ~opts:{ Run_opts.default with Run_opts.chunk = Some chunk }
+      ~opts:
+        {
+          Run_opts.default with
+          Run_opts.chunk = Some tile.Tile.cfg_vm_chunk;
+          fuse = tile.Tile.cfg_fuse;
+          pack = tile.Tile.cfg_pack;
+        }
       graph
   in
   let t0 = Unix.gettimeofday () in
@@ -131,6 +137,17 @@ let config_to_jsonv (c : Knobs.candidate) =
              t.Tile.cfg_tiles) );
       ("elem_chunk", Jsonw.Int t.Tile.cfg_elem_chunk);
       ("vm_chunk", Jsonw.Int t.Tile.cfg_vm_chunk);
+      ("fuse", Jsonw.Bool t.Tile.cfg_fuse);
+      ( "pack",
+        match t.Tile.cfg_pack with
+        | Some { Tensor.mc; kc; nc } ->
+            Jsonw.Obj
+              [
+                ("mc", Jsonw.Int mc);
+                ("kc", Jsonw.Int kc);
+                ("nc", Jsonw.Int nc);
+              ]
+        | None -> Jsonw.Null );
       ("collapse_reuse", Jsonw.Bool c.Knobs.c_collapse);
       ("pretty", Jsonw.String (Knobs.to_string c));
     ]

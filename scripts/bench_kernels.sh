@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Kernel micro-benchmark: wall-clock GFLOP/s of the packed, cache-
+# blocked GEMM against the naive triple loop, and of the fused
+# GEMM+bias+tanh epilogue against the three-kernel chain it replaces,
+# at the per-cell shapes the workloads actually run (LSTM gate, RNN
+# cell, FFN block, back-to-back GEMM).  Median-of-N with warmup,
+# every pair checked bitwise; records go to BENCH_kernels.json.
+#
+#   scripts/bench_kernels.sh [REPEAT] [OUT]
+#
+# Defaults: REPEAT=5, OUT=BENCH_kernels.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPEAT="${1:-5}"
+OUT="${2:-BENCH_kernels.json}"
+
+dune build bench/main.exe
+dune exec --no-build bench/main.exe -- kernels \
+  --repeat "$REPEAT" --json "$OUT"
+echo "wrote $OUT"

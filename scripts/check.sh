@@ -124,9 +124,52 @@ for r in rows:
 if bad:
     raise SystemExit("bench_vm smoke: compiled wavefront lost to the "
                      "sequential interpreter at one domain")
+
+# Fusion gate: on every workload the fused compiled engine must be at
+# least as fast as the same engine with fusion off.  A workload with
+# no fusible GEMM tails runs near-identical code either way, so the
+# ratio sits at 1.0 +/- clock noise — a 10% tolerance absorbs that
+# without ever excusing a real regression (fusion wins by ~1.7x where
+# it applies).
+by_wl = {}
+for r in rows:
+    by_wl.setdefault(r["workload"], {})[r["engine"]] = r["time_ms"]
+for wl, engines in sorted(by_wl.items()):
+    nofuse = engines.get("compiled-nofuse")
+    fused = engines.get("compiled")
+    assert nofuse is not None and fused is not None, \
+        f"missing fused/nofuse pair for {wl!r}"
+    ratio = nofuse / fused
+    tag = "ok" if ratio >= 0.90 else "FAIL"
+    print(f"  {tag} {wl}: fused {ratio:.2f}x vs unfused at 1 domain")
+    if ratio < 0.90:
+        raise SystemExit("bench_vm smoke: kernel fusion made "
+                         f"{wl!r} slower")
+EOF
+
+  echo "bench_kernels smoke (repeat 5)"
+  scripts/bench_kernels.sh 5 BENCH_kernels.json > /dev/null
+  python3 - <<'EOF'
+import json
+recs = json.load(open("BENCH_kernels.json"))
+assert recs, "BENCH_kernels.json is empty"
+cands = [r for r in recs if r["variant"] == "candidate"]
+assert cands, "BENCH_kernels.json has no candidate records"
+fail = False
+for r in cands:
+    ok = r["bitwise_equal"] and r["speedup_vs_baseline"] >= 1.0
+    tag = "ok" if ok else "FAIL"
+    print(f"  {tag} {r['kernel']} {r['shape']}: "
+          f"{r['gflops']:.2f} GFLOP/s, "
+          f"{r['speedup_vs_baseline']:.2f}x baseline, "
+          f"bitwise_equal={r['bitwise_equal']}")
+    fail = fail or not ok
+if fail:
+    raise SystemExit("bench_kernels smoke: a packed/fused kernel lost "
+                     "to its baseline or changed results")
 EOF
 else
-  echo "  (python3 not found; skipping bench_vm smoke)"
+  echo "  (python3 not found; skipping bench_vm/bench_kernels smoke)"
 fi
 
 echo "check.sh: all green"

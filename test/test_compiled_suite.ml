@@ -54,8 +54,9 @@ let outputs_equal_exact a b =
        (fun (n1, v1) (n2, v2) -> n1 = n2 && Fractal.equal_exact v1 v2)
        a b
 
-let opts ?(arena = true) ?domains ?(shadow = Run_opts.Shadow_off) () =
-  { Run_opts.default with Run_opts.domains; arena; shadow }
+let opts ?(arena = true) ?domains ?(shadow = Run_opts.Shadow_off)
+    ?(fuse = true) ?pack () =
+  { Run_opts.default with Run_opts.domains; arena; shadow; fuse; pack }
 
 let compiled_tests =
   [
@@ -152,6 +153,58 @@ let compiled_tests =
           | None -> Alcotest.fail "should compile"
         in
         checkb "arena:false has none" true (Compiled.arena_floats exe' = 0));
+    Alcotest.test_case "fusion off = fusion on, bitwise, every workload"
+      `Quick (fun () ->
+        List.iter
+          (fun (name, g, binds) ->
+            let fused = Executor.run ~opts:(opts ~domains:1 ()) g binds in
+            let unfused =
+              Executor.run ~opts:(opts ~domains:1 ~fuse:false ()) g binds
+            in
+            checkb name true (outputs_equal_exact fused unfused))
+          (workloads ()));
+    Alcotest.test_case "hostile pack blocking stays bitwise" `Quick (fun () ->
+        (* tiny, mutually-indivisible mc/kc/nc force partial panels and
+           odd k-remainders through the packed micro-kernel *)
+        let pack = { Tensor.mc = 3; kc = 48; nc = 40 } in
+        List.iter
+          (fun (name, g, binds) ->
+            let dflt = Executor.run ~opts:(opts ~domains:1 ()) g binds in
+            let hostile =
+              Executor.run ~opts:(opts ~domains:1 ~pack ()) g binds
+            in
+            checkb name true (outputs_equal_exact dflt hostile))
+          (workloads ()));
+    Alcotest.test_case "fusion stats: ops fuse, GEMMs pack, tails swallow"
+      `Quick (fun () ->
+        let stats_of o g =
+          match Executor.compiled (Executor.prepare ~opts:o g) with
+          | Some exe -> Compiled.fusion_stats exe
+          | None -> Alcotest.fail "workload should compile"
+        in
+        let total f = List.fold_left (fun a s -> a + f s) 0 in
+        (* the LSTM coalesces its gate chains and packs its weight
+           GEMMs; its biases arrive as input cells, so epilogue
+           swallowing needs the RNN, whose [Lit] bias is a block
+           constant *)
+        let lstm = Build.build (Stacked_lstm.program Stacked_lstm.default) in
+        let fused = stats_of (opts ~domains:1 ()) lstm in
+        checkb "some ops coalesced" true
+          (total (fun s -> s.Compiled.fs_fused_ops) fused > 0);
+        checkb "some GEMMs run prepacked" true
+          (total (fun s -> s.Compiled.fs_packed) fused > 0);
+        let rnn = Build.build (Stacked_rnn.program Stacked_rnn.default) in
+        checkb "some epilogue tails swallowed" true
+          (total
+             (fun s -> s.Compiled.fs_swallowed)
+             (stats_of (opts ~domains:1 ()) rnn)
+          > 0);
+        List.iter
+          (fun s ->
+            checkb (s.Compiled.fs_block ^ " all zeros under fuse:false") true
+              (s.Compiled.fs_groups = 0 && s.Compiled.fs_fused_ops = 0
+              && s.Compiled.fs_swallowed = 0 && s.Compiled.fs_packed = 0))
+          (stats_of (opts ~domains:1 ~fuse:false ()) lstm));
     Alcotest.test_case "engine names: compiled, interpret, cache" `Quick
       (fun () ->
         let g = Build.build (Stacked_rnn.program Stacked_rnn.default) in

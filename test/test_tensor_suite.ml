@@ -254,6 +254,67 @@ let kernels_tests =
         checkb "h'" true (Tensor.equal_approx h' (Tensor.zeros h)));
     Alcotest.test_case "matmul_flops" `Quick (fun () ->
         checki "flops" 24 (Kernels.matmul_flops ~m:2 ~n:3 ~k:2));
+    Alcotest.test_case "lstm_cell fused epilogues: bitwise + fewer allocations"
+      `Quick (fun () ->
+        let r = Rng.create 91 in
+        let sh = Shape.of_array [| 4; 8 |] in
+        let wh = Shape.of_array [| 8; 8 |] in
+        let x = Tensor.rand r sh and h = Tensor.rand r sh in
+        let c = Tensor.rand r sh in
+        let ws = Array.init 4 (fun _ -> Tensor.rand r wh) in
+        let us = Array.init 4 (fun _ -> Tensor.rand r wh) in
+        let bs =
+          Array.init 4 (fun _ -> Tensor.rand r (Shape.of_array [| 1; 8 |]))
+        in
+        (* The pre-fusion implementation, inlined as the reference:
+           three allocations and separate bias/activation passes. *)
+        let unfused () =
+          let gate = Tensor.uninit sh in
+          let c' = Tensor.uninit sh in
+          let h' = Tensor.uninit sh in
+          let activated g act =
+            Tensor.matmul_into ~beta:0.0 ~dst:gate x ws.(g);
+            Tensor.matmul_into ~beta:1.0 ~dst:gate h us.(g);
+            Tensor.add_into gate bs.(g) ~dst:gate;
+            act gate
+          in
+          activated 3 Tensor.tanh_inplace;
+          Tensor.copy_into gate ~dst:h';
+          activated 0 Tensor.sigmoid_inplace;
+          Tensor.mul_into gate h' ~dst:c';
+          activated 1 Tensor.sigmoid_inplace;
+          Tensor.mul_into gate c ~dst:gate;
+          Tensor.add_into c' gate ~dst:c';
+          activated 2 Tensor.sigmoid_inplace;
+          Tensor.map_into Stdlib.tanh c' ~dst:h';
+          Tensor.mul_into gate h' ~dst:h';
+          (c', h')
+        in
+        let cw, hw = unfused () in
+        let c', h' = Kernels.lstm_cell ~x ~h ~c ~ws ~us ~bs in
+        checkb "c' bitwise" true (Tensor.equal_bits c' cw);
+        checkb "h' bitwise" true (Tensor.equal_bits h' hw);
+        let words f =
+          let n = 50 in
+          (* warm up, then measure the steady state *)
+          for _ = 1 to 3 do
+            ignore (f ())
+          done;
+          let w0 = Gc.minor_words () in
+          for _ = 1 to n do
+            ignore (f ())
+          done;
+          (Gc.minor_words () -. w0) /. float_of_int n
+        in
+        let fused_words =
+          words (fun () -> Kernels.lstm_cell ~x ~h ~c ~ws ~us ~bs)
+        in
+        let unfused_words = words unfused in
+        checkb
+          (Printf.sprintf "allocates less (fused %.0f vs unfused %.0f words)"
+             fused_words unfused_words)
+          true
+          (fused_words < unfused_words));
   ]
 
 (* The Bigarray backend's destination-passing ops: each [_into] /
@@ -383,11 +444,131 @@ let into_tests =
              (Tensor.add (Tensor.matmul x w) b)));
   ]
 
+(* Packed GEMM and fused epilogues: bitwise identity against the
+   reference kernels for arbitrary shapes and blockings (edge tiles,
+   the alpha-zero skip, the unroll-by-4 tail) — the invariant the
+   compiled engine's fusion pass relies on. *)
+let packed_tests =
+  let sh m n = Shape.of_array [| m; n |] in
+  let sparse_rand r shape =
+    (* Exact zeros with ~25% probability, to exercise the zero-skip
+       and the quad fallback path. *)
+    Tensor.init shape (fun _ ->
+        if Rng.int r 4 = 0 then 0.0 else Rng.uniform r ~lo:(-1.0) ~hi:1.0)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:150
+         ~name:"matmul_packed_into = matmul_into bitwise"
+         QCheck2.Gen.(
+           pair
+             (triple (int_range 1 9) (int_range 1 19) (int_range 1 13))
+             (triple (int_range 1 7) (int_range 1 9) (int_bound 1000)))
+         (fun ((m, k, n), (kc, nc, seed)) ->
+           let r = Rng.create (seed + 1) in
+           let a = sparse_rand r (sh m k) and b = Tensor.rand r (sh k n) in
+           let want = Tensor.uninit (sh m n) in
+           Tensor.matmul_into ~beta:0.0 ~dst:want a b;
+           let pb =
+             Tensor.pack_b ~blocking:{ Tensor.mc = (m / 2) + 1; kc; nc } b
+           in
+           let got = Tensor.uninit (sh m n) in
+           Tensor.matmul_packed_into ~beta:0.0 ~dst:got a pb;
+           Tensor.equal_bits got want));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60
+         ~name:"matmul_packed_into alpha/beta accumulate bitwise"
+         QCheck2.Gen.(pair (triple (int_range 1 6) (int_range 1 10) (int_range 1 8)) (int_bound 1000))
+         (fun ((m, k, n), seed) ->
+           let r = Rng.create (seed + 7) in
+           let a = sparse_rand r (sh m k) and b = Tensor.rand r (sh k n) in
+           let acc0 = Tensor.rand r (sh m n) in
+           let want = Tensor.copy acc0 in
+           Tensor.matmul_into ~alpha:2.0 ~beta:1.0 ~dst:want a b;
+           let got = Tensor.copy acc0 in
+           let pb = Tensor.pack_b ~blocking:{ Tensor.mc = 2; kc = 3; nc = 5 } b in
+           Tensor.matmul_packed_into ~alpha:2.0 ~beta:1.0 ~dst:got a pb;
+           Tensor.equal_bits got want));
+    Alcotest.test_case "pack_b default blocking matches at workload shapes"
+      `Quick (fun () ->
+        let r = Rng.create 41 in
+        List.iter
+          (fun (m, k, n) ->
+            let a = Tensor.rand r (sh m k) and b = Tensor.rand r (sh k n) in
+            let want = Tensor.uninit (sh m n) in
+            Tensor.matmul_into ~beta:0.0 ~dst:want a b;
+            let got = Tensor.uninit (sh m n) in
+            Tensor.matmul_packed_into ~beta:0.0 ~dst:got a (Tensor.pack_b b);
+            checkb "bitwise" true (Tensor.equal_bits got want))
+          [ (1, 96, 96); (4, 96, 96); (64, 512, 512); (3, 300, 260) ]);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:80
+         ~name:"epilogue fusion = separate bias/act passes bitwise"
+         QCheck2.Gen.(pair (pair (int_range 1 6) (int_range 1 8)) (pair (int_bound 3) (int_bound 1000)))
+         (fun ((m, n), (bias_kind, seed)) ->
+           let r = Rng.create (seed + 3) in
+           let k = 5 in
+           let a = Tensor.rand r (sh m k) and b = Tensor.rand r (sh k n) in
+           let bias =
+             match bias_kind with
+             | 0 -> Tensor.rand r (sh m n)
+             | 1 -> Tensor.rand r (sh 1 n)
+             | 2 -> Tensor.rand r (sh m 1)
+             | _ -> Tensor.scalar (Rng.normal r)
+           in
+           List.for_all
+             (fun act ->
+               let want = Tensor.uninit (sh m n) in
+               Tensor.matmul_into ~beta:0.0 ~dst:want a b;
+               Tensor.add_into want bias ~dst:want;
+               Tensor.unop_into act want ~dst:want;
+               let got = Tensor.uninit (sh m n) in
+               Tensor.matmul_into ~beta:0.0
+                 ~epilogue:(Tensor.epilogue ~bias ~act ())
+                 ~dst:got a b;
+               Tensor.equal_bits got want)
+             [ Tensor.Utanh; Tensor.Usigmoid; Tensor.Urelu; Tensor.Uscale 0.5 ]));
+    Alcotest.test_case "epilogue bias-only and act-only forms" `Quick (fun () ->
+        let r = Rng.create 43 in
+        let a = Tensor.rand r (sh 3 5) and b = Tensor.rand r (sh 5 4) in
+        let bias = Tensor.rand r (sh 1 4) in
+        let want = Tensor.uninit (sh 3 4) in
+        Tensor.matmul_into ~beta:0.0 ~dst:want a b;
+        Tensor.add_into want bias ~dst:want;
+        let got = Tensor.uninit (sh 3 4) in
+        Tensor.matmul_into ~beta:0.0 ~epilogue:(Tensor.epilogue ~bias ())
+          ~dst:got a b;
+        checkb "bias only" true (Tensor.equal_bits got want);
+        let want2 = Tensor.uninit (sh 3 4) in
+        Tensor.matmul_into ~beta:0.0 ~dst:want2 a b;
+        Tensor.unop_into Tensor.Utanh want2 ~dst:want2;
+        let got2 = Tensor.uninit (sh 3 4) in
+        Tensor.matmul_into ~beta:0.0
+          ~epilogue:(Tensor.epilogue ~act:Tensor.Utanh ())
+          ~dst:got2 a b;
+        checkb "act only" true (Tensor.equal_bits got2 want2));
+    Alcotest.test_case "mul_tanh_into = tanh-then-mul, aliasing allowed" `Quick
+      (fun () ->
+        let r = Rng.create 44 in
+        let a = Tensor.rand r (sh 4 6) and b = Tensor.rand r (sh 4 6) in
+        let tmp = Tensor.uninit (sh 4 6) in
+        Tensor.unop_into Tensor.Utanh b ~dst:tmp;
+        let want = Tensor.uninit (sh 4 6) in
+        Tensor.mul_into a tmp ~dst:want;
+        let got = Tensor.uninit (sh 4 6) in
+        Tensor.mul_tanh_into a b ~dst:got;
+        checkb "fused" true (Tensor.equal_bits got want);
+        let aliased = Tensor.copy a in
+        Tensor.mul_tanh_into aliased b ~dst:aliased;
+        checkb "aliased" true (Tensor.equal_bits aliased want));
+  ]
+
 let suites =
   [
     ("shape", shape_tests @ shape_props);
     ("rng", rng_tests);
     ("tensor", tensor_tests @ tensor_props);
     ("tensor-into", into_tests);
+    ("tensor-packed", packed_tests);
     ("kernels", kernels_tests);
   ]
