@@ -968,6 +968,176 @@ let conform_cmd =
       $ Cli_args.seed_arg ~default:42
       $ budget $ oracles $ corpus $ replay $ Cli_args.json_flag $ meta_iters)
 
+let serve_cmd =
+  let run files bench json max_batch tick queue requests rate repeat seed
+      domains =
+    Domain_pool.set_num_domains domains;
+    warn_if_oversubscribed ();
+    (* tuned configs apply transparently to the serving session's
+       prepared step programs, exactly as they do to [ftc run] *)
+    Tune_db.install ();
+    let opts = { Run_opts.default with Run_opts.domains } in
+    let resolve f =
+      if Sys.file_exists f then Serve.servable_of_file f
+      else Serve.servable_of_name f
+    in
+    if bench then begin
+      let cfg =
+        {
+          Serve.bc_seed = seed;
+          bc_requests = requests;
+          bc_max_batch = max_batch;
+          (* --repeat keeps its shared default of 1, but a 1-repeat
+             median is pure noise — lift an unset flag to the bench
+             default *)
+          bc_repeat =
+            (if repeat > 1 then repeat
+             else Serve.default_bench_cfg.Serve.bc_repeat);
+          bc_queue = queue;
+          bc_rate = rate;
+          bc_tick_ms =
+            Option.value tick
+              ~default:Serve.default_bench_cfg.Serve.bc_tick_ms;
+          bc_domains = domains;
+        }
+      in
+      let names =
+        match files with [] -> Servable.builtin_names | fs -> fs
+      in
+      let doc, errors = Serve.bench ~cfg names in
+      List.iter (fun (n, e) -> Format.eprintf "serve: %s: %s@." n e) errors;
+      if json then print_endline (Jsonw.to_string doc)
+      else begin
+        let get k kvs = List.assoc_opt k kvs in
+        (match doc with
+        | Jsonw.Obj top -> (
+            match get "workloads" top with
+            | Some (Jsonw.List ws) ->
+                Format.printf "%-18s %10s %12s %12s %6s %10s@." "workload"
+                  "speedup" "batched t/s" "solo t/s" "occ" "mismatches";
+                List.iter
+                  (function
+                    | Jsonw.Obj kvs ->
+                        let s k =
+                          match get k kvs with
+                          | Some (Jsonw.Float x) -> x
+                          | Some (Jsonw.Int i) -> float_of_int i
+                          | _ -> nan
+                        in
+                        let name =
+                          match get "workload" kvs with
+                          | Some (Jsonw.String n) -> n
+                          | _ -> "?"
+                        in
+                        Format.printf "%-18s %10.3f %12.0f %12.0f %6.2f %10.0f@."
+                          name (s "speedup_vs_solo")
+                          (s "batched_tokens_per_s") (s "solo_tokens_per_s")
+                          (s "mean_occupancy") (s "bitwise_mismatches")
+                    | _ -> ())
+                  ws
+            | _ -> ())
+        | _ -> ())
+      end;
+      if errors <> [] then exit 1
+    end
+    else begin
+      if files = [] then begin
+        Format.eprintf
+          "serve: need a FILE.ft (or builtin: %s), or --bench@."
+          (String.concat ", " Servable.builtin_names);
+        exit 1
+      end;
+      let bad_total = ref 0 in
+      List.iter
+        (fun f ->
+          match resolve f with
+          | Error e ->
+              Format.eprintf "serve: %s@." e;
+              exit 1
+          | Ok sv ->
+              let pl =
+                Loadgen.plan ~seed ~n:requests ~rate
+                  ~len_lo:(max 1 (sv.Servable.sv_seq_len / 2))
+                  ~len_hi:sv.Servable.sv_seq_len
+              in
+              let rs = Loadgen.requests sv ~seed pl in
+              let o =
+                Serve.run_requests ~opts ~max_batch
+                  ?tick_ms:tick sv rs
+              in
+              let rs_solo = Loadgen.requests sv ~seed pl in
+              let s = Serve.solo ~opts sv rs_solo in
+              let bad = Serve.mismatches o.oc_completed s.oc_completed in
+              bad_total := !bad_total + bad;
+              Format.printf "workload %s (engine %s)@." sv.Servable.sv_name
+                o.Serve.oc_engine;
+              Format.printf "%a@." Metrics.pp o.Serve.oc_metrics;
+              Format.printf "batched %s solo service (%d request(s))@."
+                (if bad = 0 then "bitwise-matches" else "DIFFERS from")
+                (List.length o.Serve.oc_completed))
+        files;
+      if !bad_total > 0 then exit 1
+    end
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Programs to serve: .ft example files or builtin workload names \
+             (default with --bench: every builtin)")
+  in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Benchmark mode: interleaved batched-vs-solo closed-loop medians \
+             plus an open-loop bounded-queue run per workload")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Batch slots (the shared batch dimension's capacity)")
+  in
+  let tick =
+    Arg.(
+      value & opt (some float) None
+      & info [ "tick" ] ~docv:"MS"
+          ~doc:
+            "Tick deadline in milliseconds (wall pacing); unset runs in \
+             virtual time")
+  in
+  let queue =
+    Arg.(
+      value & opt int 4
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Broker queue bound for the open-loop (backpressure) phase")
+  in
+  let requests =
+    Arg.(
+      value & opt int 32
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per closed-loop run")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2.0
+      & info [ "rate" ] ~docv:"R" ~doc:"Arrivals per tick (Poisson)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Continuous-batching inference serving over the compiled wavefront \
+          engine: requests join and leave the shared batch mid-sequence, \
+          every tick is one executor run, and batched service is checked \
+          bitwise against serving each request alone")
+    Term.(
+      const run $ files $ bench $ Cli_args.json_flag $ max_batch $ tick
+      $ queue $ requests $ rate $ Cli_args.repeat_arg
+      $ Cli_args.seed_arg ~default:2024
+      $ Cli_args.domains_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -978,4 +1148,4 @@ let () =
     (Cmd.eval (Cmd.group ~default info
                  [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
                    run_cmd; profile_cmd; analyze_cmd; tune_cmd; cache_cmd;
-                   lint_cmd; conform_cmd ]))
+                   lint_cmd; conform_cmd; serve_cmd ]))

@@ -9,6 +9,7 @@
 type t = {
   nworkers : int; (* spawned domains; size = nworkers + 1 *)
   m : Mutex.t;
+  submit_m : Mutex.t; (* serializes whole loops across submitter domains *)
   work_cv : Condition.t;
   done_cv : Condition.t;
   mutable gen : int;
@@ -58,6 +59,7 @@ let create ~domains =
     {
       nworkers = n - 1;
       m = Mutex.create ();
+      submit_m = Mutex.create ();
       work_cv = Condition.create ();
       done_cv = Condition.create ();
       gen = 0;
@@ -86,11 +88,22 @@ let shutdown pool =
 (* Run [job] on every domain of the pool (caller included) and wait
    until all of them return.  [job] must be idempotent with respect to
    concurrent execution — in practice it is always a chunk-claiming
-   loop over an atomic counter. *)
+   loop over an atomic counter.
+
+   Concurrent submitters (several client domains driving loops on one
+   pool, the serving layer's pattern) serialize on [submit_m]: the job
+   board holds one job at a time, and without the lock a second
+   submitter would overwrite [job]/[pending] while the first loop's
+   workers are still draining it.  Waiting submitters therefore see
+   backpressure, never corruption.  While the caller runs its own share
+   it is marked as a worker so loops issued from inside the job body
+   run inline instead of self-deadlocking on [submit_m]. *)
 let run_job pool job =
+  Mutex.lock pool.submit_m;
   Mutex.lock pool.m;
   if pool.stop || pool.nworkers = 0 then begin
     Mutex.unlock pool.m;
+    Mutex.unlock pool.submit_m;
     job ()
   end
   else begin
@@ -99,13 +112,17 @@ let run_job pool job =
     pool.pending <- pool.nworkers;
     Condition.broadcast pool.work_cv;
     Mutex.unlock pool.m;
-    job ();
+    Domain.DLS.set in_worker_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_worker_key false)
+      job;
     Mutex.lock pool.m;
     while pool.pending > 0 do
       Condition.wait pool.done_cv pool.m
     done;
     pool.job <- None;
-    Mutex.unlock pool.m
+    Mutex.unlock pool.m;
+    Mutex.unlock pool.submit_m
   end
 
 let reraise_first exn_slot =

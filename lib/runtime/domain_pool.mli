@@ -13,7 +13,13 @@
     - {b fixed workers}: [size - 1] domains are spawned once at
       {!create} and reused for every loop — no per-loop spawn cost;
     - {b safe nesting}: a loop issued from inside a worker runs inline
-      on that worker instead of deadlocking the pool.
+      on that worker instead of deadlocking the pool;
+    - {b safe concurrent submission}: client domains may issue loops on
+      the same pool concurrently — whole loops serialize on an internal
+      submission lock (the job board holds one job at a time), so a
+      second submitter blocks until the first loop quiesces instead of
+      corrupting it.  This is what the serving layer's broker/scheduler
+      domains rely on.
 
     The global pool ({!get}) sizes itself from the [FT_NUM_DOMAINS]
     environment variable (or {!set_num_domains}, the CLI's hook), so

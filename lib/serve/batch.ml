@@ -1,0 +1,87 @@
+(* The slot map from live requests to batch rows.
+
+   Slots are sticky: a request keeps its slot from join to completion,
+   and new requests fill the lowest free slot.  The executed width each
+   tick is not the occupancy but the smallest *bucket* covering the
+   highest occupied slot — widths are drawn from a small fixed ladder
+   (powers of two up to [max_batch]) so the scheduler only ever
+   prepares a handful of step programs and the executor's prepared
+   cache stays hot across joins and evictions. *)
+
+type t = {
+  slots : Request.t option array;
+  buckets : int array; (* ascending; last = max_batch *)
+}
+
+let buckets_for max_batch =
+  if max_batch < 1 then invalid_arg "Batch.create: max_batch must be >= 1";
+  let rec up acc b =
+    if b >= max_batch then List.rev (max_batch :: acc)
+    else up (b :: acc) (b * 2)
+  in
+  Array.of_list (up [] 1)
+
+let create ~max_batch =
+  { slots = Array.make max_batch None; buckets = buckets_for max_batch }
+
+let max_batch b = Array.length b.slots
+let buckets b = Array.copy b.buckets
+let slots b = b.slots
+
+let occupancy b =
+  Array.fold_left
+    (fun n -> function Some _ -> n + 1 | None -> n)
+    0 b.slots
+
+let is_empty b = occupancy b = 0
+let free b = max_batch b - occupancy b
+
+(* Highest occupied slot + 1 — the width the executor must cover. *)
+let span b =
+  let hi = ref 0 in
+  Array.iteri (fun i -> function Some _ -> hi := i + 1 | None -> ()) b.slots;
+  !hi
+
+(* The executed width: smallest bucket covering the span.  Sticky slots
+   mean the span can exceed the occupancy (holes left by evictions),
+   which is the price of never moving a live request between rows. *)
+let width b =
+  let s = span b in
+  if s = 0 then 0
+  else
+    let rec pick i =
+      if i >= Array.length b.buckets then Array.length b.slots
+      else if b.buckets.(i) >= s then b.buckets.(i)
+      else pick (i + 1)
+    in
+    pick 0
+
+let join b r =
+  let rec find i =
+    if i >= Array.length b.slots then None
+    else
+      match b.slots.(i) with
+      | None ->
+          b.slots.(i) <- Some r;
+          Some i
+      | Some _ -> find (i + 1)
+  in
+  find 0
+
+let evict b i =
+  match b.slots.(i) with
+  | None -> None
+  | Some r ->
+      b.slots.(i) <- None;
+      Some r
+
+let active b =
+  Array.to_list b.slots |> List.filter_map Fun.id
+
+(* Compact live requests toward low slots.  Only legal between ticks —
+   a request's row identity matters only within one executor run — and
+   only worth it when compaction drops the width a bucket. *)
+let compact b =
+  let live = active b in
+  Array.fill b.slots 0 (Array.length b.slots) None;
+  List.iteri (fun i r -> b.slots.(i) <- Some r) live

@@ -1,0 +1,117 @@
+(* Serving telemetry: latency percentiles, throughput, and the
+   batch-occupancy histogram — the numbers that say whether continuous
+   batching actually bought anything.  Rendered through Observe.Jsonw
+   so BENCH_serve.json and `ftc serve --json` share one writer. *)
+
+type t = {
+  mutable latencies_ms : float list; (* completed requests, newest first *)
+  mutable completed : int;
+  mutable rejected : int;
+  mutable tokens : int; (* request tokens advanced (padding excluded) *)
+  mutable ticks : int;
+  mutable exec_ms : float; (* wall time inside Executor.execute *)
+  occupancy : (int, int) Hashtbl.t; (* active rows -> tick count *)
+  mutable t_start : float;
+  mutable t_stop : float;
+}
+
+let create () =
+  {
+    latencies_ms = [];
+    completed = 0;
+    rejected = 0;
+    tokens = 0;
+    ticks = 0;
+    exec_ms = 0.;
+    occupancy = Hashtbl.create 17;
+    t_start = 0.;
+    t_stop = 0.;
+  }
+
+let start m = m.t_start <- Unix.gettimeofday ()
+let stop m = m.t_stop <- Unix.gettimeofday ()
+
+let on_tick m ~active ~advanced ~exec_ms =
+  m.ticks <- m.ticks + 1;
+  m.tokens <- m.tokens + advanced;
+  m.exec_ms <- m.exec_ms +. exec_ms;
+  Hashtbl.replace m.occupancy active
+    (1 + Option.value ~default:0 (Hashtbl.find_opt m.occupancy active))
+
+let on_complete m r =
+  m.completed <- m.completed + 1;
+  m.latencies_ms <- Request.latency_ms r :: m.latencies_ms
+
+let on_reject m = m.rejected <- m.rejected + 1
+
+let wall_s m =
+  let t1 = if m.t_stop > 0. then m.t_stop else Unix.gettimeofday () in
+  Float.max 1e-9 (t1 -. m.t_start)
+
+(* Nearest-rank percentile over the completed-request latencies. *)
+let percentile m p =
+  match m.latencies_ms with
+  | [] -> Float.nan
+  | ls ->
+      let a = Array.of_list ls in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+      a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let throughput_rps m = float_of_int m.completed /. wall_s m
+let tokens_per_s m = float_of_int m.tokens /. wall_s m
+
+let mean_occupancy m =
+  let n = ref 0 and sum = ref 0 in
+  Hashtbl.iter
+    (fun occ ticks ->
+      n := !n + ticks;
+      sum := !sum + (occ * ticks))
+    m.occupancy;
+  if !n = 0 then 0. else float_of_int !sum /. float_of_int !n
+
+let occupancy_histogram m =
+  Hashtbl.fold (fun occ ticks acc -> (occ, ticks) :: acc) m.occupancy []
+  |> List.sort compare
+
+let completed m = m.completed
+let rejected m = m.rejected
+let ticks m = m.ticks
+let tokens m = m.tokens
+let exec_ms m = m.exec_ms
+
+let jsonv m =
+  Jsonw.Obj
+    [
+      ("completed", Jsonw.Int m.completed);
+      ("rejected", Jsonw.Int m.rejected);
+      ("ticks", Jsonw.Int m.ticks);
+      ("tokens", Jsonw.Int m.tokens);
+      ("wall_s", Jsonw.Float (wall_s m));
+      ("exec_ms", Jsonw.Float m.exec_ms);
+      ( "latency_ms",
+        Jsonw.Obj
+          [
+            ("p50", Jsonw.Float (percentile m 50.));
+            ("p95", Jsonw.Float (percentile m 95.));
+            ("p99", Jsonw.Float (percentile m 99.));
+          ] );
+      ("throughput_rps", Jsonw.Float (throughput_rps m));
+      ("tokens_per_s", Jsonw.Float (tokens_per_s m));
+      ("mean_occupancy", Jsonw.Float (mean_occupancy m));
+      ( "occupancy_histogram",
+        Jsonw.Obj
+          (List.map
+             (fun (occ, t) -> (string_of_int occ, Jsonw.Int t))
+             (occupancy_histogram m)) );
+    ]
+
+let pp ppf m =
+  Format.fprintf ppf
+    "completed %d, rejected %d, %d ticks / %d tokens in %.3f s@\n\
+     latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms@\n\
+     throughput %.1f req/s (%.1f tok/s), mean occupancy %.2f"
+    m.completed m.rejected m.ticks m.tokens (wall_s m) (percentile m 50.)
+    (percentile m 95.) (percentile m 99.) (throughput_rps m) (tokens_per_s m)
+    (mean_occupancy m)

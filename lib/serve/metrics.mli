@@ -1,0 +1,34 @@
+(** Serving telemetry: latency percentiles (nearest-rank p50/p95/p99),
+    request and token throughput, and the batch-occupancy histogram,
+    rendered through {!Jsonw} for [BENCH_serve.json] and
+    [ftc serve --json]. *)
+
+type t
+
+val create : unit -> t
+val start : t -> unit
+val stop : t -> unit
+
+val on_tick : t -> active:int -> advanced:int -> exec_ms:float -> unit
+val on_complete : t -> Request.t -> unit
+val on_reject : t -> unit
+
+val percentile : t -> float -> float
+(** Nearest-rank percentile of completed-request latency in ms; [nan]
+    with no completions. *)
+
+val throughput_rps : t -> float
+val tokens_per_s : t -> float
+val mean_occupancy : t -> float
+val occupancy_histogram : t -> (int * int) list
+(** [(active rows, ticks at that occupancy)], ascending. *)
+
+val completed : t -> int
+val rejected : t -> int
+val ticks : t -> int
+val tokens : t -> int
+val exec_ms : t -> float
+val wall_s : t -> float
+
+val jsonv : t -> Jsonw.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,571 @@
+(* A servable workload: a whole-sequence program recast as a *step*
+   program over a shared batch dimension.
+
+   The example programs compute full sequences in one run — useless for
+   serving, where requests arrive at different times and leave at
+   different times.  But every recurrent body here is a left fold: the
+   value after token [t] depends only on the carried state after
+   [t - 1] and the token itself.  So each workload family gets a step
+   program over batch width [W] that consumes exactly one token per
+   slot and returns each slot's new carried state; the scheduler
+   re-feeds that state next tick.  The step body is the original cell
+   body — same primitive ops on the same shapes — and every slot's
+   math is local to its own leaves (the batch [map] has no cross-slot
+   dependence), which is what makes batched execution bitwise-identical
+   to running the same request alone at width 1.
+
+   One step program exists per (family, width); widths are bucketed by
+   the scheduler so the set stays small and the executor's prepared
+   cache stays hot. *)
+
+let shape l = Shape.of_array (Array.of_list l)
+
+type t = {
+  sv_name : string;
+  sv_seq_len : int;  (** default tokens per request, from the program *)
+  sv_shared : (string * Fractal.t) list;
+      (** weight inputs, identical for every request and width *)
+  sv_new_request : Rng.t -> len:int -> Fractal.t * Fractal.t array;
+      (** (initial carried state, tokens) for a fresh request *)
+  sv_pad : Fractal.t * Fractal.t;
+      (** (state, token) occupying empty slots; must execute to finite
+          values so a padded run can never poison the shared batch *)
+  sv_step : int -> Expr.program;  (** the step program at a width *)
+  sv_env :
+    width:int -> (Fractal.t * Fractal.t) array -> (string * Fractal.t) list;
+      (** executor inputs from per-slot (state, token) rows *)
+  sv_demux : width:int -> (string * Fractal.t) list -> Fractal.t array;
+      (** per-slot new state out of one executor run *)
+  sv_finish : Fractal.t -> Fractal.t;
+      (** the response: a pure function of the final carried state *)
+}
+
+(* The executor returns one buffer per tuple component ([prog.0],
+   [prog.1], ...) or a single buffer named after the program. *)
+let single_out = function
+  | [ (_, v) ] -> v
+  | outs ->
+      failwith
+        (Printf.sprintf "Servable: expected one output buffer, got %d"
+           (List.length outs))
+
+let out_component outs name ix =
+  let key = Printf.sprintf "%s.%d" name ix in
+  match List.assoc_opt key outs with
+  | Some v -> v
+  | None -> failwith ("Servable: missing output component " ^ key)
+
+(* ------------------- row-batched mux/demux ------------------------ *)
+
+(* Workloads whose cell math is row-independent — elementwise ops, and
+   matmuls whose left-operand rows don't interact — can carry the
+   whole batch as ONE [width, cols] tensor: the compiled plan then
+   runs one cell per tick instead of one per slot, so per-cell
+   dispatch amortizes over the batch and a [W,H] @ [H,H] GEMM replaces
+   [W] row-vector matmuls.  [pack_rows] gathers one [1,cols] leaf per
+   slot into row [i]; [slice_row] cuts a row back out.  Both are raw
+   blits on the underlying bigarray buffers. *)
+let pack_rows ~width ~cols pick rows =
+  let dst = Tensor.uninit (shape [ width; cols ]) in
+  let db = Tensor.buffer dst in
+  Array.iteri
+    (fun i r ->
+      Bigarray.Array1.blit
+        (Tensor.buffer (Fractal.as_leaf (pick r)))
+        (Bigarray.Array1.sub db (i * cols) cols))
+    rows;
+  Fractal.Leaf dst
+
+let slice_row ~cols t i =
+  let dst = Tensor.uninit (shape [ 1; cols ]) in
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub (Tensor.buffer t) (i * cols) cols)
+    (Tensor.buffer dst);
+  dst
+
+(* ------------------------- stacked RNN ---------------------------- *)
+
+(* Original (Listing 1): s_{d,t} = s_{d-1,t} @ w_d + s_{d,t-1}, layer 0
+   reading the raw token.  Carried state per request: the [depth]
+   previous-time outputs, one per layer.
+
+   Row-batched: all slots' below-layer values ride as ONE [width,
+   hidden] tensor, so each layer is a single [W,H] @ [H,H] GEMM + add
+   instead of [W] row-vector matmuls.  Each output row depends only on
+   the matching input row (matmul rows don't interact and the k-loop
+   accumulation order per output element is width-independent), so the
+   batched result is bitwise identical to width-1 — checked by the
+   differential suite, not assumed. *)
+let rnn_step ~depth ~hidden width =
+  let rows = shape [ width; hidden ] in
+  let weight = shape [ hidden; hidden ] in
+  let open Expr in
+  {
+    name = Printf.sprintf "stacked_rnn.step%d" width;
+    inputs =
+      [
+        ("xs", Tensor_ty rows);
+        ("ss", List_ty (depth, Tensor_ty rows));
+        ("ws", List_ty (depth, Tensor_ty weight));
+      ];
+    body =
+      scanl_e ~init:(Var "xs")
+        ~params:[ "below"; "w"; "s" ]
+        ~body:(Add @@@ [ Matmul @@@ [ Var "below"; Var "w" ]; Var "s" ])
+        (Zip [ Var "ws"; Var "ss" ]);
+  }
+
+let stacked_rnn ~depth ~seq_len ~hidden =
+  let token = shape [ 1; hidden ] in
+  let weight = shape [ hidden; hidden ] in
+  let wrng = Rng.create 20240901 in
+  let wscale = 0.5 /. float_of_int hidden in
+  let ws =
+    Fractal.tabulate depth (fun _ ->
+        Fractal.Leaf (Tensor.scale wscale (Tensor.rand wrng weight)))
+  in
+  let zero_state =
+    Fractal.tabulate depth (fun _ -> Fractal.Leaf (Tensor.zeros token))
+  in
+  {
+    sv_name = "stacked_rnn";
+    sv_seq_len = seq_len;
+    sv_shared = [ ("ws", ws) ];
+    sv_new_request =
+      (fun rng ~len ->
+        ( zero_state,
+          Array.init len (fun _ -> Fractal.Leaf (Tensor.rand rng token)) ));
+    sv_pad = (zero_state, Fractal.Leaf (Tensor.zeros token));
+    sv_step = rnn_step ~depth ~hidden;
+    sv_env =
+      (fun ~width rows ->
+        assert (Array.length rows = width);
+        [
+          ("xs", pack_rows ~width ~cols:hidden snd rows);
+          ( "ss",
+            Fractal.tabulate depth (fun d ->
+                pack_rows ~width ~cols:hidden
+                  (fun (st, _) -> Fractal.get st d)
+                  rows) );
+          ("ws", ws);
+        ]);
+    sv_demux =
+      (fun ~width outs ->
+        let layers =
+          Array.map Fractal.as_leaf (Fractal.children (single_out outs))
+        in
+        Array.init width (fun i ->
+            Fractal.Node
+              (Array.map
+                 (fun t -> Fractal.Leaf (slice_row ~cols:hidden t i))
+                 layers)));
+    sv_finish = (fun st -> Fractal.get st (depth - 1));
+  }
+
+(* ------------------------- stacked LSTM --------------------------- *)
+
+(* Original (Listing 2) cell, verbatim ops; carried state per request
+   is the per-layer (c, h) at the previous time step, kept as a
+   two-node fractal [crow; hrow] so the executor sees plain leaf
+   inputs (tuple-typed inputs are outside the compiled fragment).
+
+   Row-batched like the RNN: each layer's gates become four
+   [W,H] @ [H,H] GEMMs over the stacked batch, the [1,H] biases
+   row-broadcast (each row sees exactly the width-1 add), and the
+   sigmoid/tanh/mul algebra is elementwise — all row-independent, so
+   bitwise identity to solo service is preserved. *)
+let lstm_step ~depth ~hidden width =
+  let rows = shape [ width; hidden ] in
+  let weight = shape [ hidden; hidden ] in
+  let open Expr in
+  let gate k =
+    Add
+    @@@ [
+          Add
+          @@@ [
+                Matmul @@@ [ Proj (Var "below", 1); Index (Var "ws", [ k ]) ];
+                Matmul @@@ [ Var "h"; Index (Var "us", [ k ]) ];
+              ];
+          Index (Var "bs", [ k ]);
+        ]
+  in
+  let cell =
+    Let
+      ( "gi",
+        gate 0,
+        Let
+          ( "gf",
+            gate 1,
+            Let
+              ( "go",
+                gate 2,
+                Let
+                  ( "gc",
+                    gate 3,
+                    Let
+                      ( "c'",
+                        Add
+                        @@@ [
+                              Mul @@@ [ Sigmoid @@@ [ Var "gf" ]; Var "c" ];
+                              Mul
+                              @@@ [
+                                    Sigmoid @@@ [ Var "gi" ];
+                                    Tanh @@@ [ Var "gc" ];
+                                  ];
+                            ],
+                        Tuple
+                          [
+                            Var "c'";
+                            Mul
+                            @@@ [ Sigmoid @@@ [ Var "go" ]; Tanh @@@ [ Var "c'" ] ];
+                          ] ) ) ) ) )
+  in
+  {
+    name = Printf.sprintf "stacked_lstm.step%d" width;
+    inputs =
+      [
+        ("xs", Tensor_ty rows);
+        ("cs", List_ty (depth, Tensor_ty rows));
+        ("hs", List_ty (depth, Tensor_ty rows));
+        ("wss", List_ty (depth, List_ty (4, Tensor_ty weight)));
+        ("uss", List_ty (depth, List_ty (4, Tensor_ty weight)));
+        ("bss", List_ty (depth, List_ty (4, Tensor_ty (shape [ 1; hidden ]))));
+      ];
+    body =
+      scanl_e
+        ~init:(Tuple [ Lit (Tensor.zeros rows); Var "xs" ])
+        ~params:[ "below"; "ws"; "us"; "bs"; "c"; "h" ]
+        ~body:cell
+        (Zip [ Var "wss"; Var "uss"; Var "bss"; Var "cs"; Var "hs" ]);
+  }
+
+let stacked_lstm ~depth ~seq_len ~hidden =
+  let token = shape [ 1; hidden ] in
+  let weight = shape [ hidden; hidden ] in
+  let wrng = Rng.create 20240902 in
+  let wscale = 1.0 /. float_of_int hidden in
+  let gates f = Fractal.tabulate 4 (fun _ -> Fractal.Leaf (f ())) in
+  let wss =
+    Fractal.tabulate depth (fun _ ->
+        gates (fun () -> Tensor.scale wscale (Tensor.rand wrng weight)))
+  in
+  let uss =
+    Fractal.tabulate depth (fun _ ->
+        gates (fun () -> Tensor.scale wscale (Tensor.rand wrng weight)))
+  in
+  let bss =
+    Fractal.tabulate depth (fun _ ->
+        gates (fun () -> Tensor.rand wrng token))
+  in
+  let zrow () =
+    Fractal.tabulate depth (fun _ -> Fractal.Leaf (Tensor.zeros token))
+  in
+  let zero_state = Fractal.Node [| zrow (); zrow () |] in
+  {
+    sv_name = "stacked_lstm";
+    sv_seq_len = seq_len;
+    sv_shared = [ ("wss", wss); ("uss", uss); ("bss", bss) ];
+    sv_new_request =
+      (fun rng ~len ->
+        ( zero_state,
+          Array.init len (fun _ -> Fractal.Leaf (Tensor.rand rng token)) ));
+    sv_pad = (zero_state, Fractal.Leaf (Tensor.zeros token));
+    sv_step = lstm_step ~depth ~hidden;
+    sv_env =
+      (fun ~width rows ->
+        assert (Array.length rows = width);
+        let plane side =
+          Fractal.tabulate depth (fun d ->
+              pack_rows ~width ~cols:hidden
+                (fun (st, _) -> Fractal.get (Fractal.get st side) d)
+                rows)
+        in
+        [
+          ("xs", pack_rows ~width ~cols:hidden snd rows);
+          ("cs", plane 0);
+          ("hs", plane 1);
+          ("wss", wss);
+          ("uss", uss);
+          ("bss", bss);
+        ]);
+    sv_demux =
+      (fun ~width outs ->
+        let name = Printf.sprintf "stacked_lstm.step%d" width in
+        let plane v =
+          Array.map Fractal.as_leaf (Fractal.children (out_component outs name v))
+        in
+        let cs' = plane 0 and hs' = plane 1 in
+        let row layers i =
+          Fractal.Node
+            (Array.map
+               (fun t -> Fractal.Leaf (slice_row ~cols:hidden t i))
+               layers)
+        in
+        Array.init width (fun i ->
+            Fractal.Node [| row cs' i; row hs' i |]));
+    sv_finish =
+      (fun st -> Fractal.get (Fractal.get st 1) (depth - 1));
+  }
+
+(* ----------------------- attention block -------------------------- *)
+
+(* One online-softmax accumulation step (the body of
+   [attention_block.ft]'s reduce).  A request is one query block; its
+   tokens are (k, v) block pairs.  The query is constant across the
+   request's life, so it rides inside every token rather than the
+   state — pass-through state components are outside the compiled
+   fragment, and the leaves are shared, so this costs nothing. *)
+let attn_step ~rows ~dmodel width =
+  let qk = shape [ rows; dmodel ] in
+  let col = shape [ rows; 1 ] in
+  let open Expr in
+  {
+    name = Printf.sprintf "attention_block.step%d" width;
+    inputs =
+      [
+        ("qs", List_ty (width, Tensor_ty qk));
+        ("ms", List_ty (width, Tensor_ty col));
+        ("ss", List_ty (width, Tensor_ty col));
+        ("os", List_ty (width, Tensor_ty qk));
+        ("ks", List_ty (width, Tensor_ty qk));
+        ("vs", List_ty (width, Tensor_ty qk));
+      ];
+    body =
+      map_e
+        ~params:[ "q"; "m"; "s"; "o"; "k"; "v" ]
+        ~body:
+          (Let
+             ( "t1",
+               Matmul_t @@@ [ Var "q"; Var "k" ],
+               Let
+                 ( "m2",
+                   Maximum @@@ [ Var "m"; Row_max @@@ [ Var "t1" ] ],
+                   Let
+                     ( "p",
+                       Exp @@@ [ Sub @@@ [ Var "t1"; Var "m2" ] ],
+                       Let
+                         ( "a",
+                           Exp @@@ [ Sub @@@ [ Var "m"; Var "m2" ] ],
+                           Tuple
+                             [
+                               Var "m2";
+                               Add
+                               @@@ [
+                                     Mul @@@ [ Var "a"; Var "s" ];
+                                     Row_sum @@@ [ Var "p" ];
+                                   ];
+                               Add
+                               @@@ [
+                                     Mul @@@ [ Var "a"; Var "o" ];
+                                     Matmul @@@ [ Var "p"; Var "v" ];
+                                   ];
+                             ] ) ) ) ))
+        (Zip [ Var "qs"; Var "ms"; Var "ss"; Var "os"; Var "ks"; Var "vs" ]);
+  }
+
+(* o / s with s broadcast across columns — the [acc.2 / acc.1]
+   finalization, done outside the step so every tick stays one shape. *)
+let div_rows o s =
+  let os = Tensor.shape o in
+  Tensor.init os (fun ix -> Tensor.get o ix /. Tensor.get1 s ix.(0))
+
+let attention ~rows ~dmodel ~seq_len =
+  let qk = shape [ rows; dmodel ] in
+  let col = shape [ rows; 1 ] in
+  let zero_state =
+    Fractal.Node
+      [|
+        Fractal.Leaf (Tensor.full col (-1e30));
+        Fractal.Leaf (Tensor.zeros col);
+        Fractal.Leaf (Tensor.zeros qk);
+      |]
+  in
+  let pad_token =
+    Fractal.Node
+      [|
+        Fractal.Leaf (Tensor.zeros qk);
+        Fractal.Leaf (Tensor.zeros qk);
+        Fractal.Leaf (Tensor.zeros qk);
+      |]
+  in
+  {
+    sv_name = "attention_block";
+    sv_seq_len = seq_len;
+    sv_shared = [];
+    sv_new_request =
+      (fun rng ~len ->
+        let q = Fractal.Leaf (Tensor.rand rng qk) in
+        ( zero_state,
+          Array.init len (fun _ ->
+              Fractal.Node
+                [|
+                  q;
+                  Fractal.Leaf (Tensor.rand rng qk);
+                  Fractal.Leaf (Tensor.rand rng qk);
+                |]) ));
+    sv_pad = (zero_state, pad_token);
+    sv_step = attn_step ~rows ~dmodel;
+    sv_env =
+      (fun ~width rows_arr ->
+        assert (Array.length rows_arr = width);
+        let st i = Array.map (fun (s, _) -> Fractal.get s i) rows_arr in
+        let tok i = Array.map (fun (_, t) -> Fractal.get t i) rows_arr in
+        [
+          ("qs", Fractal.Node (tok 0));
+          ("ms", Fractal.Node (st 0));
+          ("ss", Fractal.Node (st 1));
+          ("os", Fractal.Node (st 2));
+          ("ks", Fractal.Node (tok 1));
+          ("vs", Fractal.Node (tok 2));
+        ]);
+    sv_demux =
+      (fun ~width outs ->
+        let name = Printf.sprintf "attention_block.step%d" width in
+        let m2 = out_component outs name 0
+        and s2 = out_component outs name 1
+        and o2 = out_component outs name 2 in
+        Array.init width (fun w ->
+            Fractal.Node
+              [| Fractal.get m2 w; Fractal.get s2 w; Fractal.get o2 w |]));
+    sv_finish =
+      (fun st ->
+        let s = Fractal.as_leaf (Fractal.get st 1)
+        and o = Fractal.as_leaf (Fractal.get st 2) in
+        Fractal.Leaf (div_rows o s));
+  }
+
+(* ----------------------- selective scan --------------------------- *)
+
+(* h' = a * h + b — the decode-time SSM recurrence; a token is the
+   (a, b) gate/value pair.
+
+   This servable is row-batched: the whole batch is ONE
+   [width, hidden] tensor per operand and the step is a single
+   elementwise expression with no per-slot cells, so the compiled
+   plan's per-cell dispatch cost amortizes over the batch instead of
+   being paid once per slot.  Elementwise ops are row-independent, so
+   row [i] of the batched result is bitwise identical to the width-1
+   computation on that slot's row — the keystone property holds by
+   construction.  Mux/demux are raw row blits on the underlying
+   bigarray buffers. *)
+let scan_step ~hidden width =
+  let rows = shape [ width; hidden ] in
+  let open Expr in
+  {
+    name = Printf.sprintf "selective_scan.step%d" width;
+    inputs =
+      [
+        (* singleton lists: the builder wants a collection operator, so
+           the batch block rides as a one-element map *)
+        ("hs", List_ty (1, Tensor_ty rows));
+        ("gs", List_ty (1, Tensor_ty rows));
+        ("us", List_ty (1, Tensor_ty rows));
+      ];
+    body =
+      map_e
+        ~params:[ "h"; "a"; "b" ]
+        ~body:(Add @@@ [ Mul @@@ [ Var "a"; Var "h" ]; Var "b" ])
+        (Zip [ Var "hs"; Var "gs"; Var "us" ]);
+  }
+
+let selective_scan ~seq_len ~hidden =
+  let token = shape [ 1; hidden ] in
+  let zero_state = Fractal.Leaf (Tensor.zeros token) in
+  {
+    sv_name = "selective_scan";
+    sv_seq_len = seq_len;
+    sv_shared = [];
+    sv_new_request =
+      (fun rng ~len ->
+        ( zero_state,
+          Array.init len (fun _ ->
+              Fractal.Node
+                [|
+                  Fractal.Leaf (Tensor.sigmoid (Tensor.rand rng token));
+                  Fractal.Leaf (Tensor.rand rng token);
+                |]) ));
+    sv_pad =
+      ( zero_state,
+        Fractal.Node
+          [| Fractal.Leaf (Tensor.zeros token); Fractal.Leaf (Tensor.zeros token) |]
+      );
+    sv_step = scan_step ~hidden;
+    sv_env =
+      (fun ~width rows ->
+        assert (Array.length rows = width);
+        let one v = Fractal.Node [| v |] in
+        [
+          ("hs", one (pack_rows ~width ~cols:hidden fst rows));
+          ("gs", one (pack_rows ~width ~cols:hidden (fun (_, t) -> Fractal.get t 0) rows));
+          ("us", one (pack_rows ~width ~cols:hidden (fun (_, t) -> Fractal.get t 1) rows));
+        ]);
+    sv_demux =
+      (fun ~width outs ->
+        let block = Fractal.as_leaf (Fractal.get (single_out outs) 0) in
+        Array.init width (fun i ->
+            Fractal.Leaf (slice_row ~cols:hidden block i)));
+    sv_finish = (fun st -> st);
+  }
+
+(* ------------------------- dispatch ------------------------------- *)
+
+(* Recognize a whole-sequence example program by name and input
+   signature and derive the servable's dimensions from its types, so
+   [ftc serve examples/programs/stacked_rnn.ft] serves exactly the
+   shapes the file declares. *)
+let of_program (p : Expr.program) : (t, string) result =
+  let open Expr in
+  let find n = List.assoc_opt n p.inputs in
+  let leaf_dims = function
+    | Tensor_ty s -> Some (Shape.dims s)
+    | _ -> None
+  in
+  match p.name with
+  | "stacked_rnn" -> (
+      match (find "xss", find "ws") with
+      | Some (List_ty (_, List_ty (seq_len, tok))), Some (List_ty (depth, _))
+        -> (
+          match leaf_dims tok with
+          | Some [| 1; hidden |] ->
+              Ok (stacked_rnn ~depth ~seq_len ~hidden)
+          | _ -> Error "stacked_rnn: token must be [1,H]")
+      | _ -> Error "stacked_rnn: unexpected input signature")
+  | "stacked_lstm" -> (
+      match (find "xss", find "wss") with
+      | Some (List_ty (_, List_ty (seq_len, tok))), Some (List_ty (depth, _))
+        -> (
+          match leaf_dims tok with
+          | Some [| 1; hidden |] ->
+              Ok (stacked_lstm ~depth ~seq_len ~hidden)
+          | _ -> Error "stacked_lstm: token must be [1,H]")
+      | _ -> Error "stacked_lstm: unexpected input signature")
+  | "attention_block" -> (
+      match (find "qs", find "ks") with
+      | Some (List_ty (_, q)), Some (List_ty (seq_len, _)) -> (
+          match leaf_dims q with
+          | Some [| rows; dmodel |] -> Ok (attention ~rows ~dmodel ~seq_len)
+          | _ -> Error "attention_block: query must be [rows,d]")
+      | _ -> Error "attention_block: unexpected input signature")
+  | "selective_scan" -> (
+      match find "ass" with
+      | Some (List_ty (_, List_ty (seq_len, tok))) -> (
+          match leaf_dims tok with
+          | Some [| 1; hidden |] -> Ok (selective_scan ~seq_len ~hidden)
+          | _ -> Error "selective_scan: token must be [1,H]")
+      | _ -> Error "selective_scan: unexpected input signature")
+  | n ->
+      Error
+        (Printf.sprintf
+           "no step-program recipe for %S (servable: stacked_rnn, \
+            stacked_lstm, attention_block, selective_scan)"
+           n)
+
+let builtin = function
+  | "stacked_rnn" -> Some (stacked_rnn ~depth:3 ~seq_len:8 ~hidden:32)
+  | "stacked_lstm" -> Some (stacked_lstm ~depth:3 ~seq_len:8 ~hidden:32)
+  | "attention_block" -> Some (attention ~rows:16 ~dmodel:32 ~seq_len:12)
+  | "selective_scan" -> Some (selective_scan ~seq_len:16 ~hidden:64)
+  | _ -> None
+
+let builtin_names =
+  [ "stacked_rnn"; "stacked_lstm"; "attention_block"; "selective_scan" ]

@@ -1,0 +1,50 @@
+(** Workloads recast for serving: whole-sequence example programs as
+    per-tick {e step programs} over a shared batch dimension.
+
+    Every recurrent body in the example set is a left fold, so the
+    value after token [t] is a function of the carried state after
+    [t-1] and the token alone.  A servable packages that observation:
+    the initial carried state and token stream of a fresh request, a
+    step program over batch width [W] whose per-slot cell is the
+    original program's cell (same primitive ops, same shapes), and the
+    demux/finish maps back out of an executor run.  Because the batch
+    [map] has no cross-slot dependence and padded slots execute to
+    finite values on their own leaves, batched execution is
+    bitwise-identical to serving the same request alone — the property
+    the differential suite pins down. *)
+
+type t = {
+  sv_name : string;
+  sv_seq_len : int;  (** default tokens per request, from the program *)
+  sv_shared : (string * Fractal.t) list;
+      (** weight inputs, identical for every request and width *)
+  sv_new_request : Rng.t -> len:int -> Fractal.t * Fractal.t array;
+      (** (initial carried state, tokens) for a fresh request *)
+  sv_pad : Fractal.t * Fractal.t;
+      (** (state, token) occupying empty slots; must execute to finite
+          values so a padded run can never poison the shared batch *)
+  sv_step : int -> Expr.program;  (** the step program at a width *)
+  sv_env :
+    width:int -> (Fractal.t * Fractal.t) array -> (string * Fractal.t) list;
+      (** executor inputs from per-slot (state, token) rows *)
+  sv_demux : width:int -> (string * Fractal.t) list -> Fractal.t array;
+      (** per-slot new state out of one executor run *)
+  sv_finish : Fractal.t -> Fractal.t;
+      (** the response: a pure function of the final carried state *)
+}
+
+val of_program : Expr.program -> (t, string) result
+(** Recognize a whole-sequence example program (by name and input
+    signature) and derive the servable's dimensions from its declared
+    types — the [ftc serve FILE.ft] path. *)
+
+val builtin : string -> t option
+(** Servables at serving-sized default dimensions, keyed by workload
+    name — the [ftc serve --bench] path needs no [.ft] file. *)
+
+val builtin_names : string list
+
+val stacked_rnn : depth:int -> seq_len:int -> hidden:int -> t
+val stacked_lstm : depth:int -> seq_len:int -> hidden:int -> t
+val attention : rows:int -> dmodel:int -> seq_len:int -> t
+val selective_scan : seq_len:int -> hidden:int -> t

@@ -1,0 +1,78 @@
+(** The serving front door: servable + broker + session + scheduler
+    wired together, plus the measurement and differential entry points
+    behind [ftc serve]. *)
+
+val servable_of_file : string -> (Servable.t, string) result
+(** Parse, type-check and recognize a [.ft] example program. *)
+
+val servable_of_name : string -> (Servable.t, string) result
+(** A builtin servable at serving-sized dimensions. *)
+
+type outcome = {
+  oc_metrics : Metrics.t;
+  oc_completed : Request.t list;  (** completion order *)
+  oc_wall_s : float;
+  oc_engine : string;
+  oc_shed : int;  (** open-loop only: arrivals dropped at the door *)
+}
+
+val run_requests :
+  ?tenant:string ->
+  ?opts:Run_opts.t ->
+  ?max_batch:int ->
+  ?queue:int ->
+  ?tick_ms:float ->
+  ?compact:bool ->
+  Servable.t ->
+  Request.t array ->
+  outcome
+(** Closed loop: queue the whole set up front (virtual arrival ticks
+    still gate admission), serve to completion. *)
+
+val solo :
+  ?tenant:string -> ?opts:Run_opts.t -> Servable.t -> Request.t array ->
+  outcome
+(** Reset and serve each request entirely alone ([max_batch = 1]) —
+    the sequential baseline and the bitwise reference. *)
+
+val run_open_loop :
+  ?tenant:string ->
+  ?opts:Run_opts.t ->
+  ?max_batch:int ->
+  queue:int ->
+  ?tick_ms:float ->
+  ?compact:bool ->
+  ?max_ticks:int ->
+  Servable.t ->
+  Request.t array ->
+  outcome
+(** Open loop: play the arrivals from a second domain against the live
+    scheduler clock through a bounded queue; full-queue arrivals are
+    shed. *)
+
+val mismatches : Request.t list -> Request.t list -> int
+(** Requests matched by id across two servings; a mismatch is any
+    difference — by {!Fractal.equal_exact} — in response or final
+    carried state, or a request present on one side only. *)
+
+type bench_cfg = {
+  bc_seed : int;
+  bc_requests : int;
+  bc_max_batch : int;
+  bc_repeat : int;
+  bc_queue : int;  (** open-loop queue bound (backpressure) *)
+  bc_rate : float;  (** open-loop arrivals per tick *)
+  bc_tick_ms : float;  (** open-loop tick deadline (wall pacing) *)
+  bc_domains : int option;
+}
+
+val default_bench_cfg : bench_cfg
+
+val bench_servable : ?cfg:bench_cfg -> Servable.t -> Jsonw.t
+(** Interleaved batched-vs-solo closed-loop medians (throughput,
+    speedup, bitwise mismatch count) plus an open-loop bounded-queue
+    run (latency percentiles under backpressure) for one workload. *)
+
+val bench : ?cfg:bench_cfg -> string list -> Jsonw.t * (string * string) list
+(** {!bench_servable} over builtin names; unknown names come back as
+    [(name, error)] pairs instead of records. *)

@@ -1,0 +1,65 @@
+(* Per-tenant execution context.
+
+   A session pins one servable and one option set, and resolves each
+   batch width to a prepared executable exactly once: program digest →
+   tuned tile config (Tune_db, when installed) → plan cache warm →
+   Executor.prepare_cached under a tenant-prefixed key.  The tenant
+   prefix is the isolation boundary — two tenants serving the same
+   program never share a prepared executable (a prepared is stateful
+   and single-consumer), while within a tenant every width is compiled
+   once and reused for the life of the process. *)
+
+type t = {
+  ssn_tenant : string;
+  ssn_servable : Servable.t;
+  ssn_opts : Run_opts.t;
+  ssn_prepared : (int, Executor.prepared) Hashtbl.t;
+}
+
+let create ?(tenant = "default") ?(opts = Run_opts.default) sv =
+  {
+    ssn_tenant = tenant;
+    ssn_servable = sv;
+    ssn_opts = opts;
+    ssn_prepared = Hashtbl.create 7;
+  }
+
+let tenant t = t.ssn_tenant
+let servable t = t.ssn_servable
+let opts t = t.ssn_opts
+
+let prepared t ~width =
+  match Hashtbl.find_opt t.ssn_prepared width with
+  | Some pr -> pr
+  | None ->
+      let prog = t.ssn_servable.Servable.sv_step width in
+      let key = Pipeline.program_key prog in
+      (* Warm the plan cache (FT_PLAN_CACHE shares it across
+         processes) and pick up any tuned config for this digest; the
+         tuned tile carries the compiled engine's chunk/fuse/pack
+         knobs, all bitwise-neutral. *)
+      ignore (Pipeline.plan_cached ~tune:true prog);
+      let tile =
+        Option.value
+          (Pipeline.tuned_config_for key)
+          ~default:Tile.default_config
+      in
+      let opts =
+        {
+          t.ssn_opts with
+          Run_opts.chunk = Some tile.Tile.cfg_vm_chunk;
+          fuse = tile.Tile.cfg_fuse;
+          pack = tile.Tile.cfg_pack;
+        }
+      in
+      let g = Build.build prog in
+      let pr =
+        Executor.prepare_cached ~key:(t.ssn_tenant ^ ":" ^ key) ~opts g
+      in
+      Hashtbl.replace t.ssn_prepared width pr;
+      pr
+
+let widths_prepared t =
+  Hashtbl.fold (fun w _ acc -> w :: acc) t.ssn_prepared [] |> List.sort compare
+
+let engine t ~width = Executor.engine (prepared t ~width)

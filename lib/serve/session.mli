@@ -1,0 +1,23 @@
+(** Per-tenant execution context: servable + options + one prepared
+    executable per batch width.
+
+    Width resolution goes program digest → tuned tile config → plan
+    cache warm ({!Pipeline.plan_cached}) → {!Executor.prepare_cached}
+    under a tenant-prefixed key, so tenants never share the stateful
+    prepared executable while each width compiles at most once per
+    process. *)
+
+type t
+
+val create : ?tenant:string -> ?opts:Run_opts.t -> Servable.t -> t
+val tenant : t -> string
+val servable : t -> Servable.t
+val opts : t -> Run_opts.t
+
+val prepared : t -> width:int -> Executor.prepared
+(** Compile-once access; the tuned config (when the tune DB is
+    installed) supplies chunk/fuse/pack, [opts] everything else. *)
+
+val widths_prepared : t -> int list
+val engine : t -> width:int -> string
+(** ["compiled"] / ["vm-fallback"] / ... for one width. *)

@@ -168,8 +168,42 @@ if fail:
     raise SystemExit("bench_kernels smoke: a packed/fused kernel lost "
                      "to its baseline or changed results")
 EOF
+  # Serving smoke: a short continuous-batching bench.  Hard gates:
+  # batched service must be bitwise identical to solo service on every
+  # workload, the open-loop p99 must stay finite under deliberate
+  # overload, and the bounded queue must actually shed (backpressure
+  # engages) on at least one workload.  Speedup vs solo is reported
+  # but not gated here — the committed BENCH_serve.json carries the
+  # full-length measurement.
+  echo "bench_serve smoke (repeat 3, requests 16)"
+  scripts/bench_serve.sh 3 16 BENCH_serve_smoke.json > /dev/null
+  python3 - <<'EOF'
+import json, math, os
+doc = json.load(open("BENCH_serve_smoke.json"))
+os.remove("BENCH_serve_smoke.json")
+wls = doc["workloads"]
+assert wls, "BENCH_serve_smoke.json has no workload records"
+fail = False
+total_shed = 0
+for r in wls:
+    ol = r["open_loop"]
+    p99 = ol["stats"]["latency_ms"]["p99"]
+    total_shed += ol["shed"]
+    ok = r["bitwise_mismatches"] == 0 and math.isfinite(p99)
+    tag = "ok" if ok else "FAIL"
+    print(f"  {tag} {r['workload']}: {r['speedup_vs_solo']:.2f}x solo, "
+          f"occupancy {r['mean_occupancy']:.1f}/{r['max_batch']}, "
+          f"open-loop shed {ol['shed']}/{ol['offered']}, p99 {p99:.2f} ms")
+    fail = fail or not ok
+if fail:
+    raise SystemExit("bench_serve smoke: batched service diverged from "
+                     "solo or p99 went non-finite under backpressure")
+if total_shed == 0:
+    raise SystemExit("bench_serve smoke: overload never engaged the "
+                     "bounded queue (no arrivals shed)")
+EOF
 else
-  echo "  (python3 not found; skipping bench_vm/bench_kernels smoke)"
+  echo "  (python3 not found; skipping bench_vm/bench_kernels/bench_serve smoke)"
 fi
 
 echo "check.sh: all green"

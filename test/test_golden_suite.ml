@@ -23,7 +23,10 @@ let golden_src_dir = "../../../test/golden"
 let update_mode = Sys.getenv_opt "FT_GOLDEN_UPDATE" = Some "1"
 
 let examples =
-  [ "attention_block"; "conv1d"; "ffn_block"; "mlp_chain"; "stacked_rnn" ]
+  [
+    "attention_block"; "conv1d"; "ffn_block"; "mlp_chain"; "selective_scan";
+    "stacked_rnn";
+  ]
 
 let example_path name = Filename.concat example_dir (name ^ ".ft")
 

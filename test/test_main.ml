@@ -8,5 +8,6 @@ let () =
     @ Test_observe_suite.suites
     @ Test_runtime_suite.suites @ Test_tune_suite.suites
     @ Test_compiled_suite.suites
+    @ Test_serve_suite.suites
     @ Test_golden_suite.suites @ Test_conform_suite.suites
     @ Test_cli_suite.suites)
