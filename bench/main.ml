@@ -784,6 +784,159 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Dist: sharded execution across simulated devices                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each row is one sharded run: the graph auto-partitioned across N
+   simulated devices, executed functionally on N real OCaml domains and
+   bitwise-checked against the single-device compiled engine, and the
+   same event log priced on the interconnect model.  The curve and the
+   checked values come from one run, not two stories.  Rows where the
+   transfers dominate are honest about losing: speedup_vs_1dev < 1. *)
+
+let device_counts = ref [ 1; 2; 4; 8 ]
+
+let record_dist ~workload ~devices ~strategy ~sim_ms ~sim_1dev_ms ~xfers
+    ~device_xfers ~xfer_gb ~wall_ms ~bitwise =
+  push_record
+    (Jsonw.Obj
+       [
+         ("experiment", Jsonw.String "dist");
+         ("workload", Jsonw.String workload);
+         ("devices", Jsonw.Int devices);
+         ("strategy", Jsonw.String strategy);
+         ("link", Jsonw.String "nvlink");
+         ("sim_time_ms", Jsonw.Float sim_ms);
+         ("speedup_vs_1dev", Jsonw.Float (sim_1dev_ms /. sim_ms));
+         ("transfers", Jsonw.Int xfers);
+         ("device_transfers", Jsonw.Int device_xfers);
+         ("transfer_gb", Jsonw.Float xfer_gb);
+         ("wall_ms", Jsonw.Float wall_ms);
+         ("bitwise_equal", Jsonw.Bool bitwise);
+       ])
+
+let dist () =
+  cur_experiment := "dist";
+  section
+    "Dist: sharded execution across simulated devices (every row \
+     bitwise-checked vs the 1-device compiled engine)";
+  (* medium configs: big enough that compute can amortise the
+     exchanges, small enough that 10 workloads x 4 device counts of
+     real functional execution stay interactive *)
+  let workloads =
+    [
+      ( "stacked_rnn",
+        fun rng ->
+          let cfg =
+            { Stacked_rnn.batch = 16; depth = 4; seq_len = 16; hidden = 256 }
+          in
+          ( Build.build (Stacked_rnn.program cfg),
+            Stacked_rnn.bindings (Stacked_rnn.gen_inputs rng cfg) ) );
+      ( "stacked_lstm",
+        fun rng ->
+          let cfg =
+            { Stacked_lstm.batch = 16; depth = 4; seq_len = 24; hidden = 128 }
+          in
+          ( Build.build (Stacked_lstm.program cfg),
+            Stacked_lstm.bindings (Stacked_lstm.gen_inputs rng cfg) ) );
+      ( "dilated_rnn",
+        fun rng ->
+          let cfg =
+            { Dilated_rnn.batch = 16; layers = 4; seq_len = 32; hidden = 64 }
+          in
+          ( Build.build (Dilated_rnn.program cfg),
+            Dilated_rnn.bindings (Dilated_rnn.gen_inputs rng cfg) ) );
+      ( "grid_rnn",
+        fun rng ->
+          let cfg =
+            { Grid_rnn.batch = 8; depth = 2; rows = 8; cols = 8; hidden = 64 }
+          in
+          ( Build.build (Grid_rnn.program cfg),
+            Grid_rnn.bindings (Grid_rnn.gen_inputs rng cfg) ) );
+      ( "b2b_gemm",
+        fun rng ->
+          let cfg =
+            { B2b_gemm.m_blocks = 8; block_m = 128; k = 64; n = 64; p = 64 }
+          in
+          ( Build.build (B2b_gemm.program cfg),
+            B2b_gemm.bindings (B2b_gemm.gen_inputs rng cfg) ) );
+      ( "flash_attention",
+        fun rng ->
+          let cfg =
+            { Flash_attention.batch = 2; heads = 8; q_blocks = 8;
+              kv_blocks = 8; block = 16; head_dim = 64 }
+          in
+          ( Build.build (Flash_attention.program cfg),
+            Flash_attention.bindings (Flash_attention.gen_inputs rng cfg) ) );
+      ( "conv1d",
+        fun rng ->
+          let cfg =
+            { Conv1d.batch = 16; seq_len = 128; taps = 9; channels = 64;
+              filters = 64 }
+          in
+          ( Build.build (Conv1d.program cfg),
+            Conv1d.bindings (Conv1d.gen_inputs rng cfg) ) );
+      ( "selective_scan",
+        fun rng ->
+          let cfg = { Selective_scan.batch = 16; seq_len = 64; hidden = 64 } in
+          ( Build.build (Selective_scan.program cfg),
+            Selective_scan.bindings (Selective_scan.gen_inputs rng cfg) ) );
+      ( "retention",
+        fun rng ->
+          let cfg =
+            { Retention.batch = 8; heads = 8; chunks = 8; chunk = 16;
+              head_dim = 64; gamma = 0.9 }
+          in
+          ( Build.build (Retention.program cfg),
+            Retention.bindings (Retention.gen_inputs rng cfg) ) );
+      ( "bigbird",
+        fun rng ->
+          let cfg =
+            { Bigbird.batch = 4; blocks = 8; block = 16; dim = 128; window = 3 }
+          in
+          ( Build.build (Bigbird.program cfg),
+            Bigbird.bindings (Bigbird.gen_inputs rng cfg) ) );
+    ]
+  in
+  (* speedups are quoted against the 1-device row of the same model, so
+     make sure it exists even under a custom --devices list *)
+  let counts =
+    if List.mem 1 !device_counts then !device_counts
+    else 1 :: !device_counts
+  in
+  List.iter
+    (fun (wname, mk) ->
+      let g, binds = mk (Rng.create 23) in
+      Format.printf "@.%s@." wname;
+      let sim_1dev = ref nan in
+      List.iter
+        (fun n ->
+          let t0 = Unix.gettimeofday () in
+          let rp, bitwise = Dist.differential ~devices:n g binds in
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          let sim_ms = rp.Dist.rp_sim.Engine.dm_time_ms in
+          if n = 1 then sim_1dev := sim_ms;
+          Format.printf
+            "  %d device%s %-9s sim %9.3f ms  (%.2fx vs 1 device)  \
+             transfers %4d (%.6f GB)%s@."
+            n
+            (if n = 1 then " " else "s")
+            rp.Dist.rp_strategy sim_ms (!sim_1dev /. sim_ms) rp.Dist.rp_xfers
+            rp.Dist.rp_xfer_gb
+            (if bitwise then "  bitwise equal" else "  OUTPUTS DIFFER");
+          if not bitwise then
+            Format.printf
+              "  WARNING: sharded output differs from the 1-device engine@.";
+          record_dist ~workload:wname ~devices:n ~strategy:rp.Dist.rp_strategy
+            ~sim_ms ~sim_1dev_ms:!sim_1dev ~xfers:rp.Dist.rp_xfers
+            ~device_xfers:rp.Dist.rp_device_xfers
+            ~xfer_gb:rp.Dist.rp_xfer_gb ~wall_ms ~bitwise)
+        counts;
+      Dist.reset_pools ();
+      Executor.reset_pools ())
+    workloads
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* argv: flags and [EXPERIMENT] in any order *)
@@ -828,7 +981,23 @@ let () =
         | _ | (exception Exit) ->
             prerr_endline "--domains requires a comma-separated list of positive integers";
             exit 1)
-    | ("--json" | "--repeat" | "--warmup" | "--domains") :: [] ->
+    | "--devices" :: v :: rest -> (
+        let parts = String.split_on_char ',' v in
+        match
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some n when n > 0 -> n
+              | _ -> raise Exit)
+            parts
+        with
+        | ds when ds <> [] ->
+            device_counts := ds;
+            parse rest
+        | _ | (exception Exit) ->
+            prerr_endline "--devices requires a comma-separated list of positive integers";
+            exit 1)
+    | ("--json" | "--repeat" | "--warmup" | "--domains" | "--devices") :: [] ->
         prerr_endline "flag requires an argument";
         exit 1
     | arg :: rest ->
@@ -849,6 +1018,7 @@ let () =
   | "vm" -> vm ()
   | "kernels" -> kernels ()
   | "tuned" -> tuned ()
+  | "dist" -> dist ()
   | "micro" -> micro ()
   | "all" ->
       fig2 ();
@@ -860,9 +1030,10 @@ let () =
       vm ();
       kernels ();
       tuned ();
+      dist ();
       micro ()
   | other ->
-      Format.printf "unknown experiment %s (fig2|fig7|fig8|table7|ablation|devices|vm|kernels|tuned|micro|all)@." other;
+      Format.printf "unknown experiment %s (fig2|fig7|fig8|table7|ablation|devices|vm|kernels|tuned|dist|micro|all)@." other;
       exit 1);
   (match !json_path with
   | None -> ()

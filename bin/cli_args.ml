@@ -58,6 +58,38 @@ let device_arg =
         Device.a100
     & info [ "device" ] ~docv:"DEVICE" ~doc:"Device model: a100, h100 or v100")
 
+let devices_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "Simulated devices to shard across; each shard executes on its \
+           own OCaml domain")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("auto", None); ("batch", Some Shard.Batch);
+             ("sequence", Some Shard.Sequence);
+             ("pipeline", Some Shard.Pipeline);
+             ("replicate", Some Shard.Replicate) ])
+        None
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Partitioning strategy: auto (per-block), batch (free axis), \
+           sequence (dependence axis + halo), pipeline (blocks \
+           round-robin) or replicate")
+
+let link_arg =
+  Arg.(
+    value
+    & opt (enum [ ("nvlink", Device.nvlink); ("pcie", Device.pcie) ])
+        Device.nvlink
+    & info [ "link" ] ~docv:"LINK"
+        ~doc:"Interconnect model for transfers: nvlink or pcie")
+
 let seed_arg ~default =
   Arg.(
     value & opt int default

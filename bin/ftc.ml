@@ -1138,6 +1138,128 @@ let serve_cmd =
       $ Cli_args.seed_arg ~default:2024
       $ Cli_args.domains_arg)
 
+let shard_cmd =
+  let run target devices strategy link device seed json =
+    if devices < 1 then begin
+      Format.eprintf "shard: --devices must be at least 1@.";
+      exit 1
+    end;
+    let p =
+      if Sys.file_exists target then (
+        match Parse.program_file target with
+        | exception Parse.Syntax_error { line; col; message } ->
+            Format.eprintf "%s:%d:%d: %s@." target line col message;
+            exit 1
+        | p -> p)
+      else (find_workload target).w_program ()
+    in
+    let g = Build.build p in
+    (match Ir.validate g with
+    | Ok () -> ()
+    | Error es ->
+        List.iter (Format.eprintf "invariant violated: %s@.") es;
+        exit 1);
+    let rng = Rng.create seed in
+    let inputs =
+      List.map (fun (x, t) -> (x, random_value rng t)) p.Expr.inputs
+    in
+    match Dist.differential ?strategy ~link ~device ~devices g inputs with
+    | exception Dist.Illegal_plan diags ->
+        Format.eprintf "shard: plan statically refuted:@.%a@."
+          (Diagnostic.pp_list ?path:None) diags;
+        exit 1
+    | rep, bitwise ->
+        (* the same run on one device, through the same model, anchors
+           the scaling number *)
+        let base = Dist.run ~link ~device ~devices:1 g inputs in
+        let speedup =
+          if rep.Dist.rp_sim.Engine.dm_time_ms > 0.0 then
+            base.Dist.rp_sim.Engine.dm_time_ms
+            /. rep.Dist.rp_sim.Engine.dm_time_ms
+          else 0.0
+        in
+        if json then begin
+          let shard_json (_, sh) =
+            Jsonw.Obj
+              [
+                ("block", Jsonw.String sh.Shard.sh_block);
+                ( "strategy",
+                  Jsonw.String (Shard.strategy_name sh.Shard.sh_strategy) );
+                ("axis", Jsonw.Int sh.Shard.sh_axis);
+                ("chunk", Jsonw.Int sh.Shard.sh_chunk);
+                ("halo", Jsonw.Int sh.Shard.sh_halo);
+              ]
+          in
+          print_endline
+            (Jsonw.to_string
+               (Jsonw.Obj
+                  [
+                    ("program", Jsonw.String p.Expr.name);
+                    ("devices", Jsonw.Int devices);
+                    ("strategy", Jsonw.String rep.Dist.rp_strategy);
+                    ("link", Jsonw.String rep.Dist.rp_link.Device.link_name);
+                    ("bitwise_equal", Jsonw.Bool bitwise);
+                    ("transfers", Jsonw.Int rep.Dist.rp_xfers);
+                    ("device_transfers", Jsonw.Int rep.Dist.rp_device_xfers);
+                    ("transfer_gb", Jsonw.Float rep.Dist.rp_xfer_gb);
+                    ( "sim_time_ms",
+                      Jsonw.Float rep.Dist.rp_sim.Engine.dm_time_ms );
+                    ( "sim_time_1dev_ms",
+                      Jsonw.Float base.Dist.rp_sim.Engine.dm_time_ms );
+                    ("speedup_vs_1dev", Jsonw.Float speedup);
+                    ( "fallbacks",
+                      Jsonw.Int
+                        (List.length rep.Dist.rp_log.Dist_exec.lg_fallbacks)
+                    );
+                    ( "shards",
+                      Jsonw.List
+                        (List.map shard_json rep.Dist.rp_plan.Shard.pl_blocks)
+                    );
+                  ]))
+        end
+        else begin
+          Format.printf "program %s across %d device(s), strategy %s, %s@."
+            p.Expr.name devices rep.Dist.rp_strategy
+            rep.Dist.rp_link.Device.link_name;
+          List.iter
+            (fun (_, sh) -> Format.printf "  %a@." Shard.pp_shard sh)
+            rep.Dist.rp_plan.Shard.pl_blocks;
+          List.iter
+            (fun d -> Format.printf "  %a@." (Diagnostic.pp ?path:None) d)
+            rep.Dist.rp_diags;
+          Format.printf
+            "executed: %d transfer(s), %d device-to-device, %.3f MB moved@."
+            rep.Dist.rp_xfers rep.Dist.rp_device_xfers
+            (rep.Dist.rp_xfer_gb *. 1e3);
+          Format.printf "simulated: %a@." Engine.pp_dist_metrics
+            rep.Dist.rp_sim;
+          Format.printf "speedup vs 1 device: %.2fx (%.3f ms -> %.3f ms)@."
+            speedup base.Dist.rp_sim.Engine.dm_time_ms
+            rep.Dist.rp_sim.Engine.dm_time_ms;
+          Format.printf "%s the single-device compiled engine@."
+            (if bitwise then "bitwise-identical to" else "DIFFERS from")
+        end;
+        if not bitwise then exit 1
+  in
+  let target =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Program to shard: a .ft file or a builtin workload name")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Shard the ETDG across simulated devices: partition, statically \
+          verify, execute each shard on its own OCaml domain with explicit \
+          transfers, check bitwise against the single-device compiled \
+          engine, and price the run on the interconnect model")
+    Term.(
+      const run $ target $ Cli_args.devices_arg $ Cli_args.strategy_arg
+      $ Cli_args.link_arg $ Cli_args.device_arg
+      $ Cli_args.seed_arg ~default:42
+      $ Cli_args.json_flag)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1148,4 +1270,4 @@ let () =
     (Cmd.eval (Cmd.group ~default info
                  [ list_cmd; verify_cmd; show_cmd; compile_cmd; simulate_cmd;
                    run_cmd; profile_cmd; analyze_cmd; tune_cmd; cache_cmd;
-                   lint_cmd; conform_cmd; serve_cmd ]))
+                   lint_cmd; conform_cmd; serve_cmd; shard_cmd ]))

@@ -231,6 +231,38 @@ let boxes_disjoint (lo1, hi1) (lo2, hi2) =
   in
   go 0
 
+(* Footprint of one edge over a caller-chosen sub-box of the iteration
+   space — the per-device footprint the distributed partitioner checks
+   for disjointness.  Same interval arithmetic as [edge_region]'s
+   rectangular branch; the sub-box (a device's shard, optionally
+   widened by its halo) replaces the full domain extents. *)
+let subrange_region (g : Ir.graph) (_b : Ir.block) ~ext (e : Ir.edge) =
+  let bf = Ir.buffer g e.Ir.e_buffer in
+  let a = e.Ir.e_access in
+  let m = Access_map.out_dim a in
+  let lo = Array.make m 0 and hi = Array.make m 0 in
+  Array.iteri
+    (fun r row ->
+      let l, h = row_range row a.Access_map.offset.(r) ext in
+      lo.(r) <- l;
+      hi.(r) <- h)
+    a.Access_map.matrix;
+  let lo, hi, clipped = clip_region bf lo hi in
+  {
+    rg_buffer = bf.Ir.buf_id;
+    rg_name = bf.Ir.buf_name;
+    rg_write = e.Ir.e_dir = Ir.Write;
+    rg_label = e.Ir.e_label;
+    rg_lo = lo;
+    rg_hi = hi;
+    rg_precision =
+      (if (not clipped) && box_is_exact a.Access_map.matrix then Must else May);
+  }
+
+let regions_disjoint r1 r2 =
+  r1.rg_buffer <> r2.rg_buffer
+  || boxes_disjoint (r1.rg_lo, r1.rg_hi) (r2.rg_lo, r2.rg_hi)
+
 (* ------------------------------ race proofs ------------------------ *)
 
 (* The hyperplane the VM's scheduler keys fronts on: None when the

@@ -54,6 +54,23 @@ val footprints : Ir.graph -> footprint list
 val region_cells : region -> int
 (** Volume of the region's box. *)
 
+val subrange_region :
+  Ir.graph -> Ir.block -> ext:(int * int) array -> Ir.edge -> region
+(** Footprint of one edge over the sub-box [ext] of the block's
+    iteration space ([(lo, hi-exclusive)] per axis) — the halo-aware
+    per-device footprint the distributed partitioner ([lib/dist])
+    checks: a device's shard box, widened by its declared halo for read
+    edges, goes in; the buffer-space box the device touches comes out.
+    [Must] precision means the box is exact (partial-permutation map,
+    unclipped), so must-level overlap between two devices' write
+    regions refutes a shard plan rather than merely failing to prove
+    it. *)
+
+val regions_disjoint : region -> region -> bool
+(** Boxes touch different buffers or are separated on some axis.
+    Conservative in the right direction: [false] only means the boxes
+    {e may} overlap (exactly when both are [Must]). *)
+
 type race_kind = WW | RW
 
 type verdict =

@@ -9,6 +9,24 @@
     traffic only; misses and writes pass through L2 to DRAM.  Buffers
     larger than the cache never become resident. *)
 
+(** The residency model itself, exposed so other pricing paths — the
+    distributed simulator gives {e each device} its own cache — resolve
+    accesses through exactly the placement logic this module uses. *)
+module Cache : sig
+  type t
+
+  val create : float -> t
+  (** Byte capacity (a device's [l2_bytes]). *)
+
+  val touch : t -> string -> float -> bool
+  (** [touch c buffer bytes]: mark the buffer most-recently-used and
+      report whether it was already resident. *)
+end
+
+val resolve_kernel : Device.t -> Cache.t -> Plan.kernel_spec -> Kernel.t
+(** Decide DRAM vs L2 placement for one spec's [Auto] accesses against
+    the cache state (mutating it) and build the launchable kernel. *)
+
 type kernel_run = {
   kr_name : string;
   kr_start_us : float;  (** issue time on the simulated stream, µs *)

@@ -53,6 +53,23 @@ let repeat n p =
   if n < 0 then invalid_arg "Plan.repeat: negative count";
   { p with kernels = List.concat (List.init n (fun _ -> p.kernels)) }
 
+(* A device's share of a kernel under the distributed partitioner:
+   work and traffic scale with the fraction of iteration points the
+   shard owns; the GEMM shape hint is dropped (a fractional tile is
+   not a GEMM the tensor-core model should special-case). *)
+let scale f ks =
+  if f < 0.0 || f > 1.0 then invalid_arg "Plan.scale: fraction outside [0,1]";
+  {
+    ks with
+    ks_flops = ks.ks_flops *. f;
+    ks_accesses =
+      List.map (fun a -> { a with a_bytes = a.a_bytes *. f }) ks.ks_accesses;
+    ks_l1_bytes = ks.ks_l1_bytes *. f;
+    ks_tasks =
+      Stdlib.max 1 (int_of_float (ceil (float_of_int ks.ks_tasks *. f)));
+    ks_gemm = (if f = 1.0 then ks.ks_gemm else None);
+  }
+
 let total_kernels p = List.length p.kernels
 
 let digest p = Digest.to_hex (Digest.string (Marshal.to_string p []))

@@ -60,6 +60,14 @@ val repeat : int -> t -> t
 (** [repeat n p] issues [p]'s kernels [n] times (steps of a sequential
     loop the policy cannot fuse). *)
 
+val scale : float -> kernel_spec -> kernel_spec
+(** [scale f ks]: the share of [ks] a device owning fraction [f] of the
+    block's iteration points executes — flops, traffic and L1 staging
+    scale linearly, tasks round up (a partial tile still occupies a
+    thread block), and the GEMM shape hint drops unless [f = 1].  The
+    distributed simulator prices per-device shards with this.
+    @raise Invalid_argument outside [0, 1]. *)
+
 val total_kernels : t -> int
 
 val digest : t -> string

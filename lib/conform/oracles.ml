@@ -8,7 +8,7 @@ type run = { r_oracle : string; r_outcome : outcome; r_wall_ms : float }
 let all_oracles =
   [ "interp"; "vm-seq"; "vm-wave1"; "vm-wave2"; "vm-wave4"; "shadow";
     "tuned"; "cache-rt"; "compiled"; "compiled2"; "compiled4";
-    "compiled-noarena"; "fused"; "compiled-nofuse" ]
+    "compiled-noarena"; "fused"; "compiled-nofuse"; "sharded2"; "sharded4" ]
 
 (* ---------------------------------------------------------------- *)
 (* Context: pools + private cache/tune directories                   *)
@@ -187,6 +187,14 @@ let compiled_oracle ?(domains = 1) ?(arena = true) ?(fuse = true) ?pack
    that packing is value-transparent for ANY blocking. *)
 let stress_pack = { Tensor.mc = 3; kc = 48; nc = 40 }
 
+(* Distributed execution over N simulated devices: auto-partitioned
+   shards on real domains, pull-based transfers between per-device
+   stores.  Raw VM-shaped outputs, so Conform's bitwise comparison
+   against vm-seq covers the whole transfer machinery. *)
+let sharded_oracle ctx ~devices (p : Expr.program) g inputs =
+  let outs = Dist.sharded_outputs ~pool:(pool ctx devices) ~devices g inputs in
+  Value (Vm.output outs p.Expr.name)
+
 let cache_rt_oracle (p : Expr.program) g inputs =
   let key = Pipeline.program_key p in
   let plan1 = Pipeline.plan_cached p in
@@ -228,6 +236,8 @@ let run_one ctx (p : Expr.program) inputs graph name =
             | "fused" ->
                 compiled_oracle ~pack:stress_pack p g inputs
             | "compiled-nofuse" -> compiled_oracle ~fuse:false p g inputs
+            | "sharded2" -> sharded_oracle ctx ~devices:2 p g inputs
+            | "sharded4" -> sharded_oracle ctx ~devices:4 p g inputs
             | other -> Failed (Printf.sprintf "unknown oracle %S" other)
           with e -> Failed (Printexc.to_string e)))
 

@@ -52,7 +52,13 @@
                    — the compiled executor with [fuse = false]: every
                      op runs as its own kernel through its own scratch
                      slot, no epilogues, no packing — fusion must not
-                     change a single bit.
+                     change a single bit;
+    - ["sharded2"] / ["sharded4"]
+                   — the distributed executor ([lib/dist]) over 2 / 4
+                     simulated devices: auto-partitioned shards on real
+                     OCaml domains, per-device stores, pull-based
+                     transfers — the whole halo-exchange machinery must
+                     not change a single bit.
 
     VM-family oracles return the {e raw} VM output, which materialises
     fold/reduce accumulator history; {!project} maps it down to the

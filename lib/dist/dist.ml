@@ -1,0 +1,165 @@
+(* Front door for distributed execution: partition, verify, execute on
+   real domains, then price the very same run on the multi-device
+   simulator. *)
+
+exception Illegal_plan of Diagnostic.t list
+
+type report = {
+  rp_devices : int;
+  rp_strategy : string;  (* "auto" or the forced strategy *)
+  rp_link : Device.link;
+  rp_plan : Shard.plan;
+  rp_diags : Diagnostic.t list;  (* notes survive on a legal plan *)
+  rp_outputs : (string * Fractal.t) list;
+  rp_log : Dist_exec.log;
+  rp_xfers : int;
+  rp_xfer_gb : float;
+  rp_device_xfers : int;  (* halo / pipeline traffic, endpoints on devices *)
+  rp_sim : Engine.dist_metrics;
+}
+
+(* One pool per device count, shared across runs (domain spawn is the
+   expensive part) — same shape as Executor's explicit-domains cache. *)
+let pools : (int, Domain_pool.t) Hashtbl.t = Hashtbl.create 4
+let pools_mu = Mutex.create ()
+
+let pool devices =
+  Mutex.lock pools_mu;
+  let p =
+    match Hashtbl.find_opt pools devices with
+    | Some p -> p
+    | None ->
+        let p = Domain_pool.create ~domains:devices in
+        Hashtbl.replace pools devices p;
+        p
+  in
+  Mutex.unlock pools_mu;
+  p
+
+let reset_pools () =
+  Mutex.lock pools_mu;
+  Hashtbl.iter (fun _ p -> Domain_pool.shutdown p) pools;
+  Hashtbl.reset pools;
+  Mutex.unlock pools_mu
+
+(* ------------------------------ pricing ------------------------------ *)
+
+(* Replay the execution log on the interconnect model: each E_front
+   becomes per-device kernels — the block's plan specs scaled by the
+   fraction of iteration points the device ran in that front — resolved
+   against that device's own L2 residency; each E_xfer becomes a
+   rendezvous transfer.  After a (block, device) pair's first front its
+   kernels go launch-free: the shard runs as a persistent kernel fed by
+   the exchanges. *)
+let simulate ?(link = Device.nvlink) ?(device = Device.a100) (g : Ir.graph)
+    (log : Dist_exec.log) =
+  let ndev = log.Dist_exec.lg_devices in
+  let topo = Device.topology ~link device ndev in
+  let caches =
+    Array.init ndev (fun _ ->
+        Exec.Cache.create (float_of_int device.Device.l2_bytes))
+  in
+  let blocks =
+    List.map (fun (b : Ir.block) -> (b.Ir.blk_name, b)) (Ir.dataflow_order g)
+  in
+  let plans : (string, Plan.kernel_spec list * int) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let block_plan name =
+    match Hashtbl.find_opt plans name with
+    | Some sp -> sp
+    | None ->
+        let b = List.assoc name blocks in
+        let sp = (Emit.block_plan g b, Domain.card b.Ir.blk_domain) in
+        Hashtbl.replace plans name sp;
+        sp
+  in
+  let launched : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let events =
+    List.concat_map
+      (fun ev ->
+        match ev with
+        | Dist_exec.E_xfer x ->
+            [
+              Engine.D_xfer
+                {
+                  dx_src = x.Dist_exec.x_src;
+                  dx_dst = x.Dist_exec.x_dst;
+                  dx_bytes = x.Dist_exec.x_bytes;
+                  dx_label = x.Dist_exec.x_label;
+                };
+            ]
+        | Dist_exec.E_front { ef_block; ef_points } ->
+            let specs, total = block_plan ef_block in
+            let out = ref [] in
+            Array.iteri
+              (fun d pts ->
+                if pts > 0 then begin
+                  let frac =
+                    if total <= 0 then 1.0
+                    else float_of_int pts /. float_of_int total
+                  in
+                  let free = Hashtbl.mem launched (ef_block, d) in
+                  Hashtbl.replace launched (ef_block, d) ();
+                  List.iter
+                    (fun ks ->
+                      let ks = Plan.scale frac ks in
+                      let ks =
+                        if free then { ks with Plan.ks_launch_free = true }
+                        else ks
+                      in
+                      out :=
+                        Engine.D_compute
+                          (d, Exec.resolve_kernel device caches.(d) ks)
+                        :: !out)
+                    specs
+                end)
+              ef_points;
+            List.rev !out)
+      log.Dist_exec.lg_events
+  in
+  Engine.dist_run topo events
+
+(* ------------------------------- runs -------------------------------- *)
+
+let run ?strategy ?(link = Device.nvlink) ?(device = Device.a100) ~devices g
+    inputs =
+  let plan = Shard.partition ?strategy ~devices g in
+  let diags = Shard.verify g plan in
+  if not (Shard.legal diags) then raise (Illegal_plan diags);
+  let outputs, log = Dist_exec.run ~pool:(pool devices) ~plan g inputs in
+  let xfers, bytes = Dist_exec.xfer_totals log in
+  {
+    rp_devices = devices;
+    rp_strategy =
+      (match strategy with
+      | None -> "auto"
+      | Some s -> Shard.strategy_name s);
+    rp_link = link;
+    rp_plan = plan;
+    rp_diags = diags;
+    rp_outputs = outputs;
+    rp_log = log;
+    rp_xfers = xfers;
+    rp_xfer_gb = bytes /. 1e9;
+    rp_device_xfers = Dist_exec.device_xfers log;
+    rp_sim = simulate ~link ~device g log;
+  }
+
+let sharded_outputs ?pool:p ~devices g inputs =
+  let plan = Shard.partition ~devices g in
+  fst (Dist_exec.run ?pool:p ~plan g inputs)
+
+let bitwise_equal a b =
+  List.length a = List.length b
+  && List.for_all
+       (fun (name, v) ->
+         match List.assoc_opt name b with
+         | Some w -> Fractal.equal_exact v w
+         | None -> false)
+       a
+
+let differential ?strategy ?link ?device ~devices g inputs =
+  let rep = run ?strategy ?link ?device ~devices g inputs in
+  let base = Executor.run g inputs in
+  (rep, bitwise_equal rep.rp_outputs base)

@@ -1,0 +1,91 @@
+(** Distributed execution front door.
+
+    [run] partitions the graph ({!Shard.partition}), statically
+    verifies the plan ({!Shard.verify} — an illegal plan raises
+    {!Illegal_plan} rather than executing), executes it functionally on
+    real OCaml domains with explicit transfers ({!Dist_exec.run}), and
+    prices the {e same} event log on the multi-device interconnect
+    model ({!Engine.dist_run}) — so the simulated scaling curve and the
+    bitwise-checked values come from one run, not two stories.
+
+    Pricing: each front becomes per-device kernels, the block's plan
+    specs scaled by the fraction of points the device ran
+    ({!Plan.scale}), resolved against a {e per-device} L2 residency
+    model; after a (block, device) pair's first front its kernels are
+    launch-free (a persistent shard kernel fed by the exchanges).
+    Transfers pay the link's latency + bytes/bandwidth cost at a
+    rendezvous of both endpoints' cursors. *)
+
+exception Illegal_plan of Diagnostic.t list
+(** Raised by {!run} when {!Shard.verify} finds an error-severity
+    diagnostic (D400 write overlap / D401 insufficient halo). *)
+
+type report = {
+  rp_devices : int;
+  rp_strategy : string;  (** ["auto"] or the forced strategy name *)
+  rp_link : Device.link;
+  rp_plan : Shard.plan;
+  rp_diags : Diagnostic.t list;  (** note-level findings of a legal plan *)
+  rp_outputs : (string * Fractal.t) list;
+  rp_log : Dist_exec.log;
+  rp_xfers : int;          (** total transfers, scatter/gather included *)
+  rp_xfer_gb : float;
+  rp_device_xfers : int;   (** device↔device only: halo / pipeline traffic *)
+  rp_sim : Engine.dist_metrics;
+}
+
+val run :
+  ?strategy:Shard.strategy ->
+  ?link:Device.link ->
+  ?device:Device.t ->
+  devices:int ->
+  Ir.graph ->
+  (string * Fractal.t) list ->
+  report
+(** Partition, verify, execute, price.  Defaults: auto strategy,
+    {!Device.nvlink}, {!Device.a100}.
+    @raise Illegal_plan on a statically refuted plan
+    @raise Vm.Execution_error on the executor's failure conditions *)
+
+val differential :
+  ?strategy:Shard.strategy ->
+  ?link:Device.link ->
+  ?device:Device.t ->
+  devices:int ->
+  Ir.graph ->
+  (string * Fractal.t) list ->
+  report * bool
+(** [run] plus a bitwise comparison ({!Fractal.equal_exact}) of every
+    output against the single-device {!Executor.run} — the sharded
+    differential. *)
+
+val sharded_outputs :
+  ?pool:Domain_pool.t ->
+  devices:int ->
+  Ir.graph ->
+  (string * Fractal.t) list ->
+  (string * Fractal.t) list
+(** Auto-partitioned functional execution only (no verification gate,
+    no pricing): the conformance oracle entry point — raw VM-shaped
+    outputs for {!Conform.check}'s bitwise comparison. *)
+
+val simulate :
+  ?link:Device.link ->
+  ?device:Device.t ->
+  Ir.graph ->
+  Dist_exec.log ->
+  Engine.dist_metrics
+(** Price an execution log on the interconnect model (see module
+    doc). *)
+
+val bitwise_equal :
+  (string * Fractal.t) list -> (string * Fractal.t) list -> bool
+(** Same names, every output {!Fractal.equal_exact}. *)
+
+val pool : int -> Domain_pool.t
+(** The shared pool for a device count (one domain per device), created
+    on first use. *)
+
+val reset_pools : unit -> unit
+(** Shut down and drop every cached pool (test isolation / serving
+    teardown). *)

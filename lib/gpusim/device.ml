@@ -62,3 +62,32 @@ let occupancy dev tasks =
   else
     Float.min 1.0
       (float_of_int tasks /. float_of_int dev.blocks_for_full_occupancy)
+
+(* ------------------------- interconnect ------------------------- *)
+
+type link = {
+  link_name : string;
+  link_bw_gbs : float;
+  link_latency_us : float;
+}
+
+(* NVLink 3.0 (A100 generation): 12 links x 25 GB/s per direction.
+   A transfer sees the point-to-point bandwidth, not the aggregate. *)
+let nvlink = { link_name = "nvlink3"; link_bw_gbs = 300.0; link_latency_us = 1.3 }
+
+let pcie = { link_name = "pcie4-x16"; link_bw_gbs = 25.0; link_latency_us = 5.0 }
+
+let transfer_time_us link bytes =
+  if bytes <= 0.0 then 0.0
+  else link.link_latency_us +. (bytes /. (link.link_bw_gbs *. 1e3))
+
+type topology = {
+  topo_devices : t array;
+  topo_link : link;
+}
+
+let topology ?(link = nvlink) dev n =
+  if n < 1 then invalid_arg "Device.topology: need at least one device";
+  { topo_devices = Array.make n dev; topo_link = link }
+
+let topo_size topo = Array.length topo.topo_devices

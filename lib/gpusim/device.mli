@@ -36,3 +36,39 @@ val v100 : t
 val occupancy : t -> int -> float
 (** [occupancy dev tasks] in (0, 1]: the fraction of peak compute a
     kernel with [tasks] independent thread blocks can reach. *)
+
+(** {1 Multi-device topology}
+
+    The distributed partitioner ([lib/dist]) shards the ETDG across
+    [N] identical devices joined by a point-to-point interconnect.
+    A transfer of [b] bytes costs [latency + b / bandwidth] — the
+    alpha-beta model, with NVLink-class parameters by default. *)
+
+type link = {
+  link_name : string;
+  link_bw_gbs : float;      (** point-to-point bandwidth, GB/s *)
+  link_latency_us : float;  (** per-transfer startup latency *)
+}
+
+val nvlink : link
+(** NVLink 3.0 class: 300 GB/s per direction, ~1.3 us latency. *)
+
+val pcie : link
+(** PCIe 4.0 x16: 25 GB/s, ~5 us — the fallback fabric; sharding that
+    is profitable over NVLink can lose here, which the bench curves
+    make visible. *)
+
+val transfer_time_us : link -> float -> float
+(** Alpha-beta cost of moving [bytes] across the link; zero bytes cost
+    nothing (no transfer is issued). *)
+
+type topology = {
+  topo_devices : t array;  (** identical members, index = device id *)
+  topo_link : link;
+}
+
+val topology : ?link:link -> t -> int -> topology
+(** [topology dev n] is [n] copies of [dev] on [link] (default
+    {!nvlink}). @raise Invalid_argument when [n < 1]. *)
+
+val topo_size : topology -> int

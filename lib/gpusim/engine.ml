@@ -95,6 +95,147 @@ let pp_metrics fmt m =
     "%.3f ms, %d kernels, DRAM %.2f GB, L2 %.2f GB, L1 %.2f GB, %.2f GFLOP"
     m.time_ms m.kernels m.dram_gb m.l2_gb m.l1_gb (m.total_flops /. 1e9)
 
+(* ---------------------- multi-device timeline ---------------------- *)
+
+(* Device ids are 0-based; [host] names the CPU side of scatter/gather
+   transfers.  Events are replayed in program order against one time
+   cursor per participant: a kernel advances its device's cursor, a
+   transfer starts when both endpoints are free and advances both —
+   which is exactly how a dependence-carrying shard (a sequence-sharded
+   scan) serializes across devices while batch-parallel shards overlap. *)
+
+let host = -1
+
+type dist_event =
+  | D_compute of int * Kernel.t
+  | D_xfer of { dx_src : int; dx_dst : int; dx_bytes : float; dx_label : string }
+
+type dist_sample = {
+  d_event : dist_event;
+  d_start_us : float;
+  d_time_us : float;
+}
+
+type dist_metrics = {
+  dm_time_ms : float;       (* makespan: max cursor *)
+  dm_compute_ms : float;    (* sum of kernel times across devices *)
+  dm_xfer_ms : float;       (* sum of transfer times *)
+  dm_xfer_gb : float;
+  dm_xfers : int;
+  dm_kernels : int;
+  dm_busy_ms : float array; (* per-device kernel time, index = device *)
+}
+
+let dist_timeline (topo : Device.topology) events =
+  let n = Device.topo_size topo in
+  (* cursor index: 0 = host, 1 + d = device d *)
+  let cursors = Array.make (n + 1) 0.0 in
+  let slot d =
+    if d = host then 0
+    else if d >= 0 && d < n then d + 1
+    else invalid_arg "Engine.dist_timeline: device index out of topology"
+  in
+  let samples =
+    List.map
+      (fun ev ->
+        match ev with
+        | D_compute (d, k) ->
+            let i = slot d in
+            if d = host then
+              invalid_arg "Engine.dist_timeline: host does not run kernels";
+            let t = Kernel.total_time_us topo.Device.topo_devices.(d) k in
+            let start = cursors.(i) in
+            cursors.(i) <- start +. t;
+            { d_event = ev; d_start_us = start; d_time_us = t }
+        | D_xfer { dx_src; dx_dst; dx_bytes; _ } ->
+            let si = slot dx_src and di = slot dx_dst in
+            let t = Device.transfer_time_us topo.Device.topo_link dx_bytes in
+            let start = Float.max cursors.(si) cursors.(di) in
+            cursors.(si) <- start +. t;
+            cursors.(di) <- start +. t;
+            { d_event = ev; d_start_us = start; d_time_us = t })
+      events
+  in
+  (* Mirror onto installed trace sinks: kernels stay on the "gpu"
+     track (one lane per run, names carry the device), transfers get
+     their own "xfer" track. *)
+  if Trace.active () then
+    List.iter
+      (fun sink ->
+        let base = Trace.gpu_cursor sink in
+        let finish = ref 0.0 in
+        List.iter
+          (fun s ->
+            finish := Float.max !finish (s.d_start_us +. s.d_time_us);
+            match s.d_event with
+            | D_compute (d, k) ->
+                Trace.add_span ~track:"gpu" ~cat:"kernel"
+                  ~args:
+                    [
+                      ("device", Trace.Int d);
+                      ("flops", Trace.Float k.Kernel.flops);
+                      ("tasks", Trace.Int k.Kernel.parallel_tasks);
+                    ]
+                  sink
+                  (Printf.sprintf "dev%d:%s" d k.Kernel.k_name)
+                  ~ts_us:(base +. s.d_start_us) ~dur_us:s.d_time_us
+            | D_xfer { dx_src; dx_dst; dx_bytes; dx_label } ->
+                let name p = if p = host then "host" else Printf.sprintf "dev%d" p in
+                Trace.add_span ~track:"xfer" ~cat:"transfer"
+                  ~args:
+                    [
+                      ("src", Trace.String (name dx_src));
+                      ("dst", Trace.String (name dx_dst));
+                      ("bytes", Trace.Float dx_bytes);
+                    ]
+                  sink
+                  (Printf.sprintf "%s->%s:%s" (name dx_src) (name dx_dst) dx_label)
+                  ~ts_us:(base +. s.d_start_us) ~dur_us:s.d_time_us)
+          samples;
+        Trace.advance_gpu sink !finish)
+      (Trace.installed ());
+  samples
+
+let dist_metrics_of (topo : Device.topology) samples =
+  let n = Device.topo_size topo in
+  let busy = Array.make n 0.0 in
+  let makespan = ref 0.0
+  and compute = ref 0.0
+  and xfer = ref 0.0
+  and bytes = ref 0.0
+  and xfers = ref 0
+  and kernels = ref 0 in
+  List.iter
+    (fun s ->
+      makespan := Float.max !makespan (s.d_start_us +. s.d_time_us);
+      match s.d_event with
+      | D_compute (d, _) ->
+          busy.(d) <- busy.(d) +. s.d_time_us;
+          compute := !compute +. s.d_time_us;
+          incr kernels
+      | D_xfer { dx_bytes; _ } ->
+          xfer := !xfer +. s.d_time_us;
+          bytes := !bytes +. dx_bytes;
+          incr xfers)
+    samples;
+  {
+    dm_time_ms = !makespan /. 1e3;
+    dm_compute_ms = !compute /. 1e3;
+    dm_xfer_ms = !xfer /. 1e3;
+    dm_xfer_gb = !bytes /. 1e9;
+    dm_xfers = !xfers;
+    dm_kernels = !kernels;
+    dm_busy_ms = Array.map (fun us -> us /. 1e3) busy;
+  }
+
+let dist_run topo events = dist_metrics_of topo (dist_timeline topo events)
+
+let pp_dist_metrics fmt m =
+  Format.fprintf fmt
+    "%.3f ms makespan, %d kernels (%.3f ms), %d transfers (%.3f ms, %.3f GB)"
+    m.dm_time_ms m.dm_kernels m.dm_compute_ms m.dm_xfers m.dm_xfer_ms
+    m.dm_xfer_gb
+
 let add a b =
   {
     time_ms = a.time_ms +. b.time_ms;

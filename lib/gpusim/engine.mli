@@ -40,3 +40,51 @@ val pp_metrics : Format.formatter -> metrics -> unit
 
 val add : metrics -> metrics -> metrics
 (** Sequential composition of two runs. *)
+
+(** {1 Multi-device timeline}
+
+    The distributed executor ([lib/dist]) replays its run as a flat
+    event list: kernels pinned to a device, transfers between two
+    participants.  One time cursor per participant prices it: a kernel
+    advances its device's cursor; a transfer starts when {e both}
+    endpoints' cursors are free (a rendezvous) and advances both by the
+    link's alpha-beta cost.  Independent devices therefore overlap and
+    dependence-carrying shards serialize, with no scheduler beyond
+    program order. *)
+
+val host : int
+(** The CPU side of scatter/gather transfers ([-1]); never runs
+    kernels. *)
+
+type dist_event =
+  | D_compute of int * Kernel.t  (** device index, kernel *)
+  | D_xfer of { dx_src : int; dx_dst : int; dx_bytes : float; dx_label : string }
+      (** [dx_src]/[dx_dst] are device indices or {!host} *)
+
+type dist_sample = {
+  d_event : dist_event;
+  d_start_us : float;
+  d_time_us : float;
+}
+
+type dist_metrics = {
+  dm_time_ms : float;        (** makespan — the scaling-curve number *)
+  dm_compute_ms : float;     (** kernel time summed across devices *)
+  dm_xfer_ms : float;
+  dm_xfer_gb : float;
+  dm_xfers : int;
+  dm_kernels : int;
+  dm_busy_ms : float array;  (** per-device kernel time *)
+}
+
+val dist_timeline :
+  Device.topology -> dist_event list -> dist_sample list
+(** Price the event list in program order.  Kernels mirror onto the
+    ["gpu"] trace track (names prefixed [devN:]), transfers onto a
+    dedicated ["xfer"] track.
+    @raise Invalid_argument on an out-of-topology device index or a
+    kernel pinned to {!host}. *)
+
+val dist_metrics_of : Device.topology -> dist_sample list -> dist_metrics
+val dist_run : Device.topology -> dist_event list -> dist_metrics
+val pp_dist_metrics : Format.formatter -> dist_metrics -> unit

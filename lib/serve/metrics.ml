@@ -48,9 +48,11 @@ let wall_s m =
   let t1 = if m.t_stop > 0. then m.t_stop else Unix.gettimeofday () in
   Float.max 1e-9 (t1 -. m.t_start)
 
-(* Nearest-rank percentile over the completed-request latencies. *)
-let percentile m p =
-  match m.latencies_ms with
+(* Nearest-rank percentile: the smallest sample s such that at least
+   p% of the samples are <= s.  Pure over the list so the rank
+   arithmetic is testable without staging completed requests. *)
+let percentile_of samples p =
+  match samples with
   | [] -> Float.nan
   | ls ->
       let a = Array.of_list ls in
@@ -58,6 +60,8 @@ let percentile m p =
       let n = Array.length a in
       let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
       a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let percentile m p = percentile_of m.latencies_ms p
 
 let throughput_rps m = float_of_int m.completed /. wall_s m
 let tokens_per_s m = float_of_int m.tokens /. wall_s m

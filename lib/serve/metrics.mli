@@ -13,6 +13,12 @@ val on_tick : t -> active:int -> advanced:int -> exec_ms:float -> unit
 val on_complete : t -> Request.t -> unit
 val on_reject : t -> unit
 
+val percentile_of : float list -> float -> float
+(** Nearest-rank percentile of a sample list: the smallest sample s
+    such that at least p% of the samples are [<= s]; [nan] on the
+    empty list.  [percentile] is this over the completed-request
+    latencies. *)
+
 val percentile : t -> float -> float
 (** Nearest-rank percentile of completed-request latency in ms; [nan]
     with no completions. *)

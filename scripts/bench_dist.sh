@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Distributed-execution benchmark: every builtin workload sharded
+# across 1/2/4/8 simulated devices.  Each row is ONE run: the graph
+# auto-partitioned, executed functionally on real OCaml domains with
+# explicit transfers, bitwise-checked against the 1-device compiled
+# engine, and the same event log priced on the NVLink-class
+# interconnect model — so the scaling curve and the correctness check
+# come from the same execution.  Rows where the exchanges dominate the
+# compute report speedup_vs_1dev < 1; that is the honest answer at
+# that size, not a failure.
+#
+#   scripts/bench_dist.sh [DEVICES] [OUT]
+#
+# Defaults: DEVICES=1,2,4,8, OUT=BENCH_dist.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DEVICES="${1:-1,2,4,8}"
+OUT="${2:-BENCH_dist.json}"
+
+dune build bench/main.exe
+dune exec --no-build bench/main.exe -- dist \
+  --devices "$DEVICES" --json "$OUT"
+echo "wrote $OUT"

@@ -40,6 +40,17 @@ dune exec --no-build bin/ftc.exe -- conform --replay test/corpus
 echo "conform under FT_SHADOW=1 (seed 7, budget 25)"
 FT_SHADOW=1 dune exec --no-build bin/ftc.exe -- conform --seed 7 --budget 25
 
+# Sharded differential smoke: the distributed executor across two
+# simulated devices must be bitwise-identical to the single-device
+# compiled engine.  `ftc shard` already exits non-zero on a value
+# mismatch or a statically refuted plan; the grep pins the verdict
+# line so a silent output-format regression also fails.
+for w in stacked_rnn flash_attention; do
+  echo "shard $w --devices 2"
+  dune exec --no-build bin/ftc.exe -- shard "$w" --devices 2 \
+    | grep "bitwise-identical" > /dev/null
+done
+
 for f in examples/programs/*.ft; do
   echo "lint $f"
   dune exec --no-build bin/ftc.exe -- lint "$f"
@@ -202,8 +213,39 @@ if total_shed == 0:
     raise SystemExit("bench_serve smoke: overload never engaged the "
                      "bounded queue (no arrivals shed)")
 EOF
+
+  # Distributed-execution smoke: regenerate BENCH_dist.json (every
+  # workload sharded across 1/2/4/8 simulated devices) and demand that
+  # every row was bitwise-checked against the 1-device compiled engine
+  # and passed.  Speedups are reported, not gated: at smoke sizes the
+  # exchanges legitimately dominate some workloads, and the honest < 1
+  # rows are part of the curve.
+  echo "bench_dist smoke (devices 1,2,4,8)"
+  scripts/bench_dist.sh 1,2,4,8 BENCH_dist.json > /dev/null
+  python3 - <<'EOF'
+import json
+rows = [r for r in json.load(open("BENCH_dist.json"))
+        if r["experiment"] == "dist"]
+assert rows, "BENCH_dist.json has no dist records"
+by_wl = {}
+for r in rows:
+    by_wl.setdefault(r["workload"], []).append(r)
+fail = False
+for wl, rs in sorted(by_wl.items()):
+    assert {r["devices"] for r in rs} >= {1, 2, 4, 8}, \
+        f"{wl!r} is missing device counts in its curve"
+    ok = all(r["bitwise_equal"] for r in rs)
+    curve = ", ".join(f"{r['devices']}d {r['speedup_vs_1dev']:.2f}x"
+                      for r in sorted(rs, key=lambda r: r["devices"]))
+    tag = "ok" if ok else "FAIL"
+    print(f"  {tag} {wl}: {curve}")
+    fail = fail or not ok
+if fail:
+    raise SystemExit("bench_dist smoke: a sharded run diverged from "
+                     "the 1-device compiled engine")
+EOF
 else
-  echo "  (python3 not found; skipping bench_vm/bench_kernels/bench_serve smoke)"
+  echo "  (python3 not found; skipping bench_vm/bench_kernels/bench_serve/bench_dist smoke)"
 fi
 
 echo "check.sh: all green"

@@ -87,10 +87,10 @@ let cli_tests =
                 rest
         in
         same "--format" [ "lint"; "analyze"; "tune" ];
-        same "--seed" [ "run"; "profile"; "tune"; "conform" ];
+        same "--seed" [ "run"; "profile"; "tune"; "conform"; "shard" ];
         same "--domains" [ "run"; "profile" ];
-        same "--device" [ "simulate"; "profile"; "tune" ];
-        same "--json" [ "conform"; "cache" ]);
+        same "--device" [ "simulate"; "profile"; "tune"; "shard" ];
+        same "--json" [ "conform"; "cache"; "shard" ]);
     Alcotest.test_case "analyze --format json: clean stdout, exit 0" `Quick
       (fun () ->
         let code, out, err = run_ftc ("analyze " ^ example "stacked_rnn" ^ " --format json") in
@@ -163,6 +163,28 @@ let cli_tests =
         in
         checki "exit code" 0 code;
         check_json "conform replay" out);
+    Alcotest.test_case "shard: bitwise-identical at 2 devices, exit 0" `Quick
+      (fun () ->
+        let code, out, err = run_ftc "shard stacked_rnn --devices 2" in
+        checki "exit code" 0 code;
+        checkb "bitwise verdict on stdout" true
+          (let re = Str.regexp_string "bitwise-identical" in
+           match Str.search_forward re out 0 with
+           | _ -> true
+           | exception Not_found -> false);
+        checkb "stderr is silent on success" true (String.trim err = ""));
+    Alcotest.test_case "shard --json: stdout is one document" `Quick
+      (fun () ->
+        let code, out, _ =
+          run_ftc "shard b2b_gemm --devices 4 --strategy sequence --json"
+        in
+        checki "exit code" 0 code;
+        check_json "shard" out;
+        checkb "bitwise_equal true in document" true
+          (let re = Str.regexp_string "\"bitwise_equal\":true" in
+           match Str.search_forward re out 0 with
+           | _ -> true
+           | exception Not_found -> false));
   ]
 
 let suites = [ ("cli", cli_tests) ]

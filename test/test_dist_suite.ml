@@ -1,0 +1,428 @@
+(* Distributed execution: the shard partitioner's plans and legality
+   proofs, the interconnect timeline, and — the point of the layer —
+   the sharded differential: every workload, executed across simulated
+   devices on real OCaml domains with explicit transfers, must be
+   *bitwise* identical to the single-device compiled engine. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+let () = Vm.set_fallback_handler (fun _ _ -> ())
+
+(* A map-over-fold program: axis 0 is free (batch-shardable), axis 1
+   carries the reduction dependence. *)
+let foldy_src =
+  {|
+program foldy
+input qs: [6]f32[4,8]
+input ks: [5]f32[4,8]
+return qs.map { |q| ks.reduce(zeros[4,4]) { |acc, k| acc + q @T k } }
+|}
+
+(* A chain of top-level map blocks — pipeline fodder. *)
+let chain_src =
+  {|
+program chain
+input xs: [6]f32[4,16]
+input w1: f32[16,16]
+input w2: f32[16,16]
+input w3: f32[16,16]
+input w4: f32[16,8]
+return
+  let h1 = xs.map { |x| relu(x @ w1) } in
+  let h2 = h1.map { |h| relu(h @ w2) } in
+  let h3 = h2.map { |h| relu(h @ w3) } in
+  h3.map { |h| h @ w4 }
+|}
+
+let graph_and_inputs ?(seed = 7) src =
+  let p = Parse.program src in
+  let g = Build.build p in
+  let rng = Rng.create seed in
+  let binds =
+    List.map
+      (fun (x, t) -> (x, Gen.random_value ~scale:0.3 rng t))
+      p.Expr.inputs
+  in
+  (g, binds)
+
+(* ------------------------- interconnect model ------------------------ *)
+
+let model_tests =
+  [
+    Alcotest.test_case "transfer time is alpha-beta: latency + bytes/bw"
+      `Quick (fun () ->
+        checkf "empty" 0.0 (Device.transfer_time_us Device.nvlink 0.0);
+        (* 3 MB over 300 GB/s = 10 us on the wire, plus 1.3 us latency *)
+        checkf "nvlink 3MB" 11.3 (Device.transfer_time_us Device.nvlink 3e6);
+        checkb "pcie slower" true
+          (Device.transfer_time_us Device.pcie 3e6
+          > Device.transfer_time_us Device.nvlink 3e6));
+    Alcotest.test_case "topology: size, link, and validation" `Quick
+      (fun () ->
+        let topo = Device.topology Device.a100 4 in
+        checki "size" 4 (Device.topo_size topo);
+        checkb "default link" true (topo.Device.topo_link == Device.nvlink);
+        checkb "zero devices rejected" true
+          (match Device.topology Device.a100 0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "dist timeline: independent devices overlap, one \
+                        device serializes" `Quick (fun () ->
+        let dev = Device.a100 in
+        let k =
+          Kernel.make ~name:"k" ~flops:1e12 ~parallel_tasks:1024
+            ~dram_read:1e8 ()
+        in
+        let t_ms = Kernel.total_time_us dev k /. 1e3 in
+        let topo = Device.topology dev 2 in
+        let two_dev =
+          Engine.dist_run topo
+            [ Engine.D_compute (0, k); Engine.D_compute (1, k) ]
+        in
+        checkf "overlapped makespan" t_ms two_dev.Engine.dm_time_ms;
+        checki "kernels" 2 two_dev.Engine.dm_kernels;
+        checkf "busy dev0" t_ms two_dev.Engine.dm_busy_ms.(0);
+        let one_dev =
+          Engine.dist_run topo
+            [ Engine.D_compute (0, k); Engine.D_compute (0, k) ]
+        in
+        checkf "serialized makespan" (2.0 *. t_ms) one_dev.Engine.dm_time_ms);
+    Alcotest.test_case "dist timeline: a transfer is a rendezvous of both \
+                        endpoints" `Quick (fun () ->
+        let dev = Device.a100 in
+        let k =
+          Kernel.make ~name:"k" ~flops:1e12 ~parallel_tasks:1024 ()
+        in
+        let t_ms = Kernel.total_time_us dev k /. 1e3 in
+        let bytes = 4e6 in
+        let x_ms = Device.transfer_time_us Device.nvlink bytes /. 1e3 in
+        let topo = Device.topology dev 2 in
+        let m =
+          Engine.dist_run topo
+            [
+              Engine.D_compute (0, k);
+              Engine.D_xfer
+                { dx_src = 0; dx_dst = 1; dx_bytes = bytes; dx_label = "h" };
+              Engine.D_compute (1, k);
+            ]
+        in
+        (* dev1 is idle until the transfer lands, so the chain is a sum *)
+        checkf "chained makespan" ((2.0 *. t_ms) +. x_ms) m.Engine.dm_time_ms;
+        checki "xfers" 1 m.Engine.dm_xfers;
+        checkf "xfer GB" (bytes /. 1e9) m.Engine.dm_xfer_gb);
+    Alcotest.test_case "dist timeline: the host never runs kernels" `Quick
+      (fun () ->
+        let topo = Device.topology Device.a100 2 in
+        let k = Kernel.make ~name:"k" ~flops:1.0 ~parallel_tasks:1 () in
+        checkb "rejected" true
+          (match
+             Engine.dist_timeline topo [ Engine.D_compute (Engine.host, k) ]
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "Plan.scale: linear work, rounded tasks, dropped \
+                        GEMM hint" `Quick (fun () ->
+        let ks =
+          Plan.kernel ~gemm:(8, 8, 8) ~l1_bytes:100.0 ~name:"g" ~flops:1000.0
+            ~tasks:3
+            [ Plan.read "a" 400.0; Plan.write "b" 200.0 ]
+        in
+        let h = Plan.scale 0.5 ks in
+        checkf "flops" 500.0 h.Plan.ks_flops;
+        checkf "read bytes" 200.0
+          (List.hd h.Plan.ks_accesses).Plan.a_bytes;
+        checkf "l1" 50.0 h.Plan.ks_l1_bytes;
+        checki "tasks round up" 2 h.Plan.ks_tasks;
+        checkb "gemm dropped" true (h.Plan.ks_gemm = None);
+        checkb "identity keeps gemm" true
+          ((Plan.scale 1.0 ks).Plan.ks_gemm = Some (8, 8, 8));
+        checki "tasks floor at 1" 1 (Plan.scale 0.01 ks).Plan.ks_tasks;
+        checkb "fraction validated" true
+          (match Plan.scale 1.5 ks with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+(* ----------------------------- shard plans ---------------------------- *)
+
+let axis_sharded sh =
+  match sh.Shard.sh_strategy with
+  | Shard.Batch | Shard.Sequence -> true
+  | Shard.Pipeline | Shard.Replicate -> false
+
+let shard_tests =
+  [
+    Alcotest.test_case "auto partition takes the free axis (batch)" `Quick
+      (fun () ->
+        let g, _ = graph_and_inputs foldy_src in
+        let plan = Shard.partition ~devices:2 g in
+        List.iter
+          (fun (_, sh) ->
+            checkb "batch" true (sh.Shard.sh_strategy = Shard.Batch);
+            checki "free axis" 0 sh.Shard.sh_axis)
+          plan.Shard.pl_blocks;
+        checkb "legal" true (Shard.legal (Shard.verify g plan)));
+    Alcotest.test_case "forced sequence shards the dependence axis with a \
+                        covering halo" `Quick (fun () ->
+        let g, _ = graph_and_inputs foldy_src in
+        let plan = Shard.partition ~strategy:Shard.Sequence ~devices:2 g in
+        let sh = Shard.block_shard plan "foldy.region1" in
+        checkb "sequence" true (sh.Shard.sh_strategy = Shard.Sequence);
+        checki "fold axis" 1 sh.Shard.sh_axis;
+        checki "halo covers distance" 1 sh.Shard.sh_halo;
+        checkb "legal" true (Shard.legal (Shard.verify g plan)));
+    Alcotest.test_case "an uncovered halo is statically refuted (D401)"
+      `Quick (fun () ->
+        let g, _ = graph_and_inputs foldy_src in
+        let plan = Shard.partition ~strategy:Shard.Sequence ~devices:2 g in
+        let bad =
+          {
+            plan with
+            Shard.pl_blocks =
+              List.map
+                (fun (n, sh) -> (n, { sh with Shard.sh_halo = 0 }))
+                plan.Shard.pl_blocks;
+          }
+        in
+        let diags = Shard.verify g bad in
+        checkb "illegal" false (Shard.legal diags);
+        checkb "D401" true
+          (List.exists (fun d -> d.Diagnostic.code = "D401") diags));
+    Alcotest.test_case "batch on a dependence-carrying axis is refuted"
+      `Quick (fun () ->
+        let g, _ = graph_and_inputs foldy_src in
+        let plan = Shard.partition ~strategy:Shard.Sequence ~devices:2 g in
+        let bad =
+          {
+            plan with
+            Shard.pl_blocks =
+              List.map
+                (fun (n, sh) ->
+                  ( n,
+                    if axis_sharded sh then
+                      { sh with Shard.sh_strategy = Shard.Batch;
+                        sh_halo = 0 }
+                    else sh ))
+                plan.Shard.pl_blocks;
+          }
+        in
+        checkb "illegal" false (Shard.legal (Shard.verify g bad)));
+    Alcotest.test_case "owner: contiguous chunks partition every domain"
+      `Quick (fun () ->
+        let cfg = Stacked_rnn.default in
+        let g = Build.build (Stacked_rnn.program cfg) in
+        let plan = Shard.partition ~devices:3 g in
+        List.iter
+          (fun (b : Ir.block) ->
+            let sh = Shard.block_shard plan b.Ir.blk_name in
+            let pts = Domain.enumerate b.Ir.blk_domain in
+            let counts = Array.make 3 0 in
+            let last = ref (-1) in
+            List.iter
+              (fun p ->
+                let d = Shard.owner sh p in
+                checkb "in range" true (d >= 0 && d < 3);
+                counts.(d) <- counts.(d) + 1;
+                if axis_sharded sh then begin
+                  (* enumerate is lexicographic, so along the sharded
+                     axis owners never decrease within a row *)
+                  if p.(sh.Shard.sh_axis) = sh.Shard.sh_lo then last := -1;
+                  checkb "monotone" true (d >= !last);
+                  last := d
+                end)
+              pts;
+            checki "partitioned" (List.length pts)
+              (Array.fold_left ( + ) 0 counts);
+            if axis_sharded sh then
+              for d = 0 to Shard.active_devices sh - 1 do
+                checkb "active device non-empty" true (counts.(d) > 0)
+              done)
+          (Ir.dataflow_order g));
+    Alcotest.test_case "subrange over the full box equals the block \
+                        footprint" `Quick (fun () ->
+        let cfg = Stacked_rnn.default in
+        let g = Build.build (Stacked_rnn.program cfg) in
+        List.iter
+          (fun (b : Ir.block) ->
+            match Domain.rect_extents b.Ir.blk_domain with
+            | None -> ()
+            | Some ext ->
+                let fp = Effects.block_footprint g b in
+                List.iter
+                  (fun (e : Ir.edge) ->
+                    let r = Effects.subrange_region g b ~ext e in
+                    match
+                      List.find_opt
+                        (fun (f : Effects.region) ->
+                          f.Effects.rg_label = r.Effects.rg_label
+                          && f.Effects.rg_buffer = r.Effects.rg_buffer)
+                        fp.Effects.fp_writes
+                    with
+                    | None -> ()
+                    | Some f ->
+                        checkb "lo" true (f.Effects.rg_lo = r.Effects.rg_lo);
+                        checkb "hi" true (f.Effects.rg_hi = r.Effects.rg_hi))
+                  (Ir.writes b))
+          (Ir.dataflow_order g));
+    Alcotest.test_case "halo widening grows only the sharded axis" `Quick
+      (fun () ->
+        let g, _ = graph_and_inputs foldy_src in
+        let b =
+          List.find
+            (fun (b : Ir.block) -> b.Ir.blk_name = "foldy.region1")
+            (Ir.dataflow_order g)
+        in
+        let ext = Option.get (Domain.rect_extents b.Ir.blk_domain) in
+        let plan = Shard.partition ~strategy:Shard.Sequence ~devices:2 g in
+        let sh = Shard.block_shard plan "foldy.region1" in
+        let tight = Shard.device_ext sh ext 1 ~widen:false in
+        let wide = Shard.device_ext sh ext 1 ~widen:true in
+        Array.iteri
+          (fun i (l, h) ->
+            let wl, wh = wide.(i) in
+            if i = sh.Shard.sh_axis then
+              checkb "wider" true (wl <= l - 1 && wh >= h)
+            else begin
+              checki "same lo" l wl;
+              checki "same hi" h wh
+            end)
+          tight);
+  ]
+
+(* ------------------------ sharded differential ----------------------- *)
+
+module type WORKLOAD = sig
+  type config
+  type inputs
+
+  val default : config
+  val program : config -> Expr.program
+  val gen_inputs : Rng.t -> config -> inputs
+  val bindings : inputs -> (string * Fractal.t) list
+end
+
+let workloads :
+    (string * (Rng.t -> Ir.graph * (string * Fractal.t) list)) list =
+  let w name (module M : WORKLOAD) =
+    ( name,
+      fun rng ->
+        let cfg = M.default in
+        let inp = M.gen_inputs rng cfg in
+        (Build.build (M.program cfg), M.bindings inp) )
+  in
+  [
+    w "stacked_rnn" (module Stacked_rnn);
+    w "stacked_lstm" (module Stacked_lstm);
+    w "dilated_rnn" (module Dilated_rnn);
+    w "grid_rnn" (module Grid_rnn);
+    w "b2b_gemm" (module B2b_gemm);
+    w "flash_attention" (module Flash_attention);
+    w "conv1d" (module Conv1d);
+    w "selective_scan" (module Selective_scan);
+    w "retention" (module Retention);
+    w "bigbird" (module Bigbird);
+  ]
+
+let exec_tests =
+  [
+    Alcotest.test_case "every workload is bitwise-identical at 2 and 4 \
+                        devices" `Quick (fun () ->
+        List.iter
+          (fun (name, mk) ->
+            let g, binds = mk (Rng.create 3) in
+            List.iter
+              (fun devices ->
+                let rep, ok = Dist.differential ~devices g binds in
+                checkb (Printf.sprintf "%s N=%d" name devices) true ok;
+                checkb
+                  (Printf.sprintf "%s N=%d plan legal" name devices)
+                  true
+                  (Shard.legal rep.Dist.rp_diags))
+              [ 2; 4 ])
+          workloads);
+    Alcotest.test_case "one device degenerates to the single-device run"
+      `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let g, binds = (List.assoc name workloads) (Rng.create 5) in
+            let rep, ok = Dist.differential ~devices:1 g binds in
+            checkb (name ^ " bitwise") true ok;
+            checki (name ^ " no device traffic") 0 rep.Dist.rp_device_xfers)
+          [ "stacked_rnn"; "selective_scan" ]);
+    Alcotest.test_case "every forced strategy stays bitwise" `Quick
+      (fun () ->
+        let g, binds = (List.assoc "stacked_rnn" workloads) (Rng.create 3) in
+        List.iter
+          (fun s ->
+            let _, ok = Dist.differential ~strategy:s ~devices:2 g binds in
+            checkb (Shard.strategy_name s) true ok)
+          [ Shard.Batch; Shard.Sequence; Shard.Pipeline; Shard.Replicate ]);
+    Alcotest.test_case "sequence sharding exchanges halos; batch does not"
+      `Quick (fun () ->
+        let g, binds = (List.assoc "stacked_rnn" workloads) (Rng.create 3) in
+        let b, _ = Dist.differential ~strategy:Shard.Batch ~devices:2 g binds in
+        checki "batch: no device traffic" 0 b.Dist.rp_device_xfers;
+        let s, _ =
+          Dist.differential ~strategy:Shard.Sequence ~devices:2 g binds
+        in
+        checkb "sequence: halo traffic" true (s.Dist.rp_device_xfers > 0));
+    Alcotest.test_case "pipeline pins blocks round-robin and forwards \
+                        activations" `Quick (fun () ->
+        let g, binds = graph_and_inputs chain_src in
+        let rep, ok =
+          Dist.differential ~strategy:Shard.Pipeline ~devices:2 g binds
+        in
+        checkb "bitwise" true ok;
+        checkb "stage traffic" true (rep.Dist.rp_device_xfers > 0);
+        let pins =
+          List.map (fun (_, sh) -> sh.Shard.sh_pin) rep.Dist.rp_plan.Shard.pl_blocks
+        in
+        Alcotest.(check (list int)) "round robin" [ 0; 1; 0; 1 ] pins);
+    Alcotest.test_case "the executor stays bitwise even under a plan the \
+                        verifier refuses" `Quick (fun () ->
+        (* pull-based fetch makes any ownership partition value-correct;
+           the static gate is about the traffic contract, and the
+           differential shows refusal is not load-bearing for values *)
+        let g, binds = graph_and_inputs foldy_src in
+        let plan = Shard.partition ~strategy:Shard.Sequence ~devices:2 g in
+        let bad =
+          {
+            plan with
+            Shard.pl_blocks =
+              List.map
+                (fun (n, sh) -> (n, { sh with Shard.sh_halo = 0 }))
+                plan.Shard.pl_blocks;
+          }
+        in
+        checkb "refused" false (Shard.legal (Shard.verify g bad));
+        let outs, _ = Dist_exec.run ~plan:bad g binds in
+        checkb "still bitwise" true
+          (Dist.bitwise_equal outs (Executor.run g binds)));
+    Alcotest.test_case "the priced log conserves work and counts transfers"
+      `Quick (fun () ->
+        let g, binds = (List.assoc "selective_scan" workloads) (Rng.create 3)
+        in
+        let rep = Dist.run ~devices:2 g binds in
+        let xfers, bytes = Dist_exec.xfer_totals rep.Dist.rp_log in
+        checki "xfer count" rep.Dist.rp_xfers xfers;
+        checki "sim sees every transfer" xfers rep.Dist.rp_sim.Engine.dm_xfers;
+        checkf "sim GB" (bytes /. 1e9) rep.Dist.rp_sim.Engine.dm_xfer_gb;
+        checkb "kernels ran" true (rep.Dist.rp_sim.Engine.dm_kernels > 0);
+        checkb "makespan positive" true
+          (rep.Dist.rp_sim.Engine.dm_time_ms > 0.0);
+        (* per-device busy time never exceeds the makespan *)
+        Array.iter
+          (fun busy ->
+            checkb "busy <= makespan" true
+              (busy <= rep.Dist.rp_sim.Engine.dm_time_ms +. 1e-9))
+          rep.Dist.rp_sim.Engine.dm_busy_ms);
+  ]
+
+let suites =
+  [
+    ("dist.model", model_tests);
+    ("dist.shard", shard_tests);
+    ("dist.exec", exec_tests);
+  ]

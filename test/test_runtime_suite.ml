@@ -99,6 +99,50 @@ let runtime_tests =
         Domain_pool.set_num_domains (Some 1);
         checki "shrunk" 1 (Domain_pool.size (Domain_pool.get ()));
         Domain_pool.set_num_domains None);
+    Alcotest.test_case "reset_pools: teardown, then a concurrent submit \
+                        burst re-initialises cleanly" `Quick (fun () ->
+        (* The serving teardown pattern: explicit-domain pools are shut
+           down, then several submitter domains hit the executor at
+           once.  The pool must be rebuilt lazily exactly once and the
+           concurrent whole-loop submissions serialize on the pool's
+           internal mutex — every result bitwise-identical. *)
+        let cfg =
+          { Stacked_rnn.batch = 2; depth = 2; seq_len = 4; hidden = 8 }
+        in
+        let g = Build.build (Stacked_rnn.program cfg) in
+        let binds =
+          Stacked_rnn.bindings (Stacked_rnn.gen_inputs (Rng.create 5) cfg)
+        in
+        let opts =
+          { Run_opts.default with Run_opts.domains = Some 2 }
+        in
+        let baseline = Executor.run ~opts g binds in
+        Executor.reset_pools ();
+        (* one prepared per submitter — a shared prepared must not be
+           executed concurrently — all re-binding the re-created pool *)
+        let prs = Array.init 4 (fun _ -> Executor.prepare ~opts g) in
+        let workers =
+          Array.map
+            (fun pr ->
+              Stdlib.Domain.spawn (fun () ->
+                  List.init 5 (fun _ -> Executor.execute pr binds)))
+            prs
+        in
+        let bitwise outs =
+          List.for_all2
+            (fun (n1, v1) (n2, v2) -> n1 = n2 && Fractal.equal_exact v1 v2)
+            baseline outs
+        in
+        Array.iteri
+          (fun w d ->
+            List.iteri
+              (fun i outs ->
+                checkb
+                  (Printf.sprintf "worker %d run %d bitwise" w i)
+                  true (bitwise outs))
+              (Stdlib.Domain.join d))
+          workers;
+        Executor.reset_pools ());
   ]
 
 let runtime_props =

@@ -161,6 +161,40 @@ let metrics_tests =
         Alcotest.(check (float 1e-6)) "p95" 95. (Metrics.percentile m 95.);
         Alcotest.(check (float 1e-6)) "p99" 99. (Metrics.percentile m 99.);
         checki "completed" 100 (Metrics.completed m));
+    Alcotest.test_case "percentile edge cases: empty, single, exact ranks"
+      `Quick (fun () ->
+        (* no completions: nan, not an exception or a zero *)
+        checkb "empty list is nan" true
+          (Float.is_nan (Metrics.percentile_of [] 50.));
+        checkb "empty metrics is nan" true
+          (Float.is_nan (Metrics.percentile (Metrics.create ()) 99.));
+        (* a single sample answers every percentile *)
+        List.iter
+          (fun p ->
+            Alcotest.(check (float 0.)) (Printf.sprintf "single p%g" p) 7.5
+              (Metrics.percentile_of [ 7.5 ] p))
+          [ 0.; 50.; 95.; 99.; 100. ];
+        (* nearest rank, unsorted input: ceil(p/100 * n) is exact at
+           the boundaries — with n = 4, p50 -> rank 2, p95/p99/p100 ->
+           rank 4, p25 -> rank 1, and p0 clamps to the minimum *)
+        let s = [ 40.; 10.; 30.; 20. ] in
+        Alcotest.(check (float 0.)) "p0 clamps to min" 10.
+          (Metrics.percentile_of s 0.);
+        Alcotest.(check (float 0.)) "p25 is rank 1" 10.
+          (Metrics.percentile_of s 25.);
+        Alcotest.(check (float 0.)) "p50 is rank 2" 20.
+          (Metrics.percentile_of s 50.);
+        Alcotest.(check (float 0.)) "p75 is rank 3" 30.
+          (Metrics.percentile_of s 75.);
+        Alcotest.(check (float 0.)) "p95 is rank 4" 40.
+          (Metrics.percentile_of s 95.);
+        Alcotest.(check (float 0.)) "p100 is the max" 40.
+          (Metrics.percentile_of s 100.);
+        (* just past a boundary the rank must step up: p50+eps of 100
+           samples is the 51st *)
+        let hundred = List.init 100 (fun i -> float_of_int (i + 1)) in
+        Alcotest.(check (float 0.)) "p50.1 of 1..100" 51.
+          (Metrics.percentile_of hundred 50.1));
   ]
 
 (* ----------------------------- session ---------------------------- *)
